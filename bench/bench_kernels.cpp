@@ -1,0 +1,113 @@
+// Micro-benchmarks (google-benchmark) of the hot kernels: spreading,
+// sliding complex correlation, channel synthesis, frame decode, and a full
+// end-to-end collided round. These bound the simulator's packets/second
+// and document where the cycles go.
+#include <benchmark/benchmark.h>
+
+#include "core/system.h"
+#include "phy/spreader.h"
+#include "pn/correlation.h"
+#include "rfsim/channel.h"
+#include "rx/decoder.h"
+
+namespace {
+
+using namespace cbma;
+
+void BM_Spread(benchmark::State& state) {
+  const auto code = pn::make_code_set(pn::CodeFamily::kTwoNC, 10, 20)[0];
+  std::vector<std::uint8_t> bits(static_cast<std::size_t>(state.range(0)));
+  for (std::size_t i = 0; i < bits.size(); ++i) bits[i] = i & 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(phy::spread(bits, code));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Spread)->Arg(112)->Arg(1024);
+
+void BM_GoldFamilyConstruction(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pn::make_code_set(pn::CodeFamily::kGold, 10, 31));
+  }
+}
+BENCHMARK(BM_GoldFamilyConstruction);
+
+void BM_SlidingComplexPeak(benchmark::State& state) {
+  Rng rng(1);
+  const auto code = pn::make_code_set(pn::CodeFamily::kTwoNC, 10, 20)[0];
+  const auto tmpl = pn::mean_removed_template(code, 4);
+  std::vector<std::complex<double>> signal(8192);
+  for (auto& s : signal) s = {rng.gaussian(), rng.gaussian()};
+  const auto lags = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pn::sliding_complex_peak(signal, tmpl, 0, lags));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SlidingComplexPeak)->Arg(64)->Arg(256);
+
+void BM_ChannelSynthesis(benchmark::State& state) {
+  Rng rng(2);
+  rfsim::ChannelConfig cc;
+  cc.samples_per_chip = 4;
+  cc.chip_rate_hz = 32e6;
+  cc.noise_power_w = 1e-9;
+  const rfsim::Channel channel(cc);
+  const std::vector<std::uint8_t> chips(3584, 1);  // a 112-bit frame at L=32
+  std::vector<rfsim::TagTransmission> txs(static_cast<std::size_t>(state.range(0)));
+  for (auto& tx : txs) {
+    tx.chips = chips;
+    tx.amplitude = 1e-6;
+    tx.delay_chips = 8.0;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(channel.receive(txs, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(chips.size()) *
+                          state.range(0));
+}
+BENCHMARK(BM_ChannelSynthesis)->Arg(2)->Arg(10);
+
+void BM_DecodeFrame(benchmark::State& state) {
+  Rng rng(3);
+  const auto codes = pn::make_code_set(pn::CodeFamily::kTwoNC, 10, 20);
+  phy::TagConfig tc;
+  tc.id = 0;
+  tc.code = codes[0];
+  const phy::Tag tag(tc);
+  const std::vector<std::uint8_t> payload(8, 0x5A);
+  const auto chips = tag.chip_sequence(payload);
+  rfsim::ChannelConfig cc;
+  cc.samples_per_chip = 4;
+  cc.chip_rate_hz = 32e6;
+  rfsim::TagTransmission tx;
+  tx.chips = chips;
+  tx.amplitude = 1.0;
+  tx.delay_chips = 8.0;
+  const auto iq = rfsim::Channel(cc).receive(std::span(&tx, 1), rng);
+  const rx::Decoder decoder(codes[0], 8, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(decoder.decode(iq, 32, 0.0));
+  }
+}
+BENCHMARK(BM_DecodeFrame);
+
+void BM_EndToEndRound(benchmark::State& state) {
+  core::SystemConfig cfg;
+  cfg.max_tags = static_cast<std::size_t>(state.range(0));
+  auto dep = rfsim::Deployment::paper_frame();
+  for (int k = 0; k < state.range(0); ++k) {
+    dep.add_tag({0.1 * k, 0.6});
+  }
+  const core::CbmaSystem sys(cfg, dep);
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sys.transmit_round(rng));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EndToEndRound)->Arg(2)->Arg(5)->Arg(10);
+
+}  // namespace
+
+BENCHMARK_MAIN();

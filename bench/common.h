@@ -1,0 +1,81 @@
+// Shared utilities for the experiment benches: trial-count/seed control via
+// environment variables (CBMA_TRIALS, CBMA_SEED), deterministic parallel
+// sweeps, and consistent headers so every bench output is reproducible from
+// its printed configuration.
+#pragma once
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/config.h"
+
+namespace cbma::bench {
+
+/// Packets (or trials) per measurement point. Paper experiments use 1000;
+/// the default keeps the full bench suite in CI-scale runtime. Override
+/// with CBMA_TRIALS=1000 for paper-scale runs.
+inline std::size_t trials(std::size_t fallback = 200) {
+  if (const char* env = std::getenv("CBMA_TRIALS")) {
+    const long v = std::atol(env);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return fallback;
+}
+
+/// Base seed for the bench (CBMA_SEED to override).
+inline std::uint64_t base_seed() {
+  if (const char* env = std::getenv("CBMA_SEED")) {
+    const long long v = std::atoll(env);
+    if (v > 0) return static_cast<std::uint64_t>(v);
+  }
+  return 20190707;  // ICDCS 2019
+}
+
+/// Deterministic per-point seed: mixing the base seed with the point index
+/// keeps results independent of sweep parallelism.
+inline std::uint64_t point_seed(std::size_t point_index) {
+  std::uint64_t x = base_seed() + 0x9E3779B97F4A7C15ull * (point_index + 1);
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  return x;
+}
+
+/// Run f(0..n-1) across hardware threads; f must only touch its own slot.
+inline void parallel_for(std::size_t n, const std::function<void(std::size_t)>& f) {
+  const std::size_t workers =
+      std::min<std::size_t>(std::max(1u, std::thread::hardware_concurrency()), n);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) f(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      while (true) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= n) return;
+        f(i);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+}
+
+inline void print_header(const std::string& title, const std::string& paper_ref,
+                         const core::SystemConfig& config) {
+  std::printf("=== %s ===\n", title.c_str());
+  std::printf("reproduces : %s\n", paper_ref.c_str());
+  std::printf("config     : %s\n", config.summary().c_str());
+  std::printf("trials/pt  : %zu (CBMA_TRIALS to change)  seed: %llu\n\n",
+              trials(), static_cast<unsigned long long>(base_seed()));
+}
+
+}  // namespace cbma::bench

@@ -1,0 +1,79 @@
+// Fig. 11 — error rate when tags are asynchronous: two tags, tag 1's clock
+// as reference, tag 2's transmission delayed by a controlled offset. The
+// paper: the error is lowest when fully synchronized and fluctuates around
+// a small elevated level once any delay exists (the correlation-based
+// detector absorbs the misalignment rather than collapsing).
+#include <cstdio>
+
+#include "common.h"
+#include "core/system.h"
+#include "util/table.h"
+
+using namespace cbma;
+
+int main() {
+  core::SystemConfig cfg;
+  cfg.max_tags = 2;
+  cfg.max_async_jitter_chips = 0.0;  // delays are driven explicitly here
+  // The study deliberately delays tag 2 beyond the default group window;
+  // widen the detector's search so the delay itself — not a window edge —
+  // is what is being measured.
+  cfg.detect.group_window_chips = 4.0;
+  // Free-running tag oscillators differ by ~0.1 % (tens of kHz at the
+  // 20 MHz shift): the tag-to-tag phase rotates within a frame, so two
+  // perfectly synchronized tags cannot sit in a persistent RF null.
+  cfg.cfo_max_hz = 20e3;
+  bench::print_header("Fig. 11 — error rate vs inter-tag asynchronization",
+                      "§VII-C2: 2 tags, tag 2 delayed against tag 1's clock", cfg);
+
+  auto dep = rfsim::Deployment::paper_frame();
+  dep.add_tag({0.0, 1.15});
+  dep.add_tag({0.0, -1.17});
+
+  std::vector<double> delays;
+  for (double d = 0.0; d <= 3.0 + 1e-9; d += 0.25) delays.push_back(d);
+
+  const std::size_t n_packets = bench::trials(400);
+  std::vector<double> fer(delays.size());
+
+  bench::parallel_for(delays.size(), [&](std::size_t i) {
+    core::CbmaSystem sys(cfg, dep);
+    Rng rng(bench::point_seed(i));
+    core::RoundStats stats(2);
+    const std::vector<double> tag_delays{0.0, delays[i]};
+    for (std::size_t p = 0; p < n_packets; ++p) {
+      std::vector<std::vector<std::uint8_t>> payloads;
+      for (int k = 0; k < 2; ++k) {
+        std::vector<std::uint8_t> pl(cfg.payload_bytes);
+        for (auto& b : pl) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+        payloads.push_back(std::move(pl));
+      }
+      const auto report = sys.transmit_round_with_delays(payloads, tag_delays, rng);
+      stats.record(0, report.results[0].crc_ok);
+      stats.record(1, report.results[1].crc_ok);
+    }
+    fer[i] = stats.frame_error_rate();
+  });
+
+  Table table({"tag-2 delay (chips)", "tag-2 delay (ns @32 Mcps)", "error rate"});
+  for (std::size_t i = 0; i < delays.size(); ++i) {
+    table.add_row({Table::num(delays[i], 2),
+                   Table::num(delays[i] / cfg.chip_rate_hz() * 1e9, 1),
+                   Table::percent(fer[i], 2)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  double delayed_mean = 0.0;
+  for (std::size_t i = 1; i < delays.size(); ++i) delayed_mean += fer[i];
+  delayed_mean /= static_cast<double>(delays.size() - 1);
+  std::printf("error at full synchronization: %.2f%%\n", 100.0 * fer[0]);
+  std::printf("mean error once delayed      : %.2f%% (paper: fluctuates ~4%%)\n",
+              100.0 * delayed_mean);
+  std::printf("asynchrony tolerated — delayed error stays at the few-percent level: %s\n",
+              (delayed_mean > 0.002 && delayed_mean < 0.15) ? "HOLDS" : "VIOLATED");
+  std::printf("\nnote: at exactly zero delay two equal-strength reflections can sit\n"
+              "in a persistent RF null and defeat the energy-based frame sync — a\n"
+              "superposition effect the paper's testbed (drifting oscillators,\n"
+              "multipath) averages away; see EXPERIMENTS.md.\n");
+  return 0;
+}

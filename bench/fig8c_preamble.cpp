@@ -1,0 +1,78 @@
+// Fig. 8(c) — error rate vs preamble length (4/8/16/32/64 bits),
+// 2/3/4 concurrent tags.
+//
+// Paper finding: the error rate falls as the preamble grows (<1 % at 64
+// bits, 4 tags) because their energy-based frame detector was the binding
+// stage. This implementation's receiver detects users by correlating the
+// *entire* preamble coherently, so detection saturates long before the
+// decode floor and the measured error is expected to be largely flat in
+// preamble length — an architectural deviation that is reported, not
+// hidden (see EXPERIMENTS.md). The run still verifies the paper's
+// end-state: with a 64-bit preamble the error is no worse than with a
+// short one, and the 4-tag/64-bit point sits at the few-percent level.
+#include <cmath>
+#include <cstdio>
+
+#include "common.h"
+#include "core/experiment.h"
+#include "util/table.h"
+
+using namespace cbma;
+
+namespace {
+
+rfsim::Deployment make_deployment(std::size_t n_tags) {
+  // A harsher link than Fig. 8(a)'s close-in cluster (d2 ≈ 1.8 m) plus a
+  // reduced drive level, so errors are visible at all preamble lengths.
+  rfsim::Deployment dep(rfsim::Point{0.0, 0.0}, rfsim::Point{2.3, 0.0});
+  for (std::size_t k = 0; k < n_tags; ++k) {
+    const double dy = 0.06 * (static_cast<double>(k) -
+                              static_cast<double>(n_tags - 1) / 2.0);
+    dep.add_tag({0.5, dy});
+  }
+  return dep;
+}
+
+}  // namespace
+
+int main() {
+  core::SystemConfig cfg;
+  cfg.tx_power_dbm = 13.0;
+  bench::print_header("Fig. 8(c) — FER vs preamble length",
+                      "§VII-B1, preamble 4..64 bits, 2/3/4 tags", cfg);
+
+  const std::size_t n_tag_counts[] = {2, 3, 4};
+  const std::size_t preambles[] = {4, 8, 16, 32, 64};
+  std::vector<std::vector<double>> fer(3, std::vector<double>(std::size(preambles)));
+  const std::size_t n_packets = bench::trials();
+
+  bench::parallel_for(3 * std::size(preambles), [&](std::size_t idx) {
+    const std::size_t t = idx / std::size(preambles);
+    const std::size_t p = idx % std::size(preambles);
+    core::SystemConfig point_cfg = cfg;
+    point_cfg.max_tags = n_tag_counts[t];
+    point_cfg.preamble_bits = preambles[p];
+    const auto dep = make_deployment(n_tag_counts[t]);
+    fer[t][p] = core::measure_fer(point_cfg, dep, n_packets, bench::point_seed(idx)).fer;
+  });
+
+  Table table({"preamble (bits)", "FER 2 tags", "FER 3 tags", "FER 4 tags"});
+  for (std::size_t p = 0; p < std::size(preambles); ++p) {
+    table.add_row({std::to_string(preambles[p]), Table::num(fer[0][p], 3),
+                   Table::num(fer[1][p], 3), Table::num(fer[2][p], 3)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  bool no_worse = true;
+  for (std::size_t t = 0; t < 3; ++t) {
+    if (fer[t].back() > fer[t].front() + 0.05) no_worse = false;
+  }
+  std::printf("64-bit preamble no worse than 4-bit: %s\n",
+              no_worse ? "HOLDS" : "VIOLATED");
+  std::printf("4-tag error with 64-bit preamble: %.2f%% (paper: below 1%%)\n",
+              100.0 * fer[2].back());
+  std::printf("\nnote: this receiver's whole-preamble coherent detection saturates\n"
+              "the preamble-length benefit the paper's energy detector showed;\n"
+              "the dependence is expected to be flat here (EXPERIMENTS.md).\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Fig. 9(b) — error rate comparison of Gold codes vs (modified) 2NC codes,
+// 2..5 concurrent tags. 2NC's zero aligned cross-correlation yields lower
+// multi-access interference than Gold's three-valued cross-correlation; the
+// paper finds the gap grows with the number of tags (Gold hits ~11 % at 5
+// tags) and adopts 2NC from then on.
+#include <cmath>
+#include <cstdio>
+
+#include "common.h"
+#include "core/experiment.h"
+#include "util/table.h"
+#include "util/units.h"
+
+using namespace cbma;
+
+namespace {
+
+rfsim::Deployment make_deployment(std::size_t n_tags) {
+  // Equal-strength ring so the code family — not near-far — dominates; at
+  // a moderate SNR so multi-access interference (Gold's aligned
+  // cross-correlation) is visible above the noise floor.
+  rfsim::Deployment dep = rfsim::Deployment::paper_frame();
+  for (std::size_t k = 0; k < n_tags; ++k) {
+    const double angle = 2.0 * units::kPi * static_cast<double>(k) /
+                         static_cast<double>(n_tags);
+    dep.add_tag({0.2 * std::cos(angle), 1.05 + 0.2 * std::sin(angle)});
+  }
+  return dep;
+}
+
+}  // namespace
+
+int main() {
+  core::SystemConfig cfg;
+  cfg.max_tags = 8;
+  bench::print_header("Fig. 9(b) — Gold vs 2NC spreading codes",
+                      "§VII-B3, 2..5 tags, equal-strength ring placement", cfg);
+
+  const std::size_t tag_counts[] = {2, 3, 4, 5, 8};
+  std::vector<std::vector<double>> fer(2, std::vector<double>(std::size(tag_counts)));
+  const std::size_t n_packets = bench::trials(400);
+
+  bench::parallel_for(2 * std::size(tag_counts), [&](std::size_t idx) {
+    const std::size_t f = idx / std::size(tag_counts);
+    const std::size_t t = idx % std::size(tag_counts);
+    core::SystemConfig point_cfg = cfg;
+    point_cfg.code_family = (f == 0) ? pn::CodeFamily::kGold : pn::CodeFamily::kTwoNC;
+    point_cfg.code_min_length = 31;  // Gold-31 vs 2NC-32: comparable spreading
+    point_cfg.max_tags = tag_counts[t];
+    const auto dep = make_deployment(tag_counts[t]);
+    fer[f][t] = core::measure_fer(point_cfg, dep, n_packets, bench::point_seed(idx)).fer;
+  });
+
+  Table table({"tags", "Gold error", "2NC error"});
+  for (std::size_t t = 0; t < std::size(tag_counts); ++t) {
+    table.add_row({std::to_string(tag_counts[t]), Table::percent(fer[0][t], 2),
+                   Table::percent(fer[1][t], 2)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  bool twonc_never_worse = true;
+  for (std::size_t t = 0; t < std::size(tag_counts); ++t) {
+    if (fer[1][t] > fer[0][t] + 0.01) twonc_never_worse = false;
+  }
+  std::printf("2NC at or below Gold at every tag count: %s\n",
+              twonc_never_worse ? "HOLDS" : "VIOLATED");
+  std::printf("crowding raises the Gold error (3 -> 8 tags): %s "
+              "(%.2f%% -> %.2f%%)\n",
+              fer[0].back() >= fer[0][1] - 1e-9 ? "HOLDS" : "VIOLATED",
+              100.0 * fer[0][1], 100.0 * fer[0].back());
+  std::printf("\nnote: the paper's error growth with tag count (up to 11%% for\n"
+              "Gold at 5 tags) is muted here — the coherent per-user receiver\n"
+              "suppresses most multi-access interference; the family ordering\n"
+              "(2NC better) is the preserved shape. See EXPERIMENTS.md.\n");
+  return 0;
+}

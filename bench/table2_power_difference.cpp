@@ -1,0 +1,82 @@
+// Table II — "Error Rate vs the power difference."
+// Two-tag collision benchmark (§IV): five tag placements around the paper
+// frame; pairs of tags transmit concurrently and the error rate (missing
+// packets / transmitted packets) is measured against the received-power
+// difference. The paper's finding: below ~10 % power difference the error
+// rate is far lower than at 50 %+ difference.
+#include <cstdio>
+
+#include "common.h"
+#include "core/experiment.h"
+#include "util/table.h"
+#include "util/units.h"
+
+using namespace cbma;
+
+int main() {
+  core::SystemConfig cfg;
+  cfg.max_tags = 2;
+  bench::print_header("Table II — error rate vs power difference (2-tag collisions)",
+                      "§IV benchmark, Fig. 3 frame: ES(-0.5,0), RX(0.5,0)", cfg);
+
+  // Five tag placements (the paper's tags 1..5 at random positions); the
+  // exact positions are not published — these are chosen so the pairwise
+  // received-power differences span "similar" (tags 1≈2, 3≈4) through
+  // "very different" (anything paired with the marginal tag 5), the same
+  // structure Table II samples.
+  const rfsim::Point tag_pos[5] = {
+      {0.00, 0.45}, {0.00, -0.46}, {0.20, 0.95}, {-0.22, -0.94}, {-0.10, 1.35}};
+
+  struct Row {
+    int a, b;
+    double snr1, snr2, diff, error;
+  };
+  const std::pair<int, int> pairs[] = {{0, 1}, {0, 2}, {1, 2}, {0, 3}, {2, 3},
+                                       {1, 3}, {1, 4}, {3, 4}, {0, 4}, {2, 4}};
+  std::vector<Row> rows(std::size(pairs));
+  const std::size_t n_packets = bench::trials(300);
+
+  bench::parallel_for(rows.size(), [&](std::size_t i) {
+    const auto [a, b] = pairs[i];
+    auto dep = rfsim::Deployment::paper_frame();
+    dep.add_tag(tag_pos[a]);
+    dep.add_tag(tag_pos[b]);
+    const auto point = core::measure_fer(cfg, dep, n_packets, bench::point_seed(i));
+    const double p1 = units::from_db(point.snr_db[0]);
+    const double p2 = units::from_db(point.snr_db[1]);
+    rows[i] = Row{a + 1, b + 1, point.snr_db[0], point.snr_db[1],
+                  std::abs(p1 - p2) / std::max(p1, p2), point.fer};
+  });
+
+  Table table({"Case", "SNR1 (dB)", "SNR2 (dB)", "Difference", "Error Rate"});
+  for (const auto& r : rows) {
+    table.add_row({std::to_string(r.a) + "," + std::to_string(r.b),
+                   Table::num(r.snr1, 1), Table::num(r.snr2, 1),
+                   Table::percent(r.diff, 2), Table::percent(r.error, 2)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  // The paper's observation, quantified.
+  double low_diff_err = 0.0, high_diff_err = 0.0;
+  int low_n = 0, high_n = 0;
+  for (const auto& r : rows) {
+    if (r.diff < 0.10) {
+      low_diff_err += r.error;
+      ++low_n;
+    } else if (r.diff > 0.40) {
+      high_diff_err += r.error;
+      ++high_n;
+    }
+  }
+  if (low_n && high_n) {
+    std::printf("mean error, power difference < 10%%: %.2f%%\n",
+                100.0 * low_diff_err / low_n);
+    std::printf("mean error, power difference > 40%%: %.2f%%\n",
+                100.0 * high_diff_err / high_n);
+    std::printf("shape check (paper: ~0.2-0.9%% vs 16-38%%): low-diff pairs must be "
+                "far more reliable — %s\n",
+                low_diff_err / low_n < 0.5 * high_diff_err / high_n ? "HOLDS"
+                                                                    : "VIOLATED");
+  }
+  return 0;
+}

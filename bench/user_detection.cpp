@@ -1,0 +1,89 @@
+// §VII-B2 — user-detection accuracy: a group of 10 tags, a random subset
+// backscatters each trial, and the receiver uses all ten PN codes to decide
+// which tags are transmitting. The paper reports 99.9 % accuracy over 1000
+// trials. A trial counts as correct when the receiver's validated set
+// equals the transmitting set exactly.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common.h"
+#include "core/system.h"
+#include "util/stats.h"
+#include "util/units.h"
+
+using namespace cbma;
+
+int main() {
+  core::SystemConfig cfg;
+  cfg.max_tags = 10;
+  // "To minimize the influence of the frame detection, we adopt the best
+  // parameters obtained in the above section" — the 64-bit preamble.
+  cfg.preamble_bits = 64;
+  bench::print_header("§VII-B2 — user detection accuracy (10-tag group)",
+                      "random active subsets, all 10 codes probed each trial", cfg);
+
+  // Equal-strength ring so the group mirrors the paper's power-controlled
+  // best-parameter setup.
+  auto dep = rfsim::Deployment::paper_frame();
+  for (std::size_t k = 0; k < 10; ++k) {
+    const double angle = 2.0 * units::kPi * static_cast<double>(k) / 10.0;
+    dep.add_tag({0.30 * std::cos(angle), 0.75 + 0.30 * std::sin(angle)});
+  }
+
+  const std::size_t n_trials = bench::trials(1000);
+  constexpr int kChunks = 16;  // parallel shards
+  std::vector<std::size_t> correct(kChunks, 0), total(kChunks, 0);
+  std::vector<std::size_t> misses(kChunks, 0), false_alarms(kChunks, 0);
+
+  bench::parallel_for(kChunks, [&](std::size_t chunk) {
+    core::CbmaSystem sys(cfg, dep);
+    Rng rng(bench::point_seed(chunk));
+    const std::size_t n = (n_trials + kChunks - 1) / kChunks;
+    for (std::size_t i = 0; i < n; ++i) {
+      // Random non-empty transmitting subset of the 10-tag group.
+      std::vector<std::size_t> active;
+      while (active.empty()) {
+        active.clear();
+        for (std::size_t k = 0; k < 10; ++k) {
+          if (rng.bernoulli(0.5)) active.push_back(k);
+        }
+      }
+      const auto report = sys.transmit_round_subset(active, rng);
+
+      bool exact = true;
+      for (std::size_t k = 0; k < 10; ++k) {
+        const bool sent =
+            std::find(active.begin(), active.end(), k) != active.end();
+        const bool decoded = report.ack.contains(k);
+        if (sent && !decoded) {
+          ++misses[chunk];
+          exact = false;
+        }
+        if (!sent && decoded) {
+          ++false_alarms[chunk];
+          exact = false;
+        }
+      }
+      correct[chunk] += exact;
+      ++total[chunk];
+    }
+  });
+
+  std::size_t ok = 0, n = 0, miss = 0, fa = 0;
+  for (int c = 0; c < kChunks; ++c) {
+    ok += correct[c];
+    n += total[c];
+    miss += misses[c];
+    fa += false_alarms[c];
+  }
+  const auto iv = wilson_interval(ok, n);
+  std::printf("trials                 : %zu\n", n);
+  std::printf("exact-set detections   : %zu (%.2f%%, 95%% CI [%.2f%%, %.2f%%])\n", ok,
+              100.0 * iv.estimate, 100.0 * iv.lo, 100.0 * iv.hi);
+  std::printf("per-tag misses         : %zu\n", miss);
+  std::printf("per-tag false alarms   : %zu\n", fa);
+  std::printf("\npaper: \"we can 99.9%% correctly detect which tags are sending "
+              "data\" — measured %.2f%%\n", 100.0 * iv.estimate);
+  return 0;
+}

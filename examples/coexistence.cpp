@@ -1,0 +1,87 @@
+// Coexistence scenario (§VII-C3): CBMA shares the air with a WiFi access
+// point and a Bluetooth headset, and finally loses its clean tone when the
+// excitation source switches to OFDM traffic. Demonstrates injecting
+// interference and excitation models through the public API and shows the
+// Fig. 12 behaviour interactively.
+#include <cstdio>
+#include <memory>
+
+#include "core/system.h"
+#include "util/table.h"
+#include "util/units.h"
+
+using namespace cbma;
+
+namespace {
+
+core::CbmaSystem make_cell(const core::SystemConfig& config) {
+  auto deployment = rfsim::Deployment::paper_frame();
+  deployment.add_tag({0.0, 0.5});
+  deployment.add_tag({0.3, -0.6});
+  deployment.add_tag({-0.3, 0.8});
+  return core::CbmaSystem(config, deployment);
+}
+
+}  // namespace
+
+int main() {
+  core::SystemConfig config;
+  config.max_tags = 3;
+  const std::size_t packets = 300;
+  const double itf_w = units::dbm_to_watts(-58.0);
+
+  std::printf("coexistence demo: 3 tags, 300 packets per condition\n\n");
+  Table table({"environment", "packet reception rate", "note"});
+
+  {
+    core::CbmaSystem cell = make_cell(config);
+    Rng rng(1);
+    const auto stats = cell.run_packets(packets, rng);
+    table.add_row({"quiet lab, tone excitation",
+                   Table::percent(1.0 - stats.frame_error_rate(), 1),
+                   "baseline"});
+  }
+  {
+    core::CbmaSystem cell = make_cell(config);
+    cell.add_interferer(std::make_unique<rfsim::WifiInterferer>(itf_w));
+    Rng rng(2);
+    const auto stats = cell.run_packets(packets, rng);
+    table.add_row({"busy WiFi neighbour",
+                   Table::percent(1.0 - stats.frame_error_rate(), 1),
+                   "CSMA bursts, channel mostly idle"});
+  }
+  {
+    core::CbmaSystem cell = make_cell(config);
+    cell.add_interferer(std::make_unique<rfsim::BluetoothInterferer>(2.0 * itf_w));
+    Rng rng(3);
+    const auto stats = cell.run_packets(packets, rng);
+    table.add_row({"Bluetooth headset nearby",
+                   Table::percent(1.0 - stats.frame_error_rate(), 1),
+                   "FHSS: few dwells land in-band"});
+  }
+  {
+    core::CbmaSystem cell = make_cell(config);
+    cell.add_interferer(std::make_unique<rfsim::WifiInterferer>(itf_w));
+    cell.add_interferer(std::make_unique<rfsim::BluetoothInterferer>(2.0 * itf_w));
+    Rng rng(4);
+    const auto stats = cell.run_packets(packets, rng);
+    table.add_row({"WiFi + Bluetooth together",
+                   Table::percent(1.0 - stats.frame_error_rate(), 1),
+                   "interference compounds mildly"});
+  }
+  {
+    core::CbmaSystem cell = make_cell(config);
+    cell.set_excitation(std::make_unique<rfsim::OfdmExcitation>(500e-6, 700e-6));
+    Rng rng(5);
+    const auto stats = cell.run_packets(packets, rng);
+    table.add_row({"OFDM excitation source",
+                   Table::percent(1.0 - stats.frame_error_rate(), 1),
+                   "tags cannot reflect during gaps"});
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf("takeaway (paper Fig. 12): CBMA coexists with WiFi/Bluetooth at a\n"
+              "negligible cost, but an intermittent OFDM excitation starves the\n"
+              "tags of carrier to reflect and reception drops sharply.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Smart-home scenario (the paper's Fig. 1 motivation): ten battery-free
+// sensor tags scattered through a room report readings concurrently to one
+// WiFi access point. Each round every sensor backscatters a small reading
+// frame; the AP decodes the collision, ACKs, and Algorithm 1 keeps the
+// received power levels equalized as conditions change.
+#include <cstdio>
+#include <string>
+
+#include "core/system.h"
+#include "util/table.h"
+
+using namespace cbma;
+
+namespace {
+
+// A sensor reading: type byte + 16-bit value, little-endian.
+std::vector<std::uint8_t> encode_reading(std::uint8_t sensor_type, int value) {
+  return {sensor_type, static_cast<std::uint8_t>(value & 0xFF),
+          static_cast<std::uint8_t>((value >> 8) & 0xFF)};
+}
+
+const char* kSensorNames[] = {"thermostat", "humidity", "door",   "window",
+                              "motion",     "light",    "smoke",  "power",
+                              "valve",      "lock"};
+
+}  // namespace
+
+int main() {
+  core::SystemConfig config;
+  config.max_tags = 10;
+  config.payload_bytes = 3;
+
+  // Access point setup: ES and RX co-located at the room's edge; sensors
+  // spread over a 4 m x 6 m living area.
+  rfsim::Deployment deployment(rfsim::Point{-0.3, -2.5}, rfsim::Point{0.3, -2.5});
+  Rng rng(2024);
+  deployment.place_random_tags(10, rfsim::Room{4.0, 6.0}, rng, 0.3, 0.4);
+  core::CbmaSystem home(config, deployment);
+
+  std::printf("smart home: 10 sensor tags, one AP — %s\n\n",
+              config.summary().c_str());
+
+  // Commissioning: equalize power levels once at install time.
+  const auto outcome = home.run_power_control({}, 40, rng);
+  std::printf("commissioning: power control used %zu rounds%s\n\n", outcome.rounds,
+              outcome.exhausted ? " (cap reached; some links are marginal)" : "");
+
+  // Ten reporting rounds: all sensors transmit concurrently each round.
+  Table table({"round", "delivered", "readings received"});
+  core::RoundStats totals(10);
+  for (int round = 0; round < 10; ++round) {
+    std::vector<std::vector<std::uint8_t>> payloads;
+    std::vector<int> values;
+    for (std::size_t s = 0; s < 10; ++s) {
+      const int value = 180 + rng.uniform_int(0, 80);  // e.g. 18.0-26.0 °C
+      values.push_back(value);
+      payloads.push_back(encode_reading(static_cast<std::uint8_t>(s), value));
+    }
+    const auto report = home.transmit_round(payloads, rng);
+
+    std::string received;
+    int delivered = 0;
+    for (std::size_t s = 0; s < 10; ++s) {
+      totals.record(s, report.results[s].crc_ok);
+      if (report.results[s].crc_ok) {
+        ++delivered;
+        const auto& p = report.results[s].payload;
+        const int value = p[1] | (p[2] << 8);
+        if (!received.empty()) received += ", ";
+        received += std::string(kSensorNames[s]) + "=" + std::to_string(value);
+        if (value != values[s]) {
+          std::printf("!! corrupted-but-CRC-valid reading (should not happen)\n");
+        }
+      }
+    }
+    table.add_row({std::to_string(round + 1), std::to_string(delivered) + "/10",
+                   received.size() > 60 ? received.substr(0, 57) + "..." : received});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  const auto ratios = totals.ack_ratios();
+  std::printf("per-sensor delivery over 10 rounds:\n");
+  for (std::size_t s = 0; s < 10; ++s) {
+    std::printf("  %-10s %5.1f%%  (SNR %.1f dB, impedance level %zu)\n",
+                kSensorNames[s], 100.0 * ratios[s],
+                home.snr_db(s), home.impedance_level(s));
+  }
+  std::printf("\noverall delivery: %.1f%% of %zu concurrent sensor frames\n",
+              100.0 * (1.0 - totals.frame_error_rate()), totals.total_sent());
+  return 0;
+}

@@ -1,0 +1,40 @@
+#include "core/config.h"
+
+#include <sstream>
+
+#include "util/expect.h"
+#include "util/units.h"
+
+namespace cbma::core {
+
+std::size_t SystemConfig::code_length() const {
+  CBMA_REQUIRE(max_tags >= 1, "max_tags must be positive");
+  const auto codes = pn::make_code_set(code_family, max_tags, code_min_length);
+  return codes.front().length();
+}
+
+double SystemConfig::chip_rate_hz() const {
+  return bitrate_bps * static_cast<double>(code_length());
+}
+
+double SystemConfig::sample_rate_hz() const {
+  return chip_rate_hz() * static_cast<double>(samples_per_chip);
+}
+
+double SystemConfig::noise_power_w() const {
+  // Matched-filter noise bandwidth is the chip rate; the margin models
+  // excitation leakage / phase noise / quantization (DESIGN.md §4.3).
+  return units::thermal_noise_watts(chip_rate_hz(),
+                                    noise_figure_db + noise_margin_db);
+}
+
+std::string SystemConfig::summary() const {
+  std::ostringstream os;
+  os << pn::to_string(code_family) << " L=" << code_length()
+     << " preamble=" << preamble_bits << "b payload=" << payload_bytes << "B"
+     << " bitrate=" << bitrate_bps / 1e6 << "Mbps"
+     << " Pt=" << tx_power_dbm << "dBm spc=" << samples_per_chip;
+  return os.str();
+}
+
+}  // namespace cbma::core

@@ -1,0 +1,31 @@
+// Per-round and per-experiment counters shared by the system driver,
+// the MAC schemes and the benches.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cbma::core {
+
+/// Outcome of a batch of collided packets for one tag group.
+struct RoundStats {
+  std::vector<std::size_t> sent;   ///< per group slot
+  std::vector<std::size_t> acked;  ///< per group slot
+
+  explicit RoundStats(std::size_t group_size = 0);
+
+  void record(std::size_t slot, bool acked_ok);
+  void merge(const RoundStats& other);
+
+  std::size_t total_sent() const;
+  std::size_t total_acked() const;
+
+  /// Per-slot ACK ratio (0 for slots that sent nothing).
+  std::vector<double> ack_ratios() const;
+
+  /// Group frame error rate: missing packets / transmitted packets —
+  /// the paper's error-rate definition (§IV).
+  double frame_error_rate() const;
+};
+
+}  // namespace cbma::core

@@ -1,0 +1,56 @@
+#include "core/session.h"
+
+#include <algorithm>
+
+#include "util/expect.h"
+
+namespace cbma::core {
+
+AdaptiveSession::AdaptiveSession(CbmaSystem& system, SessionConfig config)
+    : system_(system), config_(config), selector_(config.ns, system.link_budget()) {
+  CBMA_REQUIRE(config_.packets_per_round >= 1, "need at least one packet per round");
+  CBMA_REQUIRE(config_.max_rounds >= 1, "need at least one round");
+  CBMA_REQUIRE(config_.final_packets >= 1, "need a final measurement batch");
+}
+
+SessionResult AdaptiveSession::run(Rng& rng) {
+  SessionResult result;
+  for (std::size_t round = 0; round < config_.max_rounds; ++round) {
+    SessionRound entry;
+    entry.round = round;
+    entry.group = system_.active_group();
+
+    // Algorithm 1 equalizes within the current group.
+    const auto pc = system_.run_power_control(config_.pc, config_.packets_per_round,
+                                              rng);
+    entry.pc_adjustments = pc.rounds;
+
+    // Measure the adapted group.
+    const auto stats = system_.run_packets(config_.packets_per_round, rng);
+    entry.fer = stats.frame_error_rate();
+    entry.ack_ratios = stats.ack_ratios();
+
+    const bool all_healthy = std::all_of(
+        entry.ack_ratios.begin(), entry.ack_ratios.end(),
+        [&](double r) { return r >= config_.ns.bad_ack_ratio; });
+    if (all_healthy) {
+      result.history.push_back(std::move(entry));
+      result.converged = true;
+      result.rounds_to_converge = round + 1;
+      break;
+    }
+
+    // §V-C: replace members that stayed under the bar.
+    auto next = selector_.reselect(system_.population(), system_.active_group(),
+                                   entry.ack_ratios, round, rng);
+    entry.reselected = (next != system_.active_group());
+    if (entry.reselected) system_.set_active_group(std::move(next));
+    result.history.push_back(std::move(entry));
+  }
+  if (!result.converged) result.rounds_to_converge = config_.max_rounds;
+
+  result.final_fer = system_.run_packets(config_.final_packets, rng).frame_error_rate();
+  return result;
+}
+
+}  // namespace cbma::core

@@ -1,0 +1,56 @@
+// AdaptiveSession — the paper's complete control workflow as one object:
+// rounds of concurrent transmissions, Algorithm 1 power control after each
+// batch, and §V-C node selection when power control alone cannot lift every
+// member above the ACK bar. Keeps a per-round history so applications (and
+// the macro benches) can inspect how the cell converged.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/system.h"
+#include "mac/node_selection.h"
+#include "mac/power_control.h"
+
+namespace cbma::core {
+
+struct SessionConfig {
+  mac::PowerControlConfig pc{};
+  mac::NodeSelectionConfig ns{};
+  std::size_t packets_per_round = 40;   ///< measurement batch per round
+  std::size_t max_rounds = 8;           ///< adaptation rounds before settling
+  std::size_t final_packets = 100;      ///< steady-state measurement
+};
+
+struct SessionRound {
+  std::size_t round = 0;
+  std::vector<std::size_t> group;       ///< active group during the round
+  double fer = 1.0;                     ///< batch FER
+  std::vector<double> ack_ratios;       ///< per-slot
+  std::size_t pc_adjustments = 0;       ///< Algorithm 1 rounds consumed
+  bool reselected = false;              ///< §V-C changed the group
+};
+
+struct SessionResult {
+  std::vector<SessionRound> history;
+  double final_fer = 1.0;               ///< steady-state measurement
+  std::size_t rounds_to_converge = 0;   ///< first round with all tags healthy
+  bool converged = false;               ///< every member ≥ the ACK bar
+};
+
+class AdaptiveSession {
+ public:
+  AdaptiveSession(CbmaSystem& system, SessionConfig config);
+
+  /// Run the adaptation loop and the final steady-state measurement.
+  SessionResult run(Rng& rng);
+
+  const SessionConfig& config() const { return config_; }
+
+ private:
+  CbmaSystem& system_;
+  SessionConfig config_;
+  mac::NodeSelector selector_;
+};
+
+}  // namespace cbma::core

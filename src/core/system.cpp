@@ -1,0 +1,275 @@
+#include "core/system.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expect.h"
+#include "util/units.h"
+
+namespace cbma::core {
+namespace {
+
+// Fraction of the reflected amplitude carried by the square-wave
+// subcarrier's first harmonic in one sideband (paper Eq. 2: the Fourier
+// coefficient of sin(2πΔf t) is 4/π, split across the ±Δf sidebands → 2/π).
+constexpr double kSidebandAmplitudeFraction = 2.0 / units::kPi;
+
+std::vector<std::uint8_t> random_payload(std::size_t bytes, Rng& rng) {
+  std::vector<std::uint8_t> out(bytes);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  return out;
+}
+
+}  // namespace
+
+CbmaSystem::CbmaSystem(SystemConfig config, rfsim::Deployment population)
+    : config_(std::move(config)),
+      population_(std::move(population)),
+      bank_(config_.impedance_levels == 4
+                ? rfsim::ReflectionStateBank::paper_bank(config_.carrier_hz)
+                : rfsim::ReflectionStateBank::uniform_bank(
+                      config_.impedance_levels, config_.impedance_range_db)) {
+  CBMA_REQUIRE(population_.tag_count() >= 1, "population must contain tags");
+  CBMA_REQUIRE(config_.max_tags >= 1, "max_tags must be positive");
+
+  budget_.tx_power_w = units::dbm_to_watts(config_.tx_power_dbm);
+  budget_.tx_gain = budget_.tag_gain = budget_.rx_gain = config_.antenna_gain;
+  budget_.carrier_hz = config_.carrier_hz;
+  budget_.alpha = config_.alpha;
+  budget_.delta_gamma = 1.0;  // impedance factors are applied per tag state
+
+  codes_ = pn::make_code_set(config_.code_family, config_.max_tags,
+                             config_.code_min_length);
+  noise_power_w_ = config_.noise_power_w();
+
+  // The frame synchronizer needs a noise-only baseline window plus two
+  // head windows before the earliest tag; guarantee the lead-in covers
+  // them at any samples-per-chip setting.
+  const double min_lead_chips =
+      static_cast<double>(config_.sync.window + 2 * config_.sync.head_average + 8) /
+          static_cast<double>(config_.samples_per_chip) +
+      config_.max_async_jitter_chips + 2.0;
+  config_.lead_in_chips = std::max(config_.lead_in_chips, min_lead_chips);
+
+  rfsim::ChannelConfig ch;
+  ch.samples_per_chip = config_.samples_per_chip;
+  ch.chip_rate_hz = config_.chip_rate_hz();
+  ch.noise_power_w = noise_power_w_;
+  ch.multipath = config_.multipath;
+  channel_ = std::make_unique<rfsim::Channel>(ch);
+
+  rx::ReceiverConfig rc;
+  rc.sync = config_.sync;
+  rc.detect = config_.detect;
+  rc.samples_per_chip = config_.samples_per_chip;
+  rc.preamble_bits = config_.preamble_bits;
+  rc.phase_tracking_gain = config_.phase_tracking_gain;
+  receiver_ = std::make_unique<rx::Receiver>(rc, codes_);
+
+  excitation_ = std::make_unique<rfsim::ContinuousTone>();
+
+  if (config_.initial_impedance_level == SystemConfig::kStrongestImpedance) {
+    config_.initial_impedance_level = bank_.strongest_level();
+  }
+  CBMA_REQUIRE(config_.initial_impedance_level < bank_.size(),
+               "initial impedance level out of range");
+  impedance_.assign(population_.tag_count(), config_.initial_impedance_level);
+
+  slot_tags_.reserve(config_.max_tags);
+  for (std::size_t k = 0; k < config_.max_tags; ++k) {
+    phy::TagConfig tc;
+    tc.id = static_cast<std::uint32_t>(k);
+    tc.code = codes_[k];
+    tc.preamble_bits = config_.preamble_bits;
+    tc.impedance_levels = bank_.size();
+    slot_tags_.emplace_back(tc);
+  }
+
+  // Default group: the first max_tags population members (or all of them).
+  std::vector<std::size_t> all;
+  const std::size_t n = std::min<std::size_t>(population_.tag_count(), config_.max_tags);
+  for (std::size_t i = 0; i < n; ++i) all.push_back(i);
+  set_active_group(std::move(all));
+}
+
+void CbmaSystem::set_active_group(std::vector<std::size_t> indices) {
+  CBMA_REQUIRE(!indices.empty(), "active group must be non-empty");
+  CBMA_REQUIRE(indices.size() <= config_.max_tags, "group exceeds code capacity");
+  for (const auto idx : indices) {
+    CBMA_REQUIRE(idx < population_.tag_count(), "group index out of population");
+  }
+  group_ = std::move(indices);
+}
+
+std::size_t CbmaSystem::impedance_level(std::size_t pop_index) const {
+  CBMA_REQUIRE(pop_index < impedance_.size(), "tag index out of population");
+  return impedance_[pop_index];
+}
+
+void CbmaSystem::set_impedance_level(std::size_t pop_index, std::size_t level) {
+  CBMA_REQUIRE(pop_index < impedance_.size(), "tag index out of population");
+  CBMA_REQUIRE(level < bank_.size(), "impedance level out of range");
+  impedance_[pop_index] = level;
+}
+
+void CbmaSystem::step_impedance(std::size_t pop_index) {
+  CBMA_REQUIRE(pop_index < impedance_.size(), "tag index out of population");
+  impedance_[pop_index] = (impedance_[pop_index] + 1) % bank_.size();
+}
+
+void CbmaSystem::set_excitation(std::unique_ptr<rfsim::ExcitationSource> source) {
+  CBMA_REQUIRE(source != nullptr, "excitation source must be non-null");
+  excitation_ = std::move(source);
+}
+
+void CbmaSystem::add_interferer(std::unique_ptr<rfsim::Interferer> interferer) {
+  CBMA_REQUIRE(interferer != nullptr, "interferer must be non-null");
+  interferers_.push_back(std::move(interferer));
+}
+
+void CbmaSystem::clear_interferers() { interferers_.clear(); }
+
+void CbmaSystem::set_obstacles(rfsim::ObstacleMap obstacles) {
+  obstacles_ = std::move(obstacles);
+}
+
+double CbmaSystem::tag_amplitude(std::size_t pop_index) const {
+  const double base = obstacles_.received_amplitude(budget_, population_, pop_index);
+  return base * bank_.amplitude_factor(impedance_[pop_index]) *
+         kSidebandAmplitudeFraction;
+}
+
+double CbmaSystem::received_power_dbm(std::size_t pop_index) const {
+  const double a = tag_amplitude(pop_index);
+  return units::watts_to_dbm(a * a);
+}
+
+double CbmaSystem::snr_db(std::size_t pop_index) const {
+  const double a = tag_amplitude(pop_index);
+  return units::to_db((a * a) / noise_power_w_);
+}
+
+double CbmaSystem::predicted_power_dbm(std::size_t pop_index) const {
+  return units::watts_to_dbm(budget_.received_power(population_, pop_index));
+}
+
+rx::RxReport CbmaSystem::transmit_round(
+    std::span<const std::vector<std::uint8_t>> payloads, Rng& rng) const {
+  std::vector<double> delays(payloads.size());
+  for (auto& d : delays) d = rng.uniform(0.0, config_.max_async_jitter_chips);
+  return transmit_round_with_delays(payloads, delays, rng);
+}
+
+rx::RxReport CbmaSystem::transmit_round_with_delays(
+    std::span<const std::vector<std::uint8_t>> payloads,
+    std::span<const double> delay_chips, Rng& rng) const {
+  CBMA_REQUIRE(payloads.size() == group_.size(), "one payload per active tag");
+  CBMA_REQUIRE(delay_chips.size() == group_.size(), "one delay per active tag");
+
+  std::vector<std::vector<std::uint8_t>> chip_seqs;
+  chip_seqs.reserve(group_.size());
+  std::vector<rfsim::TagTransmission> txs;
+  txs.reserve(group_.size());
+
+  for (std::size_t slot = 0; slot < group_.size(); ++slot) {
+    chip_seqs.push_back(slot_tags_[slot].chip_sequence(payloads[slot]));
+  }
+  for (std::size_t slot = 0; slot < group_.size(); ++slot) {
+    CBMA_REQUIRE(delay_chips[slot] >= 0.0, "tag delays must be non-negative");
+    rfsim::TagTransmission tx;
+    tx.chips = chip_seqs[slot];
+    tx.amplitude = tag_amplitude(group_[slot]);
+    tx.phase = rng.phase();
+    tx.delay_chips = config_.lead_in_chips + delay_chips[slot];
+    tx.freq_offset_hz = rng.uniform(-config_.cfo_max_hz, config_.cfo_max_hz);
+    txs.push_back(tx);
+  }
+
+  std::vector<const rfsim::Interferer*> itf;
+  itf.reserve(interferers_.size());
+  for (const auto& p : interferers_) itf.push_back(p.get());
+
+  const auto iq = channel_->receive(txs, *excitation_, itf, rng);
+  return receiver_->process_iq(iq);
+}
+
+rx::RxReport CbmaSystem::transmit_round(Rng& rng) const {
+  std::vector<std::vector<std::uint8_t>> payloads;
+  payloads.reserve(group_.size());
+  for (std::size_t i = 0; i < group_.size(); ++i) {
+    payloads.push_back(random_payload(config_.payload_bytes, rng));
+  }
+  return transmit_round(payloads, rng);
+}
+
+rx::RxReport CbmaSystem::transmit_round_subset(std::span<const std::size_t> slots,
+                                               Rng& rng) const {
+  CBMA_REQUIRE(!slots.empty(), "at least one slot must transmit");
+
+  std::vector<std::vector<std::uint8_t>> chip_seqs;
+  chip_seqs.reserve(slots.size());
+  std::vector<rfsim::TagTransmission> txs;
+  txs.reserve(slots.size());
+
+  for (const auto slot : slots) {
+    CBMA_REQUIRE(slot < group_.size(), "slot outside the active group");
+    chip_seqs.push_back(
+        slot_tags_[slot].chip_sequence(random_payload(config_.payload_bytes, rng)));
+  }
+  for (std::size_t k = 0; k < slots.size(); ++k) {
+    rfsim::TagTransmission tx;
+    tx.chips = chip_seqs[k];
+    tx.amplitude = tag_amplitude(group_[slots[k]]);
+    tx.phase = rng.phase();
+    tx.delay_chips =
+        config_.lead_in_chips + rng.uniform(0.0, config_.max_async_jitter_chips);
+    tx.freq_offset_hz = rng.uniform(-config_.cfo_max_hz, config_.cfo_max_hz);
+    txs.push_back(tx);
+  }
+
+  std::vector<const rfsim::Interferer*> itf;
+  itf.reserve(interferers_.size());
+  for (const auto& p : interferers_) itf.push_back(p.get());
+
+  const auto iq = channel_->receive(txs, *excitation_, itf, rng);
+  return receiver_->process_iq(iq);
+}
+
+RoundStats CbmaSystem::run_packets(std::size_t n_packets, Rng& rng) const {
+  RoundStats stats(group_.size());
+  for (std::size_t p = 0; p < n_packets; ++p) {
+    const auto report = transmit_round(rng);
+    for (std::size_t slot = 0; slot < group_.size(); ++slot) {
+      stats.record(slot, report.results[slot].crc_ok);
+    }
+  }
+  return stats;
+}
+
+PowerControlOutcome CbmaSystem::run_power_control(
+    const mac::PowerControlConfig& pc_config, std::size_t packets_per_round,
+    Rng& rng) {
+  mac::PowerController controller(pc_config, group_.size());
+  // Algorithm 1 adapts from each tag's *current* level: tags whose ACK
+  // ratio stays under 50 % cycle through the impedance states ("the power
+  // control is performed circularly to try every possible power level",
+  // §V-B) while healthy tags keep their working level.
+  PowerControlOutcome outcome;
+  while (true) {
+    outcome.final_stats = run_packets(packets_per_round, rng);
+    const auto ratios = outcome.final_stats.ack_ratios();
+    const auto decision = controller.update(ratios);
+    outcome.final_fer = decision.fer;
+    if (!decision.adjusted || decision.exhausted) {
+      outcome.exhausted = decision.exhausted;
+      break;
+    }
+    for (std::size_t slot = 0; slot < group_.size(); ++slot) {
+      if (decision.step_tag[slot]) step_impedance(group_[slot]);
+    }
+    ++outcome.rounds;
+  }
+  return outcome;
+}
+
+}  // namespace cbma::core

@@ -1,0 +1,66 @@
+// ACK-driven retransmission (ARQ) on top of the CBMA round structure.
+//
+// §III-B's acknowledgement exists so tags learn which frames got through;
+// the natural link-layer on top is per-tag stop-and-wait: a tag repeats its
+// current frame in every round until its ID appears in the ACK, up to a
+// retry budget. This tracker implements the receiver-side/protocol
+// bookkeeping: which slots still owe a frame, how many attempts each
+// message took, and the delivery/drop statistics a deployment would
+// monitor.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "rx/receiver.h"
+
+namespace cbma::mac {
+
+struct ArqConfig {
+  std::size_t max_attempts = 4;  ///< transmissions per message (1 = no retry)
+};
+
+struct ArqStats {
+  std::size_t offered = 0;          ///< messages handed to the link layer
+  std::size_t delivered = 0;        ///< ACKed within the budget
+  std::size_t dropped = 0;          ///< budget exhausted
+  std::size_t transmissions = 0;    ///< total on-air attempts
+  std::vector<std::size_t> attempts_histogram;  ///< [k] = delivered on attempt k+1
+
+  double delivery_ratio() const;
+  /// Mean attempts per *delivered* message (≥ 1).
+  double mean_attempts() const;
+};
+
+class ArqTracker {
+ public:
+  ArqTracker(ArqConfig config, std::size_t group_size);
+
+  std::size_t group_size() const { return pending_.size(); }
+  const ArqStats& stats() const { return stats_; }
+
+  /// Hand slot `slot` a new message to deliver. The slot must be idle
+  /// (nothing pending); returns false if it still owes a frame.
+  bool offer(std::size_t slot);
+
+  /// Slots that must transmit this round (everything with a pending
+  /// message).
+  std::vector<std::size_t> due() const;
+
+  /// Account one round's ACK outcome for the slots that transmitted.
+  /// Delivered messages leave the pending set; messages that exhausted the
+  /// attempt budget are dropped.
+  void on_round(const rx::AckMessage& ack,
+                std::span<const std::size_t> transmitted);
+
+  /// Does this slot still owe a frame?
+  bool pending(std::size_t slot) const;
+
+ private:
+  ArqConfig config_;
+  std::vector<std::size_t> attempts_;  ///< attempts used by the pending message
+  std::vector<bool> pending_;
+  ArqStats stats_;
+};
+
+}  // namespace cbma::mac

@@ -1,0 +1,95 @@
+#include "mac/fsa.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/expect.h"
+
+namespace cbma::mac {
+
+double FsaResult::efficiency() const {
+  return slots_used == 0 ? 0.0
+                         : static_cast<double>(successes) / static_cast<double>(slots_used);
+}
+
+FsaSimulator::FsaSimulator(FsaConfig config) : config_(config) {
+  CBMA_REQUIRE(config_.initial_frame_size >= 1, "frame size must be positive");
+  CBMA_REQUIRE(config_.max_frame_size >= config_.initial_frame_size,
+               "max frame smaller than initial frame");
+}
+
+namespace {
+
+/// Run one frame; returns per-slot occupancy outcome counts and marks which
+/// of the `pending` tags succeeded.
+void run_frame(std::size_t frame_size, std::vector<std::size_t>& pending, FsaResult& res,
+               Rng& rng) {
+  std::vector<int> occupancy(frame_size, 0);
+  std::vector<std::size_t> slot_of(pending.size());
+  for (std::size_t t = 0; t < pending.size(); ++t) {
+    const auto slot =
+        static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(frame_size) - 1));
+    slot_of[t] = slot;
+    ++occupancy[slot];
+  }
+  for (const int occ : occupancy) {
+    if (occ == 0) {
+      ++res.idle_slots;
+    } else if (occ == 1) {
+      ++res.successes;
+    } else {
+      ++res.collisions;
+    }
+  }
+  res.slots_used += frame_size;
+  ++res.frames;
+
+  std::vector<std::size_t> still_pending;
+  still_pending.reserve(pending.size());
+  for (std::size_t t = 0; t < pending.size(); ++t) {
+    if (occupancy[slot_of[t]] != 1) still_pending.push_back(pending[t]);
+  }
+  pending = std::move(still_pending);
+}
+
+std::size_t next_frame_size(const FsaConfig& config, std::size_t collided_slots) {
+  if (!config.adaptive) return config.initial_frame_size;
+  // Schoute estimator: 2.39 tags per collided slot, with a 1-slot floor.
+  const auto estimate = static_cast<std::size_t>(2.39 * static_cast<double>(collided_slots));
+  return std::min(config.max_frame_size, std::max<std::size_t>(1, estimate));
+}
+
+}  // namespace
+
+FsaResult FsaSimulator::resolve_all(std::size_t n_tags, Rng& rng) const {
+  CBMA_REQUIRE(n_tags >= 1, "need at least one tag");
+  FsaResult res;
+  std::vector<std::size_t> pending(n_tags);
+  for (std::size_t i = 0; i < n_tags; ++i) pending[i] = i;
+
+  std::size_t frame_size = config_.initial_frame_size;
+  while (!pending.empty()) {
+    const std::size_t collisions_before = res.collisions;
+    run_frame(frame_size, pending, res, rng);
+    frame_size = next_frame_size(config_, res.collisions - collisions_before);
+  }
+  return res;
+}
+
+FsaResult FsaSimulator::run_saturated(std::size_t n_tags, std::size_t n_frames,
+                                      Rng& rng) const {
+  CBMA_REQUIRE(n_tags >= 1, "need at least one tag");
+  CBMA_REQUIRE(n_frames >= 1, "need at least one frame");
+  FsaResult res;
+  std::size_t frame_size = config_.initial_frame_size;
+  for (std::size_t f = 0; f < n_frames; ++f) {
+    std::vector<std::size_t> tags(n_tags);
+    for (std::size_t i = 0; i < n_tags; ++i) tags[i] = i;
+    const std::size_t collisions_before = res.collisions;
+    run_frame(frame_size, tags, res, rng);
+    frame_size = next_frame_size(config_, res.collisions - collisions_before);
+  }
+  return res;
+}
+
+}  // namespace cbma::mac

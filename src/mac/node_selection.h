@@ -1,0 +1,61 @@
+// Node (tag) selection (§V-C): when power control alone cannot equalize the
+// group, tags whose ACK ratio stays below 70 % are abandoned and replaced
+// from the idle-tag pool. A randomly picked candidate is always accepted if
+// its theoretical received strength (paper Eq. 1) improves on the abandoned
+// tag's; otherwise it is accepted with a probability that shrinks as the
+// round count T grows (simulated-annealing style, per the paper's
+// description). Candidates within the exclusion radius (λ/2) of an already
+// selected tag are skipped so the group never concentrates.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "rfsim/friis.h"
+#include "rfsim/geometry.h"
+#include "util/rng.h"
+
+namespace cbma::mac {
+
+struct NodeSelectionConfig {
+  double bad_ack_ratio = 0.70;     ///< abandon tags below this ACK ratio
+  double exclusion_radius_m = 0.0; ///< 0 → λ/2 from the link budget
+  double initial_acceptance = 0.8; ///< worse-candidate acceptance at T = 0
+  double cooling_rounds = 5.0;     ///< e-folding of the acceptance in rounds
+  std::size_t candidate_attempts = 16;  ///< random picks per bad tag
+};
+
+class NodeSelector {
+ public:
+  NodeSelector(NodeSelectionConfig config, rfsim::LinkBudget budget);
+
+  const NodeSelectionConfig& config() const { return config_; }
+  double exclusion_radius() const;
+
+  /// Predicted received strength of population tag `i` (Eq. 1, dBm).
+  double predicted_dbm(const rfsim::Deployment& population, std::size_t i) const;
+
+  /// Probability of accepting a non-improving candidate at round T.
+  double acceptance_probability(std::size_t round) const;
+
+  /// One reselection round.
+  ///  * `population`: every tag position in the environment;
+  ///  * `group`: indices into the population currently transmitting;
+  ///  * `ack_ratios`: per-group-member ACK ratios from the last round.
+  /// Returns the new group (same size; members may be replaced).
+  std::vector<std::size_t> reselect(const rfsim::Deployment& population,
+                                    std::vector<std::size_t> group,
+                                    std::span<const double> ack_ratios,
+                                    std::size_t round, Rng& rng) const;
+
+ private:
+  bool violates_exclusion(const rfsim::Deployment& population,
+                          std::span<const std::size_t> group, std::size_t candidate,
+                          std::size_t replacing_slot) const;
+
+  NodeSelectionConfig config_;
+  rfsim::LinkBudget budget_;
+};
+
+}  // namespace cbma::mac

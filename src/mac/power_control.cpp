@@ -1,0 +1,57 @@
+#include "mac/power_control.h"
+
+#include "util/expect.h"
+#include "util/stats.h"
+
+namespace cbma::mac {
+
+PowerController::PowerController(PowerControlConfig config, std::size_t n_tags)
+    : config_(config), n_tags_(n_tags) {
+  CBMA_REQUIRE(n_tags >= 1, "controller needs at least one tag");
+  CBMA_REQUIRE(config_.fer_threshold >= 0.0 && config_.fer_threshold <= 1.0,
+               "FER threshold out of range");
+  CBMA_REQUIRE(config_.ack_ratio_threshold >= 0.0 && config_.ack_ratio_threshold <= 1.0,
+               "ACK ratio threshold out of range");
+  CBMA_REQUIRE(config_.cycle_cap_factor >= 1, "cycle cap factor must be positive");
+}
+
+std::size_t PowerController::cycle_cap() const {
+  return config_.cycle_cap_factor * n_tags_;
+}
+
+bool PowerController::exhausted() const { return cycles_ >= cycle_cap(); }
+
+void PowerController::reset() { cycles_ = 0; }
+
+PowerController::Decision PowerController::update(std::span<const double> ack_ratios) {
+  CBMA_REQUIRE(ack_ratios.size() == n_tags_, "ACK ratio arity mismatch");
+  Decision d;
+  d.step_tag.assign(n_tags_, false);
+
+  // Line 14: FER = 1 − mean ACK ratio over the group.
+  double sum = 0.0;
+  for (const double r : ack_ratios) {
+    CBMA_REQUIRE(r >= 0.0 && r <= 1.0, "ACK ratio out of range");
+    sum += r;
+  }
+  d.fer = 1.0 - sum / static_cast<double>(n_tags_);
+
+  if (exhausted()) {
+    d.exhausted = true;
+    return d;
+  }
+
+  if (d.fer > config_.fer_threshold) {
+    for (std::size_t i = 0; i < n_tags_; ++i) {
+      if (ack_ratios[i] < config_.ack_ratio_threshold) {
+        d.step_tag[i] = true;
+        d.adjusted = true;
+      }
+    }
+    if (d.adjusted) ++cycles_;
+  }
+  d.exhausted = exhausted();
+  return d;
+}
+
+}  // namespace cbma::mac

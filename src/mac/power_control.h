@@ -1,0 +1,49 @@
+// Algorithm 1 (§V-B): ACK-feedback-driven impedance power control.
+//
+// After each round of m packets the controller receives every tag's ACK
+// ratio. If the group frame-error rate exceeds the threshold, every tag
+// whose ACK ratio is below 50 % advances to its next impedance level
+// (wrapping at Z_max). To avoid an infinite loop the paper caps execution
+// at 3 × (number of tags) cycles; after that the controller reports itself
+// exhausted and node selection (§V-C) takes over.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace cbma::mac {
+
+struct PowerControlConfig {
+  double fer_threshold = 0.10;       ///< Algorithm 1 line 15 "Threshold"
+  double ack_ratio_threshold = 0.50; ///< line 17
+  std::size_t cycle_cap_factor = 3;  ///< cap = factor × n tags (§V-B)
+};
+
+class PowerController {
+ public:
+  PowerController(PowerControlConfig config, std::size_t n_tags);
+
+  struct Decision {
+    double fer = 0.0;              ///< group FER this round (line 14)
+    bool adjusted = false;         ///< any tag stepped this round
+    std::vector<bool> step_tag;    ///< which tags advance an impedance level
+    bool exhausted = false;        ///< cycle cap reached — stop adjusting
+  };
+
+  /// Feed one round of per-tag ACK ratios (successful ACKs / packets sent).
+  Decision update(std::span<const double> ack_ratios);
+
+  std::size_t cycles_used() const { return cycles_; }
+  std::size_t cycle_cap() const;
+  bool exhausted() const;
+
+  void reset();
+
+ private:
+  PowerControlConfig config_;
+  std::size_t n_tags_;
+  std::size_t cycles_ = 0;
+};
+
+}  // namespace cbma::mac

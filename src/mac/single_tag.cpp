@@ -1,0 +1,27 @@
+#include "mac/single_tag.h"
+
+#include "util/expect.h"
+
+namespace cbma::mac {
+
+SingleTagThroughput single_tag_round_robin(const SingleTagConfig& config,
+                                           std::size_t n_tags) {
+  CBMA_REQUIRE(n_tags >= 1, "need at least one tag");
+  CBMA_REQUIRE(config.bitrate_bps > 0.0, "bitrate must be positive");
+  CBMA_REQUIRE(config.frame_bits >= config.payload_bits, "frame smaller than payload");
+  CBMA_REQUIRE(config.frame_error_rate >= 0.0 && config.frame_error_rate < 1.0,
+               "FER out of range");
+
+  const double frame_s = static_cast<double>(config.frame_bits) / config.bitrate_bps;
+  const double slot_s = config.poll_s + frame_s + config.guard_s;
+
+  SingleTagThroughput out;
+  out.per_round_s = slot_s * static_cast<double>(n_tags);
+  const double payload_per_slot =
+      static_cast<double>(config.payload_bits) * (1.0 - config.frame_error_rate);
+  out.aggregate_goodput_bps = payload_per_slot / slot_s;
+  out.per_tag_goodput_bps = out.aggregate_goodput_bps / static_cast<double>(n_tags);
+  return out;
+}
+
+}  // namespace cbma::mac

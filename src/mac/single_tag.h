@@ -1,0 +1,32 @@
+// Single-tag round-robin baseline ("BackFi-like"): the conventional
+// backscatter regime the paper's headline compares against, where only one
+// tag occupies the channel at a time and the reader polls tags in turn.
+// Per-transmission cost = polling/guard overhead + the frame itself; the
+// aggregate channel throughput is therefore bounded by one tag's rate
+// regardless of how many tags wait.
+#pragma once
+
+#include <cstddef>
+
+namespace cbma::mac {
+
+struct SingleTagConfig {
+  double bitrate_bps = 1e6;       ///< one tag's on-air bit rate
+  std::size_t frame_bits = 8 + 8 * (2 + 16 + 2);  ///< preamble+len+payload+CRC
+  std::size_t payload_bits = 16 * 8;
+  double guard_s = 20e-6;         ///< inter-poll guard / turnaround
+  double poll_s = 20e-6;          ///< reader poll per tag
+  double frame_error_rate = 0.0;  ///< per-frame loss of the single link
+};
+
+struct SingleTagThroughput {
+  double per_round_s = 0.0;       ///< time to serve all tags once
+  double aggregate_goodput_bps = 0.0;
+  double per_tag_goodput_bps = 0.0;
+};
+
+/// Goodput of the round-robin schedule over `n_tags`.
+SingleTagThroughput single_tag_round_robin(const SingleTagConfig& config,
+                                           std::size_t n_tags);
+
+}  // namespace cbma::mac

@@ -1,0 +1,24 @@
+#include "mac/throughput.h"
+
+#include "util/expect.h"
+
+namespace cbma::mac {
+
+ThroughputReport cbma_throughput(const CbmaRate& rate) {
+  CBMA_REQUIRE(rate.per_tag_bitrate_bps > 0.0, "bitrate must be positive");
+  CBMA_REQUIRE(rate.n_tags >= 1, "need at least one tag");
+  CBMA_REQUIRE(rate.frame_bits >= rate.payload_bits, "frame smaller than payload");
+  CBMA_REQUIRE(rate.frame_error_rate >= 0.0 && rate.frame_error_rate <= 1.0,
+               "FER out of range");
+
+  ThroughputReport out;
+  out.aggregate_raw_bps = rate.per_tag_bitrate_bps * static_cast<double>(rate.n_tags);
+  const double payload_fraction =
+      static_cast<double>(rate.payload_bits) / static_cast<double>(rate.frame_bits);
+  out.aggregate_goodput_bps =
+      out.aggregate_raw_bps * payload_fraction * (1.0 - rate.frame_error_rate);
+  out.per_tag_goodput_bps = out.aggregate_goodput_bps / static_cast<double>(rate.n_tags);
+  return out;
+}
+
+}  // namespace cbma::mac

@@ -1,0 +1,27 @@
+// Throughput accounting for the CBMA system and its baselines — used by the
+// Table I summary and the >10× headline comparison bench.
+#pragma once
+
+#include <cstddef>
+
+namespace cbma::mac {
+
+struct CbmaRate {
+  double per_tag_bitrate_bps = 1e6;  ///< raw on-air bit rate of each tag
+  std::size_t n_tags = 10;
+  std::size_t frame_bits = 8 + 8 * (2 + 16 + 2);
+  std::size_t payload_bits = 16 * 8;
+  double frame_error_rate = 0.0;
+};
+
+struct ThroughputReport {
+  double aggregate_raw_bps = 0.0;      ///< Σ tag bit rates (the paper's "bit rate")
+  double aggregate_goodput_bps = 0.0;  ///< payload actually delivered
+  double per_tag_goodput_bps = 0.0;
+};
+
+/// CBMA: all tags transmit concurrently, so rates add across the group and
+/// only framing overhead and frame errors discount the payload.
+ThroughputReport cbma_throughput(const CbmaRate& rate);
+
+}  // namespace cbma::mac

@@ -1,0 +1,23 @@
+#include "phy/crc16.h"
+
+namespace cbma::phy {
+
+std::uint16_t crc16_update(std::uint16_t crc, std::uint8_t byte) {
+  crc ^= static_cast<std::uint16_t>(byte) << 8;
+  for (int bit = 0; bit < 8; ++bit) {
+    if (crc & 0x8000) {
+      crc = static_cast<std::uint16_t>((crc << 1) ^ 0x1021);
+    } else {
+      crc = static_cast<std::uint16_t>(crc << 1);
+    }
+  }
+  return crc;
+}
+
+std::uint16_t crc16(std::span<const std::uint8_t> data) {
+  std::uint16_t crc = kCrc16Init;
+  for (const auto b : data) crc = crc16_update(crc, b);
+  return crc;
+}
+
+}  // namespace cbma::phy

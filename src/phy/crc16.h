@@ -1,0 +1,17 @@
+// CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF) — the frame's two-byte
+// cyclic redundancy check (§III-A, framing field 4).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace cbma::phy {
+
+std::uint16_t crc16(std::span<const std::uint8_t> data);
+
+/// Incremental form for streaming use.
+std::uint16_t crc16_update(std::uint16_t crc, std::uint8_t byte);
+
+inline constexpr std::uint16_t kCrc16Init = 0xFFFF;
+
+}  // namespace cbma::phy

@@ -1,0 +1,31 @@
+#include "phy/energy.h"
+
+#include "util/expect.h"
+
+namespace cbma::phy {
+
+double TagEnergyModel::transmit_power_w() const {
+  CBMA_REQUIRE(switch_energy_j >= 0.0 && logic_power_w >= 0.0,
+               "energies must be non-negative");
+  CBMA_REQUIRE(subcarrier_hz > 0.0, "subcarrier must be positive");
+  CBMA_REQUIRE(on_chip_fraction >= 0.0 && on_chip_fraction <= 1.0,
+               "chip fraction out of range");
+  // Two toggles per subcarrier period, only while a '1' chip reflects.
+  const double toggles_per_s = 2.0 * subcarrier_hz * on_chip_fraction;
+  return toggles_per_s * switch_energy_j + logic_power_w;
+}
+
+double TagEnergyModel::frame_energy_j(std::size_t frame_bits,
+                                      double bitrate_bps) const {
+  CBMA_REQUIRE(frame_bits >= 1, "frame must have bits");
+  CBMA_REQUIRE(bitrate_bps > 0.0, "bitrate must be positive");
+  const double duration_s = static_cast<double>(frame_bits) / bitrate_bps;
+  return transmit_power_w() * duration_s;
+}
+
+double TagEnergyModel::frames_per_joule(std::size_t frame_bits,
+                                        double bitrate_bps) const {
+  return 1.0 / frame_energy_j(frame_bits, bitrate_bps);
+}
+
+}  // namespace cbma::phy

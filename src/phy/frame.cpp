@@ -1,0 +1,79 @@
+#include "phy/frame.h"
+
+#include "phy/crc16.h"
+#include "util/expect.h"
+
+namespace cbma::phy {
+
+std::vector<std::uint8_t> alternating_preamble(std::size_t n_bits) {
+  CBMA_REQUIRE(n_bits >= 1, "preamble must have at least one bit");
+  std::vector<std::uint8_t> bits(n_bits);
+  for (std::size_t i = 0; i < n_bits; ++i) bits[i] = (i % 2 == 0) ? 1 : 0;
+  return bits;
+}
+
+std::vector<std::uint8_t> bytes_to_bits(std::span<const std::uint8_t> bytes) {
+  std::vector<std::uint8_t> bits;
+  bits.reserve(bytes.size() * 8);
+  for (const auto b : bytes) {
+    for (int k = 7; k >= 0; --k) bits.push_back(static_cast<std::uint8_t>((b >> k) & 1));
+  }
+  return bits;
+}
+
+std::vector<std::uint8_t> bits_to_bytes(std::span<const std::uint8_t> bits) {
+  CBMA_REQUIRE(bits.size() % 8 == 0, "bit count must be a multiple of 8");
+  std::vector<std::uint8_t> bytes(bits.size() / 8, 0);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    CBMA_REQUIRE(bits[i] == 0 || bits[i] == 1, "bits must be binary");
+    bytes[i / 8] = static_cast<std::uint8_t>((bytes[i / 8] << 1) | bits[i]);
+  }
+  return bytes;
+}
+
+std::vector<std::uint8_t> frame_bits(std::span<const std::uint8_t> payload,
+                                     std::uint8_t tag_id, std::size_t preamble_bits) {
+  CBMA_REQUIRE(payload.size() <= kMaxPayloadBytes, "payload exceeds 126 bytes");
+  std::vector<std::uint8_t> body;
+  body.reserve(2 + payload.size() + 2);
+  body.push_back(static_cast<std::uint8_t>(payload.size()));
+  body.push_back(tag_id);
+  body.insert(body.end(), payload.begin(), payload.end());
+  const std::uint16_t crc = crc16(std::span<const std::uint8_t>(body.data(), body.size()));
+  body.push_back(static_cast<std::uint8_t>(crc >> 8));
+  body.push_back(static_cast<std::uint8_t>(crc & 0xFF));
+
+  std::vector<std::uint8_t> bits = alternating_preamble(preamble_bits);
+  const auto body_bits = bytes_to_bits(body);
+  bits.insert(bits.end(), body_bits.begin(), body_bits.end());
+  return bits;
+}
+
+std::size_t frame_bit_count(std::size_t payload_bytes, std::size_t preamble_bits) {
+  CBMA_REQUIRE(payload_bytes <= kMaxPayloadBytes, "payload exceeds 126 bytes");
+  return preamble_bits + 8 * (2 + payload_bytes + 2);
+}
+
+std::optional<ParsedFrame> parse_frame_body(std::span<const std::uint8_t> bits) {
+  if (bits.size() < 8) return std::nullopt;
+  std::uint8_t length = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    length = static_cast<std::uint8_t>((length << 1) | (bits[i] & 1));
+  }
+  if (length > kMaxPayloadBytes) return std::nullopt;
+  const std::size_t needed = 8 * (2 + static_cast<std::size_t>(length) + 2);
+  if (bits.size() < needed) return std::nullopt;
+
+  const auto body_bytes = bits_to_bytes(bits.subspan(0, needed));
+  ParsedFrame frame;
+  frame.tag_id = body_bytes[1];
+  frame.payload.assign(body_bytes.begin() + 2, body_bytes.begin() + 2 + length);
+  const std::uint16_t got = static_cast<std::uint16_t>(
+      (body_bytes[2 + length] << 8) | body_bytes[3 + length]);
+  const std::uint16_t want = crc16(std::span<const std::uint8_t>(
+      body_bytes.data(), 2 + static_cast<std::size_t>(length)));
+  frame.crc_ok = (got == want);
+  return frame;
+}
+
+}  // namespace cbma::phy

@@ -1,0 +1,56 @@
+// CBMA frame format (§III-A):
+//   [ preamble | length (1 B) | tag id (1 B) | payload (≤126 B) | CRC-16 (2 B) ]
+//
+// The default preamble is the one-byte alternating pattern 10101010; the
+// Fig. 8(c) study sweeps the preamble length over 4..64 bits, so the
+// preamble is configurable as any alternating-bit run. Bits are serialized
+// MSB-first within each byte.
+//
+// The tag-id byte is an addition over the paper's four fields: the paper's
+// receiver infers identity from the PN code alone, but under an
+// asynchronous sliding correlator a wrong code at a lucky lag decodes a
+// sign-consistent copy of another tag's bits (valid CRC included), so the
+// identity must be verifiable inside the CRC-protected region. See
+// DESIGN.md §4.4.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace cbma::phy {
+
+inline constexpr std::size_t kMaxPayloadBytes = 126;
+inline constexpr std::size_t kDefaultPreambleBits = 8;
+
+/// Alternating 1010… preamble of `n_bits` bits (starting with 1).
+std::vector<std::uint8_t> alternating_preamble(std::size_t n_bits);
+
+/// MSB-first bit expansion of bytes.
+std::vector<std::uint8_t> bytes_to_bits(std::span<const std::uint8_t> bytes);
+
+/// Inverse of bytes_to_bits; `bits.size()` must be a multiple of 8.
+std::vector<std::uint8_t> bits_to_bytes(std::span<const std::uint8_t> bits);
+
+/// Full frame bit sequence: preamble + length + tag id + payload + CRC.
+std::vector<std::uint8_t> frame_bits(std::span<const std::uint8_t> payload,
+                                     std::uint8_t tag_id,
+                                     std::size_t preamble_bits = kDefaultPreambleBits);
+
+/// Number of bits a frame with this payload occupies.
+std::size_t frame_bit_count(std::size_t payload_bytes,
+                            std::size_t preamble_bits = kDefaultPreambleBits);
+
+struct ParsedFrame {
+  std::uint8_t tag_id = 0;
+  std::vector<std::uint8_t> payload;
+  bool crc_ok = false;
+};
+
+/// Parse the post-preamble portion of a frame (length byte onwards) from a
+/// decoded bit stream. Returns nullopt if the stream is too short for the
+/// advertised length; otherwise a frame whose `crc_ok` reports integrity.
+std::optional<ParsedFrame> parse_frame_body(std::span<const std::uint8_t> bits);
+
+}  // namespace cbma::phy

@@ -1,0 +1,101 @@
+#include "phy/modulator.h"
+
+#include <cmath>
+#include <complex>
+
+#include "util/expect.h"
+#include "util/units.h"
+
+namespace cbma::phy {
+
+double square_wave_harmonic_amplitude(unsigned n) {
+  CBMA_REQUIRE(n >= 1 && n % 2 == 1, "square waves only have odd harmonics");
+  return 4.0 / (units::kPi * static_cast<double>(n));
+}
+
+double square_wave_harmonic_rel_db(unsigned n) {
+  const double a = square_wave_harmonic_amplitude(n) / square_wave_harmonic_amplitude(1);
+  return units::to_db(a * a);
+}
+
+std::vector<double> square_wave(double freq_hz, double sample_rate_hz,
+                                std::size_t n_samples) {
+  CBMA_REQUIRE(freq_hz > 0.0 && sample_rate_hz > 0.0, "frequencies must be positive");
+  CBMA_REQUIRE(sample_rate_hz > 2.0 * freq_hz, "square wave under-sampled");
+  std::vector<double> out(n_samples);
+  for (std::size_t i = 0; i < n_samples; ++i) {
+    const double phase = std::fmod(freq_hz * static_cast<double>(i) / sample_rate_hz, 1.0);
+    out[i] = phase < 0.5 ? 1.0 : -1.0;
+  }
+  return out;
+}
+
+std::vector<double> ook_modulate(std::span<const std::uint8_t> chips,
+                                 std::size_t samples_per_chip,
+                                 std::span<const double> carrier) {
+  CBMA_REQUIRE(samples_per_chip >= 1, "samples_per_chip must be positive");
+  CBMA_REQUIRE(!carrier.empty(), "carrier must be non-empty");
+  std::vector<double> out(chips.size() * samples_per_chip, 0.0);
+  std::size_t s = 0;
+  for (const auto chip : chips) {
+    for (std::size_t k = 0; k < samples_per_chip; ++k, ++s) {
+      // AND of the upsampled data with the square wave: carrier passes only
+      // while the chip is '1' (Eq. 3).
+      out[s] = chip ? carrier[s % carrier.size()] : 0.0;
+    }
+  }
+  return out;
+}
+
+std::vector<std::complex<double>> ssb_square_wave(double freq_hz,
+                                                  double sample_rate_hz,
+                                                  std::size_t n_samples) {
+  CBMA_REQUIRE(freq_hz > 0.0 && sample_rate_hz > 0.0, "frequencies must be positive");
+  CBMA_REQUIRE(sample_rate_hz >= 4.0 * freq_hz,
+               "quadrature square wave needs >= 4 samples per period");
+  std::vector<std::complex<double>> out(n_samples);
+  for (std::size_t i = 0; i < n_samples; ++i) {
+    const double t = static_cast<double>(i) / sample_rate_hz;
+    const double phase_i = std::fmod(freq_hz * t, 1.0);
+    // Quarter-period delayed copy for the quadrature arm.
+    const double phase_q = std::fmod(freq_hz * t - 0.25 + 1.0, 1.0);
+    out[i] = {phase_i < 0.5 ? 1.0 : -1.0, phase_q < 0.5 ? 1.0 : -1.0};
+  }
+  return out;
+}
+
+double tone_magnitude_complex(std::span<const std::complex<double>> signal,
+                              double freq_hz, double sample_rate_hz) {
+  CBMA_REQUIRE(sample_rate_hz > 0.0, "sample rate must be positive");
+  std::complex<double> acc{0.0, 0.0};
+  const double w = 2.0 * units::kPi * freq_hz / sample_rate_hz;
+  for (std::size_t i = 0; i < signal.size(); ++i) {
+    const double ang = w * static_cast<double>(i);
+    acc += signal[i] * std::complex<double>(std::cos(ang), -std::sin(ang));
+  }
+  return std::abs(acc) / static_cast<double>(signal.size());
+}
+
+double sideband_suppression_db(std::span<const std::complex<double>> signal,
+                               double freq_hz, double sample_rate_hz) {
+  const double upper = tone_magnitude_complex(signal, freq_hz, sample_rate_hz);
+  const double lower = tone_magnitude_complex(signal, -freq_hz, sample_rate_hz);
+  CBMA_REQUIRE(upper > 0.0, "no energy at the wanted sideband");
+  const double floor = upper * 1e-8;  // numeric floor for a perfect null
+  return units::to_db((upper * upper) / std::max(lower * lower, floor * floor));
+}
+
+double tone_magnitude(std::span<const double> signal, double freq_hz,
+                      double sample_rate_hz) {
+  CBMA_REQUIRE(sample_rate_hz > 0.0, "sample rate must be positive");
+  std::complex<double> acc{0.0, 0.0};
+  const double w = 2.0 * units::kPi * freq_hz / sample_rate_hz;
+  for (std::size_t i = 0; i < signal.size(); ++i) {
+    const double ang = w * static_cast<double>(i);
+    acc += signal[i] * std::complex<double>(std::cos(ang), -std::sin(ang));
+  }
+  // Single-sided amplitude estimate.
+  return 2.0 * std::abs(acc) / static_cast<double>(signal.size());
+}
+
+}  // namespace cbma::phy

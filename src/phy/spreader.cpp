@@ -1,0 +1,39 @@
+#include "phy/spreader.h"
+
+#include "util/expect.h"
+
+namespace cbma::phy {
+
+std::vector<std::uint8_t> spread(std::span<const std::uint8_t> bits,
+                                 const pn::PnCode& code) {
+  CBMA_REQUIRE(!code.empty(), "spreading requires a code");
+  const auto& chips = code.chips();
+  std::vector<std::uint8_t> out;
+  out.reserve(bits.size() * chips.size());
+  for (const auto bit : bits) {
+    CBMA_REQUIRE(bit == 0 || bit == 1, "bits must be binary");
+    for (const auto c : chips) {
+      out.push_back(bit ? c : static_cast<std::uint8_t>(c ^ 1));
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> despread_hard(std::span<const std::uint8_t> chips,
+                                        const pn::PnCode& code) {
+  CBMA_REQUIRE(!code.empty(), "despreading requires a code");
+  const std::size_t len = code.length();
+  CBMA_REQUIRE(chips.size() % len == 0, "chip count not a multiple of code length");
+  std::vector<std::uint8_t> bits;
+  bits.reserve(chips.size() / len);
+  for (std::size_t b = 0; b < chips.size() / len; ++b) {
+    int agree = 0;
+    for (std::size_t i = 0; i < len; ++i) {
+      agree += (chips[b * len + i] == code.chip(i)) ? 1 : -1;
+    }
+    bits.push_back(agree >= 0 ? 1 : 0);
+  }
+  return bits;
+}
+
+}  // namespace cbma::phy

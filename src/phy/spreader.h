@@ -1,0 +1,24 @@
+// DSSS spreading (§III-A "Encoding"): every frame bit is expanded to one
+// code period of chips — the code itself for '1', its bitwise negation for
+// '0' (footnote 2 convention). On the tag this is a single AND/XOR per chip;
+// here it is a table copy.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pn/code.h"
+
+namespace cbma::phy {
+
+/// Spread a bit sequence with `code`; output length = bits × code length.
+std::vector<std::uint8_t> spread(std::span<const std::uint8_t> bits,
+                                 const pn::PnCode& code);
+
+/// Hard-decision despread of an on/off chip sequence (inverse of `spread`
+/// on a clean channel): majority vote of chip agreement per bit period.
+std::vector<std::uint8_t> despread_hard(std::span<const std::uint8_t> chips,
+                                        const pn::PnCode& code);
+
+}  // namespace cbma::phy

@@ -1,0 +1,34 @@
+#include "phy/tag.h"
+
+#include "phy/spreader.h"
+#include "util/expect.h"
+
+namespace cbma::phy {
+
+Tag::Tag(TagConfig config) : config_(std::move(config)) {
+  CBMA_REQUIRE(!config_.code.empty(), "tag needs a PN code");
+  CBMA_REQUIRE(config_.preamble_bits >= 1, "preamble must be at least one bit");
+  CBMA_REQUIRE(config_.impedance_levels >= 1, "tag needs at least one impedance level");
+}
+
+std::vector<std::uint8_t> Tag::chip_sequence(std::span<const std::uint8_t> payload) const {
+  const auto bits = frame_bits(payload, static_cast<std::uint8_t>(config_.id),
+                               config_.preamble_bits);
+  return spread(bits, config_.code);
+}
+
+std::vector<std::uint8_t> Tag::preamble_chips() const {
+  const auto bits = alternating_preamble(config_.preamble_bits);
+  return spread(bits, config_.code);
+}
+
+void Tag::set_impedance_level(std::size_t level) {
+  CBMA_REQUIRE(level < config_.impedance_levels, "impedance level out of range");
+  impedance_level_ = level;
+}
+
+void Tag::step_impedance() {
+  impedance_level_ = (impedance_level_ + 1) % config_.impedance_levels;
+}
+
+}  // namespace cbma::phy

@@ -1,0 +1,53 @@
+// The backscatter tag (§III-A): holds its PN code and impedance state, and
+// synthesizes the on/off chip sequence for a payload (framing → encoding).
+// Power selection is the impedance level consumed by the channel via
+// rfsim::ReflectionStateBank; Algorithm 1 drives `step_impedance`.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "phy/frame.h"
+#include "pn/code.h"
+
+namespace cbma::phy {
+
+struct TagConfig {
+  std::uint32_t id = 0;
+  pn::PnCode code;
+  std::size_t preamble_bits = kDefaultPreambleBits;
+  std::size_t impedance_levels = 4;  ///< Z_max of Algorithm 1
+};
+
+class Tag {
+ public:
+  explicit Tag(TagConfig config);
+
+  std::uint32_t id() const { return config_.id; }
+  const pn::PnCode& code() const { return config_.code; }
+  std::size_t preamble_bits() const { return config_.preamble_bits; }
+
+  /// Full transmit chip sequence for a payload: frame bits spread by the
+  /// tag's code (every '1' chip reflects, every '0' chip absorbs).
+  std::vector<std::uint8_t> chip_sequence(std::span<const std::uint8_t> payload) const;
+
+  /// Chip sequence of just the spread preamble — the receiver's user
+  /// detection template.
+  std::vector<std::uint8_t> preamble_chips() const;
+
+  /// Current impedance level, 0-based (0 = strongest backscatter).
+  std::size_t impedance_level() const { return impedance_level_; }
+  void set_impedance_level(std::size_t level);
+
+  /// Algorithm 1 lines 18–22: advance to the next level, wrapping at Z_max.
+  void step_impedance();
+
+  std::size_t impedance_levels() const { return config_.impedance_levels; }
+
+ private:
+  TagConfig config_;
+  std::size_t impedance_level_ = 0;
+};
+
+}  // namespace cbma::phy

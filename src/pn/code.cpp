@@ -1,0 +1,63 @@
+#include "pn/code.h"
+
+#include "pn/gold.h"
+#include "pn/twonc.h"
+#include "util/expect.h"
+
+namespace cbma::pn {
+
+PnCode::PnCode(std::vector<std::uint8_t> chips, std::string name)
+    : chips_(std::move(chips)), name_(std::move(name)) {
+  CBMA_REQUIRE(!chips_.empty(), "PN code must be non-empty");
+  bipolar_.reserve(chips_.size());
+  for (const auto c : chips_) {
+    CBMA_REQUIRE(c == 0 || c == 1, "PN chips must be binary");
+    bipolar_.push_back(c ? 1.0 : -1.0);
+  }
+}
+
+std::vector<std::uint8_t> PnCode::chips_for_bit(bool bit) const {
+  std::vector<std::uint8_t> out(chips_);
+  if (!bit) {
+    for (auto& c : out) c ^= 1;
+  }
+  return out;
+}
+
+int PnCode::balance() const {
+  int ones = 0;
+  for (const auto c : chips_) ones += c;
+  return 2 * ones - static_cast<int>(chips_.size());
+}
+
+std::string to_string(CodeFamily family) {
+  switch (family) {
+    case CodeFamily::kGold: return "Gold";
+    case CodeFamily::kTwoNC: return "2NC";
+  }
+  return "?";
+}
+
+std::vector<PnCode> make_code_set(CodeFamily family, std::size_t count,
+                                  std::size_t min_length) {
+  CBMA_REQUIRE(count >= 1, "code set must contain at least one code");
+  switch (family) {
+    case CodeFamily::kGold: {
+      // Smallest tabulated degree whose family is big enough and whose
+      // length meets the floor.
+      for (const unsigned degree : {5u, 6u, 7u, 9u, 10u}) {
+        const std::size_t length = (std::size_t{1} << degree) - 1;
+        if (length + 2 >= count && length >= min_length) {
+          return GoldFamily(degree).codes(count);
+        }
+      }
+      CBMA_REQUIRE(false, "no tabulated Gold family fits the request");
+      break;
+    }
+    case CodeFamily::kTwoNC:
+      return TwoNCFamily(count, min_length).codes(count);
+  }
+  CBMA_REQUIRE(false, "unknown code family");
+}
+
+}  // namespace cbma::pn

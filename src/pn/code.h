@@ -1,0 +1,55 @@
+// Spreading-code value type shared by the whole library.
+//
+// A PnCode is a fixed binary chip sequence. Following the paper's footnote 2,
+// a data bit '1' is transmitted as the code itself and a data bit '0' as its
+// bitwise negation, so the receiver's decision reduces to the sign of a
+// correlation against the bipolar (±1) code.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cbma::pn {
+
+class PnCode {
+ public:
+  PnCode() = default;
+  explicit PnCode(std::vector<std::uint8_t> chips, std::string name = "");
+
+  std::size_t length() const { return chips_.size(); }
+  bool empty() const { return chips_.empty(); }
+  const std::vector<std::uint8_t>& chips() const { return chips_; }
+  std::uint8_t chip(std::size_t i) const { return chips_[i]; }
+  const std::string& name() const { return name_; }
+
+  /// ±1 representation (chip 1 → +1, chip 0 → −1).
+  const std::vector<double>& bipolar() const { return bipolar_; }
+
+  /// Chip sequence for a data bit: the code for '1', its negation for '0'.
+  std::vector<std::uint8_t> chips_for_bit(bool bit) const;
+
+  /// Number of '1' chips minus number of '0' chips (balance metric).
+  int balance() const;
+
+  bool operator==(const PnCode& other) const { return chips_ == other.chips_; }
+
+ private:
+  std::vector<std::uint8_t> chips_;
+  std::vector<double> bipolar_;
+  std::string name_;
+};
+
+/// The two code families the paper evaluates (Fig. 9(b)).
+enum class CodeFamily { kGold, kTwoNC };
+
+std::string to_string(CodeFamily family);
+
+/// Generate `count` codes of the requested family. For Gold codes,
+/// `min_length` picks the smallest register size whose family supports
+/// `count` codes of length >= min_length. For 2NC, length is 2*count by
+/// construction (but at least 2*min_users slots when `min_users` > count).
+std::vector<PnCode> make_code_set(CodeFamily family, std::size_t count,
+                                  std::size_t min_length = 31);
+
+}  // namespace cbma::pn

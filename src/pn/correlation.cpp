@@ -1,0 +1,188 @@
+#include "pn/correlation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/expect.h"
+
+namespace cbma::pn {
+
+int periodic_cross_correlation(const PnCode& a, const PnCode& b, std::size_t tau) {
+  CBMA_REQUIRE(a.length() == b.length(), "codes must share a length");
+  const std::size_t len = a.length();
+  CBMA_REQUIRE(tau < len, "shift exceeds code length");
+  int acc = 0;
+  for (std::size_t i = 0; i < len; ++i) {
+    // Bipolar product: equal chips contribute +1, different chips −1.
+    acc += (a.chip(i) == b.chip((i + tau) % len)) ? 1 : -1;
+  }
+  return acc;
+}
+
+std::vector<int> periodic_cross_correlation_all(const PnCode& a, const PnCode& b) {
+  std::vector<int> out(a.length());
+  for (std::size_t tau = 0; tau < a.length(); ++tau) {
+    out[tau] = periodic_cross_correlation(a, b, tau);
+  }
+  return out;
+}
+
+int peak_cross_correlation(const PnCode& a, const PnCode& b) {
+  const bool same = (a == b);
+  int peak = 0;
+  for (std::size_t tau = same ? 1 : 0; tau < a.length(); ++tau) {
+    peak = std::max(peak, std::abs(periodic_cross_correlation(a, b, tau)));
+  }
+  return peak;
+}
+
+std::vector<double> mean_removed_template(const PnCode& code,
+                                          std::size_t samples_per_chip) {
+  CBMA_REQUIRE(samples_per_chip >= 1, "samples_per_chip must be positive");
+  const auto& bip = code.bipolar();
+  const double mean =
+      std::accumulate(bip.begin(), bip.end(), 0.0) / static_cast<double>(bip.size());
+  std::vector<double> tmpl;
+  tmpl.reserve(bip.size() * samples_per_chip);
+  for (const double v : bip) {
+    for (std::size_t s = 0; s < samples_per_chip; ++s) tmpl.push_back(v - mean);
+  }
+  return tmpl;
+}
+
+double correlate_at(std::span<const double> signal, std::span<const double> tmpl,
+                    std::size_t offset) {
+  if (offset + tmpl.size() > signal.size()) return 0.0;
+  double acc = 0.0;
+  const double* s = signal.data() + offset;
+  for (std::size_t i = 0; i < tmpl.size(); ++i) acc += s[i] * tmpl[i];
+  return acc;
+}
+
+double normalized_correlation_at(std::span<const double> signal,
+                                 std::span<const double> tmpl, std::size_t offset) {
+  if (offset + tmpl.size() > signal.size() || tmpl.empty()) return 0.0;
+  const double* s = signal.data() + offset;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < tmpl.size(); ++i) sum += s[i];
+  const double mean = sum / static_cast<double>(tmpl.size());
+  double dot = 0.0;
+  double s_norm2 = 0.0;
+  double t_norm2 = 0.0;
+  for (std::size_t i = 0; i < tmpl.size(); ++i) {
+    const double sv = s[i] - mean;
+    dot += sv * tmpl[i];
+    s_norm2 += sv * sv;
+    t_norm2 += tmpl[i] * tmpl[i];
+  }
+  const double denom = std::sqrt(s_norm2 * t_norm2);
+  if (denom <= 0.0) return 0.0;
+  return dot / denom;
+}
+
+std::complex<double> complex_correlate_at(std::span<const std::complex<double>> signal,
+                                          std::span<const double> tmpl,
+                                          std::size_t offset) {
+  if (offset + tmpl.size() > signal.size()) return {0.0, 0.0};
+  std::complex<double> acc{0.0, 0.0};
+  const std::complex<double>* s = signal.data() + offset;
+  for (std::size_t i = 0; i < tmpl.size(); ++i) acc += s[i] * tmpl[i];
+  return acc;
+}
+
+double normalized_complex_correlation_at(std::span<const std::complex<double>> signal,
+                                         std::span<const double> tmpl,
+                                         std::size_t offset) {
+  if (offset + tmpl.size() > signal.size() || tmpl.empty()) return 0.0;
+  const std::complex<double>* s = signal.data() + offset;
+  std::complex<double> sum{0.0, 0.0};
+  for (std::size_t i = 0; i < tmpl.size(); ++i) sum += s[i];
+  const std::complex<double> mean = sum / static_cast<double>(tmpl.size());
+  std::complex<double> dot{0.0, 0.0};
+  double s_norm2 = 0.0;
+  double t_norm2 = 0.0;
+  for (std::size_t i = 0; i < tmpl.size(); ++i) {
+    const std::complex<double> sv = s[i] - mean;
+    dot += sv * tmpl[i];
+    s_norm2 += std::norm(sv);
+    t_norm2 += tmpl[i] * tmpl[i];
+  }
+  const double denom = std::sqrt(s_norm2 * t_norm2);
+  if (denom <= 0.0) return 0.0;
+  return std::abs(dot) / denom;
+}
+
+ComplexCorrelationPeak sliding_complex_peak(
+    std::span<const std::complex<double>> signal, std::span<const double> tmpl,
+    std::size_t search_begin, std::size_t search_end) {
+  CBMA_REQUIRE(search_begin <= search_end, "search window inverted");
+  ComplexCorrelationPeak best;
+  best.value = -1.0;
+  const std::size_t n = tmpl.size();
+  if (n == 0 || signal.size() < n) return ComplexCorrelationPeak{};
+  const std::size_t end = std::min({search_end, signal.size() - n + 1});
+  if (search_begin >= end) return ComplexCorrelationPeak{};
+
+  // The window mean/energy terms are shared across lags — maintain them as
+  // running sums instead of rescanning the window per lag. Only the dot
+  // product is recomputed per lag.
+  double t_norm2 = 0.0;
+  double t_sum = 0.0;
+  for (const double v : tmpl) {
+    t_norm2 += v * v;
+    t_sum += v;
+  }
+  const double inv_n = 1.0 / static_cast<double>(n);
+
+  std::complex<double> s_sum{0.0, 0.0};
+  double s_sumsq = 0.0;
+  for (std::size_t i = search_begin; i < search_begin + n; ++i) {
+    s_sum += signal[i];
+    s_sumsq += std::norm(signal[i]);
+  }
+
+  for (std::size_t off = search_begin; off < end; ++off) {
+    std::complex<double> dot{0.0, 0.0};
+    const std::complex<double>* s = signal.data() + off;
+    for (std::size_t i = 0; i < n; ++i) dot += s[i] * tmpl[i];
+    // Mean-removed forms: dot_c = dot − mean·Σtmpl, ‖window−mean‖².
+    const std::complex<double> mean = s_sum * inv_n;
+    const std::complex<double> dot_c = dot - mean * t_sum;
+    const double s_norm2 = s_sumsq - std::norm(s_sum) * inv_n;
+    const double denom2 = s_norm2 * t_norm2;
+    const double v = denom2 > 0.0 ? std::abs(dot_c) / std::sqrt(denom2) : 0.0;
+    if (v > best.value) {
+      best.value = v;
+      best.offset = off;
+    }
+    if (off + n < signal.size()) {
+      s_sum += signal[off + n] - signal[off];
+      s_sumsq += std::norm(signal[off + n]) - std::norm(signal[off]);
+    }
+  }
+  if (best.value < 0.0) return ComplexCorrelationPeak{};
+  best.phase = std::arg(complex_correlate_at(signal, tmpl, best.offset));
+  return best;
+}
+
+CorrelationPeak sliding_peak(std::span<const double> signal,
+                             std::span<const double> tmpl,
+                             std::size_t search_begin, std::size_t search_end) {
+  CBMA_REQUIRE(search_begin <= search_end, "search window inverted");
+  CorrelationPeak best;
+  best.value = -2.0;  // below any normalized correlation
+  const std::size_t end = std::min(search_end, signal.size());
+  for (std::size_t off = search_begin; off < end; ++off) {
+    if (off + tmpl.size() > signal.size()) break;
+    const double v = normalized_correlation_at(signal, tmpl, off);
+    if (v > best.value) {
+      best.value = v;
+      best.offset = off;
+    }
+  }
+  if (best.value < -1.5) best = CorrelationPeak{};  // nothing searched
+  return best;
+}
+
+}  // namespace cbma::pn

@@ -1,0 +1,87 @@
+// Correlation kernels used by the receiver's user detector and decoder, and
+// by the code-family quality tests.
+//
+// Two domains:
+//  * code-vs-code correlations on binary chips (periodic / aperiodic), used
+//    to validate family properties (Gold's three-valued cross-correlation,
+//    2NC orthogonality);
+//  * real-signal-vs-template sliding correlation, used on the receiver's
+//    magnitude envelope. Templates are mean-removed so the unipolar OOK
+//    envelope and constant offsets from other users do not bias decisions
+//    (this is the "correlation-based detector" of §V-B).
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "pn/code.h"
+
+namespace cbma::pn {
+
+/// Periodic (cyclic) cross-correlation of bipolar versions of a and b at
+/// shift tau: sum_i a[i] * b[(i+tau) mod L]. Codes must share a length.
+int periodic_cross_correlation(const PnCode& a, const PnCode& b, std::size_t tau);
+
+/// All L periodic cross-correlation values.
+std::vector<int> periodic_cross_correlation_all(const PnCode& a, const PnCode& b);
+
+/// Peak |cross-correlation| over all shifts; for a==b, shift 0 is excluded
+/// (that is the autocorrelation peak).
+int peak_cross_correlation(const PnCode& a, const PnCode& b);
+
+/// Mean-removed correlation template for a code: bipolar chips minus their
+/// mean, optionally repeated `samples_per_chip` times per chip.
+std::vector<double> mean_removed_template(const PnCode& code,
+                                          std::size_t samples_per_chip = 1);
+
+/// Dot product of `signal` (from `offset`) against `tmpl`; returns 0 if the
+/// template does not fit.
+double correlate_at(std::span<const double> signal, std::span<const double> tmpl,
+                    std::size_t offset);
+
+/// Normalized correlation in [-1, 1]: correlate_at divided by the L2 norms
+/// of the template and the mean-removed signal window.
+double normalized_correlation_at(std::span<const double> signal,
+                                 std::span<const double> tmpl, std::size_t offset);
+
+struct CorrelationPeak {
+  std::size_t offset = 0;
+  double value = 0.0;  ///< normalized correlation at the peak
+};
+
+/// Slide `tmpl` over signal[search_begin, search_end) and return the offset
+/// with the largest normalized correlation.
+CorrelationPeak sliding_peak(std::span<const double> signal,
+                             std::span<const double> tmpl,
+                             std::size_t search_begin, std::size_t search_end);
+
+// --- complex-baseband correlation (coherent receiver path) ---
+
+/// Complex dot product of `signal` (from `offset`) against a real template;
+/// returns 0 if the template does not fit. The result's argument is the
+/// signal's carrier phase over the window.
+std::complex<double> complex_correlate_at(std::span<const std::complex<double>> signal,
+                                          std::span<const double> tmpl,
+                                          std::size_t offset);
+
+/// |complex correlation| normalized by the L2 norms of the template and the
+/// mean-removed signal window — in [0, 1], invariant to carrier phase.
+double normalized_complex_correlation_at(std::span<const std::complex<double>> signal,
+                                         std::span<const double> tmpl,
+                                         std::size_t offset);
+
+struct ComplexCorrelationPeak {
+  std::size_t offset = 0;
+  double value = 0.0;  ///< normalized |correlation| at the peak
+  double phase = 0.0;  ///< carrier phase estimate at the peak (radians)
+};
+
+/// Slide `tmpl` over complex signal[search_begin, search_end); returns the
+/// offset with the largest normalized |correlation| plus the phase there.
+ComplexCorrelationPeak sliding_complex_peak(
+    std::span<const std::complex<double>> signal, std::span<const double> tmpl,
+    std::size_t search_begin, std::size_t search_end);
+
+}  // namespace cbma::pn

@@ -1,0 +1,39 @@
+#include "pn/gold.h"
+
+#include "pn/msequence.h"
+#include "util/expect.h"
+
+namespace cbma::pn {
+
+GoldFamily::GoldFamily(unsigned degree) : degree_(degree) {
+  const auto [ma, mb] = preferred_pair(degree);
+  length_ = (std::size_t{1} << degree) - 1;
+  u_ = msequence(degree, ma);
+  v_ = msequence(degree, mb);
+}
+
+PnCode GoldFamily::code(std::size_t k) const {
+  CBMA_REQUIRE(k < family_size(), "Gold code index out of family");
+  if (k == 0) return PnCode(u_, "gold" + std::to_string(degree_) + "#0");
+  if (k == 1) return PnCode(v_, "gold" + std::to_string(degree_) + "#1");
+  const std::size_t shift = k - 2;
+  std::vector<std::uint8_t> chips(length_);
+  for (std::size_t i = 0; i < length_; ++i) {
+    chips[i] = static_cast<std::uint8_t>(u_[i] ^ v_[(i + shift) % length_]);
+  }
+  return PnCode(std::move(chips), "gold" + std::to_string(degree_) + "#" + std::to_string(k));
+}
+
+std::vector<PnCode> GoldFamily::codes(std::size_t count) const {
+  CBMA_REQUIRE(count <= family_size(), "requested more codes than the family holds");
+  std::vector<PnCode> out;
+  out.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) out.push_back(code(k));
+  return out;
+}
+
+std::size_t GoldFamily::t_value(unsigned degree) {
+  return (std::size_t{1} << ((degree + 2) / 2)) + 1;
+}
+
+}  // namespace cbma::pn

@@ -1,0 +1,42 @@
+// Gold code family (Gold, 1967) — one of the two spreading-code families
+// CBMA evaluates (Fig. 9(b)).
+//
+// Built from a preferred pair of m-sequences (u, v): the family is
+// {u, v, u XOR T^k(v) : k = 0..2^n−2}, giving 2^n + 1 codes of length
+// 2^n − 1 whose periodic cross-correlations take only the three values
+// {−1, −t(n), t(n)−2} with t(n) = 2^⌊(n+2)/2⌋ + 1.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "pn/code.h"
+
+namespace cbma::pn {
+
+class GoldFamily {
+ public:
+  /// Construct the family for register degree `degree` (5, 6, 7, 9 or 10).
+  explicit GoldFamily(unsigned degree);
+
+  std::size_t code_length() const { return length_; }
+  std::size_t family_size() const { return length_ + 2; }
+  unsigned degree() const { return degree_; }
+
+  /// k-th code of the family: 0 → u, 1 → v, k ≥ 2 → u XOR T^{k−2}(v).
+  PnCode code(std::size_t k) const;
+
+  /// First `count` codes.
+  std::vector<PnCode> codes(std::size_t count) const;
+
+  /// Theoretical peak cross-correlation magnitude t(n).
+  static std::size_t t_value(unsigned degree);
+
+ private:
+  unsigned degree_;
+  std::size_t length_;
+  std::vector<std::uint8_t> u_;
+  std::vector<std::uint8_t> v_;
+};
+
+}  // namespace cbma::pn

@@ -1,0 +1,45 @@
+#include "pn/lfsr.h"
+
+#include <bit>
+
+#include "util/expect.h"
+
+namespace cbma::pn {
+
+Lfsr::Lfsr(unsigned degree, std::uint64_t tap_mask, std::uint64_t initial_state)
+    : degree_(degree), tap_mask_(tap_mask), state_(initial_state) {
+  CBMA_REQUIRE(degree >= 1 && degree <= 63, "LFSR degree out of range");
+  const std::uint64_t state_mask = (std::uint64_t{1} << degree) - 1;
+  CBMA_REQUIRE((tap_mask & ~state_mask) == 0, "tap mask wider than register");
+  CBMA_REQUIRE(tap_mask != 0, "tap mask must be non-empty");
+  CBMA_REQUIRE(initial_state != 0, "LFSR must not start in the all-zero state");
+  CBMA_REQUIRE((initial_state & ~state_mask) == 0, "initial state wider than register");
+}
+
+std::uint8_t Lfsr::step() {
+  const auto out = static_cast<std::uint8_t>(state_ & 1);
+  const auto feedback = static_cast<std::uint64_t>(std::popcount(state_ & tap_mask_) & 1);
+  state_ = (state_ >> 1) | (feedback << (degree_ - 1));
+  return out;
+}
+
+std::vector<std::uint8_t> Lfsr::run(std::size_t n) {
+  std::vector<std::uint8_t> out(n);
+  for (auto& bit : out) bit = step();
+  return out;
+}
+
+std::uint64_t Lfsr::period() const {
+  Lfsr copy = *this;
+  const std::uint64_t start = copy.state();
+  std::uint64_t steps = 0;
+  const std::uint64_t limit = (std::uint64_t{1} << degree_) + 1;
+  do {
+    copy.step();
+    ++steps;
+    CBMA_ASSERT(steps <= limit);
+  } while (copy.state() != start);
+  return steps;
+}
+
+}  // namespace cbma::pn

@@ -1,0 +1,40 @@
+// Fibonacci linear-feedback shift register over GF(2).
+//
+// The taps are given as a feedback polynomial mask: bit k set means state
+// bit k participates in the feedback XOR (bit degree-1 is the output end).
+// This is the primitive the m-sequence and Gold generators are built on —
+// the same structure the paper's FPGA tag would realize in logic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cbma::pn {
+
+class Lfsr {
+ public:
+  /// `degree`: register length in bits (1..63).
+  /// `tap_mask`: feedback taps; bit i corresponds to state bit i.
+  /// `initial_state`: must be non-zero and fit in `degree` bits.
+  Lfsr(unsigned degree, std::uint64_t tap_mask, std::uint64_t initial_state = 1);
+
+  /// Advance one step, returning the output bit (0/1).
+  std::uint8_t step();
+
+  /// Produce the next n output bits.
+  std::vector<std::uint8_t> run(std::size_t n);
+
+  std::uint64_t state() const { return state_; }
+  unsigned degree() const { return degree_; }
+
+  /// Period of the sequence for these taps starting from this state (walks
+  /// the cycle; intended for tests and code-family validation).
+  std::uint64_t period() const;
+
+ private:
+  unsigned degree_;
+  std::uint64_t tap_mask_;
+  std::uint64_t state_;
+};
+
+}  // namespace cbma::pn

@@ -1,0 +1,75 @@
+#include "pn/msequence.h"
+
+#include "pn/lfsr.h"
+#include "util/expect.h"
+
+namespace cbma::pn {
+namespace {
+
+// Tap masks encode the feedback polynomial x^n + sum_{i in mask} x^i, which
+// matches the Lfsr recurrence s[t+n] = XOR of s[t+i] over tap bits i.
+// All polynomials below are primitive over GF(2).
+struct PolyEntry {
+  unsigned degree;
+  std::uint64_t mask;
+};
+
+constexpr PolyEntry kPrimitive[] = {
+    {3, 0x3},    // x^3 + x + 1
+    {4, 0x3},    // x^4 + x + 1
+    {5, 0x5},    // x^5 + x^2 + 1
+    {6, 0x3},    // x^6 + x + 1
+    {7, 0x9},    // x^7 + x^3 + 1
+    {8, 0x1D},   // x^8 + x^4 + x^3 + x^2 + 1
+    {9, 0x11},   // x^9 + x^4 + 1
+    {10, 0x9},   // x^10 + x^3 + 1
+};
+
+// Preferred pairs for Gold construction. Classic pairs from Gold's tables
+// (octal notation in comments gives the full polynomial).
+struct PairEntry {
+  unsigned degree;
+  std::uint64_t a;
+  std::uint64_t b;
+};
+
+constexpr PairEntry kPreferred[] = {
+    // degree 5: [45]8 = x^5+x^2+1, [75]8 = x^5+x^4+x^3+x^2+1
+    {5, 0x5, 0x1D},
+    // degree 6: [103]8 = x^6+x+1, [147]8 = x^6+x^5+x^2+x+1
+    {6, 0x3, 0x27},
+    // degree 7: [211]8 = x^7+x^3+1, [217]8 = x^7+x^3+x^2+x+1
+    {7, 0x9, 0xF},
+    // degree 9: [1021]8 = x^9+x^4+1, [1131]8 = x^9+x^6+x^4+x^3+1
+    {9, 0x11, 0x59},
+    // degree 10 (GPS C/A pair): x^10+x^3+1 and x^10+x^9+x^8+x^6+x^3+x^2+1
+    {10, 0x9, 0x34D},
+};
+
+}  // namespace
+
+std::uint64_t primitive_tap_mask(unsigned degree) {
+  for (const auto& e : kPrimitive)
+    if (e.degree == degree) return e.mask;
+  CBMA_REQUIRE(false, "no primitive polynomial tabulated for this degree (3..10)");
+}
+
+std::pair<std::uint64_t, std::uint64_t> preferred_pair(unsigned degree) {
+  for (const auto& e : kPreferred)
+    if (e.degree == degree) return {e.a, e.b};
+  CBMA_REQUIRE(false, "no preferred pair tabulated for this degree (5,6,7,9,10)");
+}
+
+std::vector<std::uint8_t> msequence(unsigned degree, std::uint64_t tap_mask,
+                                    std::uint64_t seed) {
+  const std::size_t period = (std::size_t{1} << degree) - 1;
+  Lfsr reg(degree, tap_mask, seed);
+  return reg.run(period);
+}
+
+PnCode msequence_code(unsigned degree) {
+  return PnCode(msequence(degree, primitive_tap_mask(degree)),
+                "m" + std::to_string(degree));
+}
+
+}  // namespace cbma::pn

@@ -1,0 +1,30 @@
+// Maximal-length sequences (m-sequences) from primitive polynomials.
+//
+// An m-sequence of degree n has period 2^n − 1 and the two-valued
+// autocorrelation that spread-spectrum systems rely on. The primitive
+// polynomial table covers the degrees CBMA uses (5..10); Gold code
+// construction additionally needs *preferred pairs*, listed here too.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pn/code.h"
+
+namespace cbma::pn {
+
+/// A primitive feedback polynomial for `degree`, as an Lfsr tap mask.
+std::uint64_t primitive_tap_mask(unsigned degree);
+
+/// A preferred pair of tap masks for Gold construction at `degree`
+/// (degrees 5, 6, 7, 9, 10 — degrees ≡ 0 mod 4 have no preferred pairs).
+std::pair<std::uint64_t, std::uint64_t> preferred_pair(unsigned degree);
+
+/// Full-period m-sequence (length 2^degree − 1) from the given taps.
+std::vector<std::uint8_t> msequence(unsigned degree, std::uint64_t tap_mask,
+                                    std::uint64_t seed = 1);
+
+/// Convenience: m-sequence as a PnCode using the default primitive taps.
+PnCode msequence_code(unsigned degree);
+
+}  // namespace cbma::pn

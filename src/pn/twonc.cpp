@@ -1,0 +1,52 @@
+#include "pn/twonc.h"
+
+#include <bit>
+
+#include "pn/msequence.h"
+#include "util/expect.h"
+
+namespace cbma::pn {
+namespace {
+
+/// Smallest power of two ≥ n.
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+TwoNCFamily::TwoNCFamily(std::size_t users, std::size_t min_length) : users_(users) {
+  CBMA_REQUIRE(users >= 1, "2NC family needs at least one user");
+  length_ = next_pow2(std::max(2 * users, std::max<std::size_t>(min_length, 4)));
+  CBMA_REQUIRE(length_ <= 1024, "2NC family too large for the tabulated scrambler");
+
+  // Common scrambler: an m-sequence at least as long as the code, truncated.
+  unsigned degree = 3;
+  while (((std::size_t{1} << degree) - 1) < length_) ++degree;
+  const auto seq = msequence(degree, primitive_tap_mask(degree));
+  scrambler_.assign(seq.begin(), seq.begin() + static_cast<std::ptrdiff_t>(length_));
+}
+
+PnCode TwoNCFamily::code(std::size_t k) const {
+  CBMA_REQUIRE(k < users_, "2NC code index out of family");
+  // Hadamard row k+1 (row 0 is the all-ones DC row): h(t) = parity(row & t).
+  const std::size_t row = k + 1;
+  std::vector<std::uint8_t> chips(length_);
+  for (std::size_t t = 0; t < length_; ++t) {
+    const auto h = static_cast<std::uint8_t>(std::popcount(row & t) & 1);
+    chips[t] = static_cast<std::uint8_t>(h ^ scrambler_[t]);
+  }
+  return PnCode(std::move(chips), "2nc#" + std::to_string(k));
+}
+
+std::vector<PnCode> TwoNCFamily::codes(std::size_t count) const {
+  CBMA_REQUIRE(count <= users_, "requested more codes than the family holds");
+  std::vector<PnCode> out;
+  out.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) out.push_back(code(k));
+  return out;
+}
+
+}  // namespace cbma::pn

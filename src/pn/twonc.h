@@ -1,0 +1,48 @@
+// 2NC code family — the second spreading-code family CBMA evaluates.
+//
+// The paper attributes 2NC codes to [9] and modifies them so that "the chip
+// representing 0 is the negation of that representing 1" (footnote 2); the
+// original construction is not publicly specified. We implement 2NC as
+// *scrambled Sylvester–Hadamard* codes (documented substitution, DESIGN.md
+// §4.2): for N users, take N distinct non-DC rows of the Hadamard matrix of
+// order 2^⌈log₂(max(2N, min_length))⌉ and XOR every row with one common
+// m-sequence scrambler.
+//
+// Properties (verified by tests):
+//  * aligned cross-correlation is exactly zero for every pair — strictly
+//    better orthogonality than Gold's −1/L ± t(n)/L, which is the behaviour
+//    Fig. 9(b) attributes to 2NC;
+//  * shifted cross-correlations are pseudo-random (≈ √L), with no pair of
+//    codes being cyclic shifts of one another, so the asynchronous sliding
+//    detector cannot alias one user onto another.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "pn/code.h"
+
+namespace cbma::pn {
+
+class TwoNCFamily {
+ public:
+  /// Family for `users` users; code length is the smallest power of two
+  /// ≥ max(2 × users, min_length).
+  explicit TwoNCFamily(std::size_t users, std::size_t min_length = 0);
+
+  std::size_t code_length() const { return length_; }
+  std::size_t family_size() const { return users_; }
+
+  PnCode code(std::size_t k) const;
+  std::vector<PnCode> codes(std::size_t count) const;
+
+  /// The common scrambler chips (exposed for tests).
+  const std::vector<std::uint8_t>& scrambler() const { return scrambler_; }
+
+ private:
+  std::size_t users_;
+  std::size_t length_;
+  std::vector<std::uint8_t> scrambler_;
+};
+
+}  // namespace cbma::pn

@@ -1,0 +1,111 @@
+#include "rfsim/channel.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expect.h"
+#include "util/units.h"
+
+namespace cbma::rfsim {
+
+Channel::Channel(ChannelConfig config) : config_(config) {
+  CBMA_REQUIRE(config_.samples_per_chip >= 1, "samples_per_chip must be positive");
+  CBMA_REQUIRE(config_.chip_rate_hz > 0.0, "chip rate must be positive");
+  CBMA_REQUIRE(config_.noise_power_w >= 0.0, "negative noise power");
+  CBMA_REQUIRE(config_.tail_pad_chips >= 0.0, "negative tail pad");
+}
+
+double Channel::sample_rate_hz() const {
+  return config_.chip_rate_hz * static_cast<double>(config_.samples_per_chip);
+}
+
+void Channel::add_tag_path(std::vector<std::complex<double>>& iq,
+                           const TagTransmission& tag, double amplitude_scale,
+                           double phase, double delay_chips, double freq_offset_hz,
+                           std::span<const double> envelope) const {
+  const auto spc = static_cast<double>(config_.samples_per_chip);
+  const double delay_samples = delay_chips * spc;
+  std::complex<double> gain =
+      amplitude_scale * std::complex<double>(std::cos(phase), std::sin(phase));
+  // Per-sample oscillator rotation for the tag's residual frequency offset.
+  const double dphi = 2.0 * units::kPi * freq_offset_hz / sample_rate_hz();
+  const std::complex<double> rotator(std::cos(dphi), std::sin(dphi));
+  const std::size_t n_chip_samples = tag.chips.size() * config_.samples_per_chip;
+
+  // chip value at integer sample index of the tag's own timeline
+  const auto chip_at = [&](std::ptrdiff_t s) -> double {
+    if (s < 0 || static_cast<std::size_t>(s) >= n_chip_samples) return 0.0;
+    return tag.chips[static_cast<std::size_t>(s) / config_.samples_per_chip] ? 1.0 : 0.0;
+  };
+
+  const auto first = static_cast<std::size_t>(std::max(0.0, std::floor(delay_samples)));
+  const std::size_t last =
+      std::min(iq.size(), first + n_chip_samples + 2);  // +2 covers interpolation spill
+  for (std::size_t s = first; s < last; ++s) {
+    const double p = static_cast<double>(s) - delay_samples;
+    const auto i0 = static_cast<std::ptrdiff_t>(std::floor(p));
+    const double frac = p - static_cast<double>(i0);
+    const double v = chip_at(i0) * (1.0 - frac) + chip_at(i0 + 1) * frac;
+    if (v != 0.0) iq[s] += gain * (v * envelope[s]);
+    gain *= rotator;
+  }
+}
+
+std::vector<std::complex<double>> Channel::receive(
+    std::span<const TagTransmission> tags, const ExcitationSource& excitation,
+    std::span<const Interferer* const> interferers, Rng& rng) const {
+  // Window length: the latest-ending tag burst plus the tail pad.
+  double latest_end_chips = 0.0;
+  for (const auto& t : tags) {
+    CBMA_REQUIRE(t.delay_chips >= 0.0, "tag delay must be non-negative");
+    latest_end_chips = std::max(
+        latest_end_chips, t.delay_chips + static_cast<double>(t.chips.size()));
+  }
+  const auto n_samples = static_cast<std::size_t>(
+      std::ceil((latest_end_chips + config_.tail_pad_chips) *
+                static_cast<double>(config_.samples_per_chip)));
+  std::vector<std::complex<double>> iq(n_samples, {0.0, 0.0});
+  if (n_samples == 0) return iq;
+
+  std::vector<double> envelope(n_samples, 1.0);
+  excitation.envelope(envelope, sample_rate_hz(), rng);
+
+  for (const auto& tag : tags) {
+    // Line-of-sight path.
+    add_tag_path(iq, tag, tag.amplitude, tag.phase, tag.delay_chips,
+                 tag.freq_offset_hz, envelope);
+    if (config_.multipath.enabled) {
+      const double mean_echo_amp =
+          units::amplitude_from_db(config_.multipath.relative_power_db);
+      for (unsigned k = 0; k < config_.multipath.extra_taps; ++k) {
+        // Rayleigh echo amplitude with the configured mean power.
+        const double a = std::abs(rng.gaussian(0.0, mean_echo_amp)) * tag.amplitude;
+        const double extra = rng.uniform(0.0, config_.multipath.max_excess_delay_chips);
+        add_tag_path(iq, tag, a, rng.phase(), tag.delay_chips + extra,
+                     tag.freq_offset_hz, envelope);
+      }
+    }
+  }
+
+  for (const Interferer* itf : interferers) {
+    CBMA_ASSERT(itf != nullptr);
+    itf->add_to(iq, sample_rate_hz(), rng);
+  }
+
+  AwgnSource(config_.noise_power_w).add_to(iq, rng);
+  return iq;
+}
+
+std::vector<std::complex<double>> Channel::receive(std::span<const TagTransmission> tags,
+                                                   Rng& rng) const {
+  const ContinuousTone tone;
+  return receive(tags, tone, {}, rng);
+}
+
+std::vector<double> Channel::magnitude(std::span<const std::complex<double>> iq) {
+  std::vector<double> out(iq.size());
+  for (std::size_t i = 0; i < iq.size(); ++i) out[i] = std::abs(iq[i]);
+  return out;
+}
+
+}  // namespace cbma::rfsim

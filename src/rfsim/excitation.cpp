@@ -1,0 +1,40 @@
+#include "rfsim/excitation.h"
+
+#include <algorithm>
+
+#include "util/expect.h"
+
+namespace cbma::rfsim {
+
+void ContinuousTone::envelope(std::span<double> out, double sample_rate_hz,
+                              Rng& rng) const {
+  (void)sample_rate_hz;
+  (void)rng;
+  std::fill(out.begin(), out.end(), 1.0);
+}
+
+OfdmExcitation::OfdmExcitation(double mean_busy_s, double mean_idle_s)
+    : mean_busy_s_(mean_busy_s), mean_idle_s_(mean_idle_s) {
+  CBMA_REQUIRE(mean_busy_s > 0.0 && mean_idle_s > 0.0,
+               "busy/idle durations must be positive");
+}
+
+void OfdmExcitation::envelope(std::span<double> out, double sample_rate_hz,
+                              Rng& rng) const {
+  CBMA_REQUIRE(sample_rate_hz > 0.0, "sample rate must be positive");
+  std::size_t pos = 0;
+  // Random initial phase of the busy/idle cycle so frame starts are not
+  // correlated with backscatter frame starts.
+  bool busy = rng.bernoulli(duty_cycle());
+  while (pos < out.size()) {
+    const double duration_s = rng.exponential(busy ? mean_busy_s_ : mean_idle_s_);
+    const auto n = std::max<std::size_t>(1, static_cast<std::size_t>(duration_s * sample_rate_hz));
+    const std::size_t end = std::min(out.size(), pos + n);
+    std::fill(out.begin() + static_cast<std::ptrdiff_t>(pos),
+              out.begin() + static_cast<std::ptrdiff_t>(end), busy ? 1.0 : 0.0);
+    pos = end;
+    busy = !busy;
+  }
+}
+
+}  // namespace cbma::rfsim

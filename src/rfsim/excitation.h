@@ -1,0 +1,54 @@
+// Excitation-source models.
+//
+// The tag can only backscatter while the excitation source is radiating, so
+// the receiver-side observable of the excitation is its *amplitude envelope*
+// scaling every tag's contribution. A continuous tone has a constant
+// envelope; an OFDM (WiFi-like) excitation is intermittent — frames
+// separated by idle gaps the tag cannot predict — which is exactly why the
+// paper's Fig. 12 shows a sharp reception drop with OFDM excitation.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "util/rng.h"
+
+namespace cbma::rfsim {
+
+class ExcitationSource {
+ public:
+  virtual ~ExcitationSource() = default;
+  virtual std::string name() const = 0;
+
+  /// Fill `out` with the excitation amplitude envelope (values in [0, 1])
+  /// for a window sampled at `sample_rate_hz`.
+  virtual void envelope(std::span<double> out, double sample_rate_hz, Rng& rng) const = 0;
+};
+
+/// Constant single-frequency tone: envelope ≡ 1.
+class ContinuousTone final : public ExcitationSource {
+ public:
+  std::string name() const override { return "tone"; }
+  void envelope(std::span<double> out, double sample_rate_hz, Rng& rng) const override;
+};
+
+/// Bursty OFDM excitation: busy periods (frames on air, envelope 1)
+/// alternating with idle periods (inter-frame gaps, envelope 0), both
+/// exponentially distributed.
+class OfdmExcitation final : public ExcitationSource {
+ public:
+  OfdmExcitation(double mean_busy_s, double mean_idle_s);
+
+  std::string name() const override { return "ofdm"; }
+  void envelope(std::span<double> out, double sample_rate_hz, Rng& rng) const override;
+
+  /// Long-run fraction of time the excitation is on air.
+  double duty_cycle() const { return mean_busy_s_ / (mean_busy_s_ + mean_idle_s_); }
+
+ private:
+  double mean_busy_s_;
+  double mean_idle_s_;
+};
+
+}  // namespace cbma::rfsim

@@ -1,0 +1,55 @@
+#include "rfsim/friis.h"
+
+#include <cmath>
+
+#include "util/expect.h"
+#include "util/units.h"
+
+namespace cbma::rfsim {
+
+double LinkBudget::wavelength() const { return units::wavelength(carrier_hz); }
+
+double LinkBudget::received_power(double d1, double d2) const {
+  CBMA_REQUIRE(d1 > 0.0 && d2 > 0.0, "hop distances must be positive");
+  const double lambda = wavelength();
+  const double four_pi = 4.0 * units::kPi;
+  const double hop1 = tx_power_w * tx_gain / (four_pi * d1 * d1);
+  const double tag = (lambda * lambda * tag_gain * tag_gain / four_pi) *
+                     (delta_gamma * delta_gamma / 4.0) * alpha;
+  const double hop2 = (1.0 / (four_pi * d2 * d2)) * (lambda * lambda * rx_gain / four_pi);
+  return hop1 * tag * hop2;
+}
+
+double LinkBudget::received_power(const Deployment& dep, std::size_t tag_index) const {
+  return received_power(dep.es_to_tag(tag_index), dep.tag_to_rx(tag_index));
+}
+
+double LinkBudget::received_amplitude(double d1, double d2) const {
+  return std::sqrt(received_power(d1, d2));
+}
+
+SignalStrengthField signal_strength_field(const LinkBudget& budget,
+                                          const Point& es, const Point& rx,
+                                          double x_min, double x_max,
+                                          double y_min, double y_max,
+                                          std::size_t nx, std::size_t ny) {
+  CBMA_REQUIRE(nx >= 2 && ny >= 2, "grid needs at least 2x2 points");
+  CBMA_REQUIRE(x_max > x_min && y_max > y_min, "degenerate grid extent");
+  SignalStrengthField field{x_min, x_max, y_min, y_max, nx, ny, {}};
+  field.dbm.resize(nx * ny);
+  for (std::size_t iy = 0; iy < ny; ++iy) {
+    const double y = y_min + (y_max - y_min) * static_cast<double>(iy) /
+                                 static_cast<double>(ny - 1);
+    for (std::size_t ix = 0; ix < nx; ++ix) {
+      const double x = x_min + (x_max - x_min) * static_cast<double>(ix) /
+                                   static_cast<double>(nx - 1);
+      const Point tag{x, y};
+      const double d1 = std::max(distance(es, tag), 1e-3);
+      const double d2 = std::max(distance(tag, rx), 1e-3);
+      field.dbm[iy * nx + ix] = units::watts_to_dbm(budget.received_power(d1, d2));
+    }
+  }
+  return field;
+}
+
+}  // namespace cbma::rfsim

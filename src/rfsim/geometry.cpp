@@ -1,0 +1,74 @@
+#include "rfsim/geometry.h"
+
+#include <cmath>
+
+#include "util/expect.h"
+
+namespace cbma::rfsim {
+
+double distance(const Point& a, const Point& b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+bool Room::contains(const Point& p) const {
+  return std::abs(p.x) <= width / 2.0 && std::abs(p.y) <= height / 2.0;
+}
+
+Point Room::random_point(Rng& rng) const {
+  return Point{rng.uniform(-width / 2.0, width / 2.0),
+               rng.uniform(-height / 2.0, height / 2.0)};
+}
+
+Deployment::Deployment(Point excitation_source, Point receiver)
+    : es_(excitation_source), rx_(receiver) {}
+
+const Point& Deployment::tag(std::size_t i) const {
+  CBMA_REQUIRE(i < tags_.size(), "tag index out of range");
+  return tags_[i];
+}
+
+void Deployment::add_tag(Point p) { tags_.push_back(p); }
+
+void Deployment::set_tag(std::size_t i, Point p) {
+  CBMA_REQUIRE(i < tags_.size(), "tag index out of range");
+  tags_[i] = p;
+}
+
+void Deployment::clear_tags() { tags_.clear(); }
+
+double Deployment::es_to_tag(std::size_t i) const { return distance(es_, tag(i)); }
+
+double Deployment::tag_to_rx(std::size_t i) const { return distance(tag(i), rx_); }
+
+double Deployment::tag_to_tag(std::size_t i, std::size_t j) const {
+  return distance(tag(i), tag(j));
+}
+
+void Deployment::place_random_tags(std::size_t count, const Room& room, Rng& rng,
+                                   double min_separation, double min_to_endpoints) {
+  CBMA_REQUIRE(min_separation >= 0.0, "negative separation");
+  constexpr int kMaxAttemptsPerTag = 10'000;
+  for (std::size_t n = 0; n < count; ++n) {
+    bool placed = false;
+    for (int attempt = 0; attempt < kMaxAttemptsPerTag; ++attempt) {
+      const Point cand = room.random_point(rng);
+      if (distance(cand, es_) < min_to_endpoints) continue;
+      if (distance(cand, rx_) < min_to_endpoints) continue;
+      bool clear = true;
+      for (const auto& t : tags_) {
+        if (distance(cand, t) < min_separation) {
+          clear = false;
+          break;
+        }
+      }
+      if (clear) {
+        tags_.push_back(cand);
+        placed = true;
+        break;
+      }
+    }
+    CBMA_REQUIRE(placed, "could not place tags with the requested separation");
+  }
+}
+
+}  // namespace cbma::rfsim

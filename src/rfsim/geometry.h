@@ -1,0 +1,68 @@
+// Planar geometry for deployments: the paper's coordinate frame (Fig. 3)
+// places the excitation source at (−D, 0) and the receiver at (D, 0) with
+// D = 50 cm, and tags at arbitrary positions in a 4 m × 6 m office.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace cbma::rfsim {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+double distance(const Point& a, const Point& b);
+
+/// Rectangular room centred on the origin.
+struct Room {
+  double width = 4.0;   // metres, x extent
+  double height = 6.0;  // metres, y extent
+
+  bool contains(const Point& p) const;
+  Point random_point(Rng& rng) const;
+};
+
+/// Positions of every element of a CBMA cell.
+class Deployment {
+ public:
+  /// Paper benchmark frame: ES at (−d, 0), RX at (+d, 0).
+  Deployment(Point excitation_source, Point receiver);
+
+  static Deployment paper_frame(double d = 0.5) {
+    return Deployment(Point{-d, 0.0}, Point{d, 0.0});
+  }
+
+  const Point& excitation_source() const { return es_; }
+  const Point& receiver() const { return rx_; }
+
+  std::size_t tag_count() const { return tags_.size(); }
+  const Point& tag(std::size_t i) const;
+  const std::vector<Point>& tags() const { return tags_; }
+
+  void add_tag(Point p);
+  void set_tag(std::size_t i, Point p);
+  void clear_tags();
+
+  /// Distance from the excitation source to tag i (paper's d1).
+  double es_to_tag(std::size_t i) const;
+  /// Distance from tag i to the receiver (paper's d2).
+  double tag_to_rx(std::size_t i) const;
+  /// Distance between two tags (used by the λ/2 exclusion rule).
+  double tag_to_tag(std::size_t i, std::size_t j) const;
+
+  /// Place `count` tags uniformly in `room`, enforcing a minimum pairwise
+  /// separation (and a minimum distance to ES/RX so Friis stays finite).
+  void place_random_tags(std::size_t count, const Room& room, Rng& rng,
+                         double min_separation = 0.0, double min_to_endpoints = 0.1);
+
+ private:
+  Point es_;
+  Point rx_;
+  std::vector<Point> tags_;
+};
+
+}  // namespace cbma::rfsim

@@ -1,0 +1,81 @@
+#include "rfsim/impedance.h"
+
+#include <cmath>
+
+#include "util/expect.h"
+#include "util/units.h"
+
+namespace cbma::rfsim {
+
+std::complex<double> series_rlc_impedance(double resistance_ohm, double inductance_h,
+                                          double capacitance_f, double hz) {
+  CBMA_REQUIRE(resistance_ohm >= 0.0, "negative resistance");
+  CBMA_REQUIRE(hz > 0.0, "frequency must be positive");
+  const double omega = 2.0 * units::kPi * hz;
+  double reactance = omega * inductance_h;
+  if (capacitance_f > 0.0) reactance -= 1.0 / (omega * capacitance_f);
+  return {resistance_ohm, reactance};
+}
+
+std::complex<double> reflection_coefficient(std::complex<double> z, double z0) {
+  CBMA_REQUIRE(z0 > 0.0, "reference impedance must be positive");
+  return (z - z0) / (z + z0);
+}
+
+std::complex<double> open_circuit_gamma() { return {1.0, 0.0}; }
+
+ReflectionStateBank::ReflectionStateBank(std::vector<ReflectionState> states)
+    : states_(std::move(states)) {
+  CBMA_REQUIRE(!states_.empty(), "bank needs at least one state");
+}
+
+ReflectionStateBank ReflectionStateBank::uniform_bank(std::size_t levels,
+                                                      double range_db) {
+  CBMA_REQUIRE(levels >= 1, "bank needs at least one level");
+  CBMA_REQUIRE(range_db >= 0.0, "range must be non-negative");
+  std::vector<ReflectionState> states;
+  states.reserve(levels);
+  for (std::size_t k = 0; k < levels; ++k) {
+    const double db =
+        levels == 1 ? 0.0
+                    : -range_db + range_db * static_cast<double>(k) /
+                                      static_cast<double>(levels - 1);
+    states.push_back({"uniform#" + std::to_string(k), open_circuit_gamma(),
+                      units::amplitude_from_db(db)});
+  }
+  return ReflectionStateBank(std::move(states));
+}
+
+ReflectionStateBank ReflectionStateBank::paper_bank(double carrier_hz) {
+  constexpr double kParasiticOhm = 8.0;  // HMC190B series insertion resistance
+  const auto gamma_c = [&](double cap) {
+    return reflection_coefficient(series_rlc_impedance(kParasiticOhm, 0.0, cap, carrier_hz));
+  };
+  const auto gamma_l = [&](double ind) {
+    return reflection_coefficient(series_rlc_impedance(kParasiticOhm, ind, 0.0, carrier_hz));
+  };
+  // Amplitude factors: −11, −7, −3, 0 dB (power), monotone increasing so
+  // Algorithm 1's Z ← Z + 1 raises the backscattered power until wrap.
+  std::vector<ReflectionState> states = {
+      {"2nH", gamma_l(2e-9), units::amplitude_from_db(-11.0)},
+      {"3pF", gamma_c(3e-12), units::amplitude_from_db(-7.0)},
+      {"1pF", gamma_c(1e-12), units::amplitude_from_db(-3.0)},
+      {"open", open_circuit_gamma(), units::amplitude_from_db(0.0)},
+  };
+  return ReflectionStateBank(std::move(states));
+}
+
+const ReflectionState& ReflectionStateBank::state(std::size_t level) const {
+  CBMA_REQUIRE(level < states_.size(), "impedance level out of range");
+  return states_[level];
+}
+
+double ReflectionStateBank::amplitude_factor(std::size_t level) const {
+  return state(level).amplitude_factor;
+}
+
+double ReflectionStateBank::power_db(std::size_t level) const {
+  return units::to_db(amplitude_factor(level) * amplitude_factor(level));
+}
+
+}  // namespace cbma::rfsim

@@ -1,0 +1,70 @@
+// Antenna-termination impedance networks and reflection coefficients.
+//
+// The paper's tag switches its antenna among four terminations via an
+// HMC190B SPDT: a 3 pF capacitor, a 1 pF capacitor, an open circuit and a
+// 2 nH inductor (§VI). The backscattered amplitude is proportional to the
+// difference of reflection coefficients between the modulation states,
+// |ΔΓ|. We compute Γ = (Z − Z0)/(Z + Z0) exactly from the circuit values;
+// the *effective* per-state amplitude factors used by the simulation are
+// calibrated to a monotone ~11 dB range (DESIGN.md §4.3) because the
+// magnitude spread of ideal pure reactances is dominated by PCB parasitics
+// we cannot measure.
+#pragma once
+
+#include <complex>
+#include <string>
+#include <vector>
+
+namespace cbma::rfsim {
+
+/// Impedance of an ideal series R-L-C network at frequency `hz`.
+/// Pass capacitance_f = 0 for "no capacitor" (short, not open).
+std::complex<double> series_rlc_impedance(double resistance_ohm, double inductance_h,
+                                          double capacitance_f, double hz);
+
+/// Reflection coefficient Γ = (Z − Z0)/(Z + Z0) against a real reference
+/// impedance (default 50 Ω).
+std::complex<double> reflection_coefficient(std::complex<double> z, double z0 = 50.0);
+
+/// Γ of an open-circuit termination (exactly +1 in the ideal case).
+std::complex<double> open_circuit_gamma();
+
+/// One switchable termination state of the tag.
+struct ReflectionState {
+  std::string name;
+  std::complex<double> gamma;   ///< computed reflection coefficient
+  double amplitude_factor;      ///< calibrated backscatter amplitude multiplier, (0, 1]
+};
+
+/// The tag's switchable power levels (Algorithm 1's Z = 1..Z_max).
+/// Levels are ordered weakest → strongest so Algorithm 1's Z ← Z + 1 is a
+/// power *increase* until it wraps ("when the tag receives few ACK
+/// feedback packets … we have to increase the power", §V-B).
+class ReflectionStateBank {
+ public:
+  /// Paper configuration: {2 nH, 3 pF, 1 pF, open} with an 8 Ω series
+  /// parasitic; calibrated amplitude factors −11/−7/−3/0 dB.
+  static ReflectionStateBank paper_bank(double carrier_hz = 2.0e9);
+
+  /// Synthetic bank for design-space studies: `levels` states spaced
+  /// evenly in power from −range_db up to 0 dB (Γ is not derived from a
+  /// circuit here; the amplitude ladder is the object under study).
+  static ReflectionStateBank uniform_bank(std::size_t levels, double range_db);
+
+  /// Index of the strongest (last) level.
+  std::size_t strongest_level() const { return states_.size() - 1; }
+
+  std::size_t size() const { return states_.size(); }
+  const ReflectionState& state(std::size_t level) const;
+
+  /// Backscatter amplitude multiplier for impedance level `level` (0-based).
+  double amplitude_factor(std::size_t level) const;
+  /// Same in power dB relative to the strongest state.
+  double power_db(std::size_t level) const;
+
+ private:
+  explicit ReflectionStateBank(std::vector<ReflectionState> states);
+  std::vector<ReflectionState> states_;
+};
+
+}  // namespace cbma::rfsim

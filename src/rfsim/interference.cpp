@@ -1,0 +1,73 @@
+#include "rfsim/interference.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expect.h"
+
+namespace cbma::rfsim {
+namespace {
+
+/// Add complex Gaussian energy of total power `power_w` to iq[begin, end).
+void add_burst(std::vector<std::complex<double>>& iq, std::size_t begin, std::size_t end,
+               double power_w, Rng& rng) {
+  const double sigma = std::sqrt(power_w / 2.0);
+  for (std::size_t s = begin; s < end; ++s) {
+    iq[s] += std::complex<double>(rng.gaussian(0.0, sigma), rng.gaussian(0.0, sigma));
+  }
+}
+
+}  // namespace
+
+WifiInterferer::WifiInterferer(double power_w, double mean_frame_s, double mean_idle_s)
+    : power_w_(power_w), mean_frame_s_(mean_frame_s), mean_idle_s_(mean_idle_s) {
+  CBMA_REQUIRE(power_w >= 0.0, "negative interference power");
+  CBMA_REQUIRE(mean_frame_s > 0.0 && mean_idle_s > 0.0, "durations must be positive");
+}
+
+double WifiInterferer::occupancy() const {
+  return mean_frame_s_ / (mean_frame_s_ + mean_idle_s_);
+}
+
+void WifiInterferer::add_to(std::vector<std::complex<double>>& iq, double sample_rate_hz,
+                            Rng& rng) const {
+  CBMA_REQUIRE(sample_rate_hz > 0.0, "sample rate must be positive");
+  if (power_w_ <= 0.0) return;
+  std::size_t pos = 0;
+  bool busy = rng.bernoulli(occupancy());
+  while (pos < iq.size()) {
+    const double duration_s = rng.exponential(busy ? mean_frame_s_ : mean_idle_s_);
+    const auto n = std::max<std::size_t>(1, static_cast<std::size_t>(duration_s * sample_rate_hz));
+    const std::size_t end = std::min(iq.size(), pos + n);
+    if (busy) add_burst(iq, pos, end, power_w_, rng);
+    pos = end;
+    busy = !busy;
+  }
+}
+
+BluetoothInterferer::BluetoothInterferer(double power_w, unsigned overlap_channels,
+                                         double dwell_s)
+    : power_w_(power_w), overlap_channels_(overlap_channels), dwell_s_(dwell_s) {
+  CBMA_REQUIRE(power_w >= 0.0, "negative interference power");
+  CBMA_REQUIRE(overlap_channels <= kChannels, "more overlap channels than BT has");
+  CBMA_REQUIRE(dwell_s > 0.0, "dwell must be positive");
+}
+
+double BluetoothInterferer::occupancy() const {
+  return static_cast<double>(overlap_channels_) / static_cast<double>(kChannels);
+}
+
+void BluetoothInterferer::add_to(std::vector<std::complex<double>>& iq,
+                                 double sample_rate_hz, Rng& rng) const {
+  CBMA_REQUIRE(sample_rate_hz > 0.0, "sample rate must be positive");
+  if (power_w_ <= 0.0) return;
+  const auto dwell_samples =
+      std::max<std::size_t>(1, static_cast<std::size_t>(dwell_s_ * sample_rate_hz));
+  for (std::size_t pos = 0; pos < iq.size(); pos += dwell_samples) {
+    if (!rng.bernoulli(occupancy())) continue;
+    const std::size_t end = std::min(iq.size(), pos + dwell_samples);
+    add_burst(iq, pos, end, power_w_, rng);
+  }
+}
+
+}  // namespace cbma::rfsim

@@ -1,0 +1,30 @@
+// Additive white Gaussian noise for the complex-baseband channel.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace cbma::rfsim {
+
+class AwgnSource {
+ public:
+  /// `noise_power_w`: total complex noise power (variance of I plus
+  /// variance of Q).
+  explicit AwgnSource(double noise_power_w);
+
+  double noise_power() const { return power_; }
+
+  /// One complex noise sample.
+  std::complex<double> sample(Rng& rng) const;
+
+  /// Add noise in place to a baseband buffer.
+  void add_to(std::vector<std::complex<double>>& iq, Rng& rng) const;
+
+ private:
+  double power_;
+  double per_dim_sigma_;
+};
+
+}  // namespace cbma::rfsim

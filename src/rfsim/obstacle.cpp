@@ -1,0 +1,80 @@
+#include "rfsim/obstacle.h"
+
+#include <cmath>
+
+#include "util/expect.h"
+#include "util/units.h"
+
+namespace cbma::rfsim {
+namespace {
+
+/// Orientation of the ordered triple (a, b, c): >0 counter-clockwise,
+/// <0 clockwise, 0 collinear.
+double cross(const Point& a, const Point& b, const Point& c) {
+  return (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+}
+
+bool on_segment(const Point& a, const Point& b, const Point& p) {
+  return std::min(a.x, b.x) - 1e-12 <= p.x && p.x <= std::max(a.x, b.x) + 1e-12 &&
+         std::min(a.y, b.y) - 1e-12 <= p.y && p.y <= std::max(a.y, b.y) + 1e-12;
+}
+
+}  // namespace
+
+bool segments_intersect(const Point& p1, const Point& p2, const Point& q1,
+                        const Point& q2) {
+  const double d1 = cross(q1, q2, p1);
+  const double d2 = cross(q1, q2, p2);
+  const double d3 = cross(p1, p2, q1);
+  const double d4 = cross(p1, p2, q2);
+  if (((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+      ((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0))) {
+    return true;
+  }
+  if (d1 == 0 && on_segment(q1, q2, p1)) return true;
+  if (d2 == 0 && on_segment(q1, q2, p2)) return true;
+  if (d3 == 0 && on_segment(p1, p2, q1)) return true;
+  if (d4 == 0 && on_segment(p1, p2, q2)) return true;
+  return false;
+}
+
+ObstacleMap::ObstacleMap(std::vector<Obstacle> obstacles)
+    : obstacles_(std::move(obstacles)) {
+  for (const auto& o : obstacles_) {
+    CBMA_REQUIRE(o.loss_db >= 0.0, "obstacle loss must be non-negative");
+  }
+}
+
+void ObstacleMap::add(Obstacle obstacle) {
+  CBMA_REQUIRE(obstacle.loss_db >= 0.0, "obstacle loss must be non-negative");
+  obstacles_.push_back(obstacle);
+}
+
+const Obstacle& ObstacleMap::obstacle(std::size_t i) const {
+  CBMA_REQUIRE(i < obstacles_.size(), "obstacle index out of range");
+  return obstacles_[i];
+}
+
+double ObstacleMap::path_loss_db(const Point& from, const Point& to) const {
+  double loss = 0.0;
+  for (const auto& o : obstacles_) {
+    if (segments_intersect(from, to, o.a, o.b)) loss += o.loss_db;
+  }
+  return loss;
+}
+
+double ObstacleMap::received_power(const LinkBudget& budget, const Deployment& dep,
+                                   std::size_t tag_index) const {
+  const double clear = budget.received_power(dep, tag_index);
+  const double loss_db = path_loss_db(dep.excitation_source(), dep.tag(tag_index)) +
+                         path_loss_db(dep.tag(tag_index), dep.receiver());
+  return clear * units::from_db(-loss_db);
+}
+
+double ObstacleMap::received_amplitude(const LinkBudget& budget,
+                                       const Deployment& dep,
+                                       std::size_t tag_index) const {
+  return std::sqrt(received_power(budget, dep, tag_index));
+}
+
+}  // namespace cbma::rfsim

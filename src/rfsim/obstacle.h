@@ -1,0 +1,54 @@
+// Obstacle shadowing for the "challenging indoor scenarios with obstacles"
+// the paper's headline claim references (§I, abstract). An obstacle is a
+// wall/furniture line segment with a penetration loss; a propagation hop
+// (ES→tag or tag→RX) that crosses it is attenuated by that loss. The
+// ObstacleMap composes with the Friis budget to give shadowed received
+// powers and amplitudes.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "rfsim/friis.h"
+#include "rfsim/geometry.h"
+
+namespace cbma::rfsim {
+
+/// A straight attenuating segment (interior wall, cabinet, shelf...).
+struct Obstacle {
+  Point a;
+  Point b;
+  double loss_db = 10.0;  ///< per-crossing penetration loss
+};
+
+/// Do segments [p1,p2] and [q1,q2] intersect (proper or touching)?
+bool segments_intersect(const Point& p1, const Point& p2, const Point& q1,
+                        const Point& q2);
+
+class ObstacleMap {
+ public:
+  ObstacleMap() = default;
+  explicit ObstacleMap(std::vector<Obstacle> obstacles);
+
+  void add(Obstacle obstacle);
+  std::size_t size() const { return obstacles_.size(); }
+  const Obstacle& obstacle(std::size_t i) const;
+
+  /// Total penetration loss (dB) along the straight path from `from` to
+  /// `to`: the sum of the losses of every crossed obstacle.
+  double path_loss_db(const Point& from, const Point& to) const;
+
+  /// Shadowed received power for tag i of a deployment: Eq. 1 attenuated
+  /// by the losses of both hops.
+  double received_power(const LinkBudget& budget, const Deployment& dep,
+                        std::size_t tag_index) const;
+
+  /// √ of the above (the amplitude the channel consumes).
+  double received_amplitude(const LinkBudget& budget, const Deployment& dep,
+                            std::size_t tag_index) const;
+
+ private:
+  std::vector<Obstacle> obstacles_;
+};
+
+}  // namespace cbma::rfsim

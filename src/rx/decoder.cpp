@@ -1,0 +1,80 @@
+#include "rx/decoder.h"
+
+#include <cmath>
+
+#include "pn/correlation.h"
+#include "util/expect.h"
+#include "util/units.h"
+
+namespace cbma::rx {
+namespace {
+
+/// Wrap an angle to (−π, π].
+double wrap_angle(double a) {
+  while (a > units::kPi) a -= 2.0 * units::kPi;
+  while (a <= -units::kPi) a += 2.0 * units::kPi;
+  return a;
+}
+
+}  // namespace
+
+Decoder::Decoder(pn::PnCode code, std::size_t preamble_bits,
+                 std::size_t samples_per_chip, double phase_gain)
+    : code_(std::move(code)),
+      preamble_bits_(preamble_bits),
+      samples_per_chip_(samples_per_chip),
+      phase_gain_(phase_gain) {
+  CBMA_REQUIRE(!code_.empty(), "decoder needs a code");
+  CBMA_REQUIRE(samples_per_chip >= 1, "samples_per_chip must be positive");
+  CBMA_REQUIRE(preamble_bits >= 1, "preamble must be at least one bit");
+  CBMA_REQUIRE(phase_gain >= 0.0 && phase_gain <= 1.0,
+               "phase gain must lie in [0, 1]");
+  samples_per_bit_ = code_.length() * samples_per_chip_;
+  bit_template_ = pn::mean_removed_template(code_, samples_per_chip_);
+}
+
+double Decoder::decode_bit_soft(std::span<const std::complex<double>> iq,
+                                std::size_t offset, double phase) const {
+  const auto corr = pn::complex_correlate_at(iq, bit_template_, offset);
+  return corr.real() * std::cos(phase) + corr.imag() * std::sin(phase);
+}
+
+DecodedFrame Decoder::decode(std::span<const std::complex<double>> iq,
+                             std::size_t preamble_offset, double phase0) const {
+  DecodedFrame out;
+  const std::size_t body_start = preamble_offset + preamble_bits_ * samples_per_bit_;
+  double phase = phase0;
+
+  const auto decode_bits = [&](std::size_t first_bit, std::size_t count) {
+    for (std::size_t b = first_bit; b < first_bit + count; ++b) {
+      const std::size_t off = body_start + b * samples_per_bit_;
+      if (off + samples_per_bit_ > iq.size()) return false;
+      const auto corr = pn::complex_correlate_at(iq, bit_template_, off);
+      const double soft = corr.real() * std::cos(phase) + corr.imag() * std::sin(phase);
+      out.soft.push_back(soft);
+      const bool bit = soft > 0.0;
+      out.bits.push_back(bit ? 1 : 0);
+      // Decision-directed phase update: re-reference the correlation to the
+      // decided symbol and nudge the tracked phase toward it.
+      const std::complex<double> re_ref = bit ? corr : -corr;
+      if (std::abs(re_ref) > 0.0 && phase_gain_ > 0.0) {
+        phase += phase_gain_ * wrap_angle(std::arg(re_ref) - phase);
+      }
+    }
+    return true;
+  };
+
+  // Length byte first, then exactly the advertised id + payload + CRC.
+  if (!decode_bits(0, 8)) return out;
+  std::size_t length = 0;
+  for (std::size_t i = 0; i < 8; ++i) length = (length << 1) | out.bits[i];
+  if (length > phy::kMaxPayloadBytes) return out;
+  if (!decode_bits(8, 8 * (length + 3))) return out;
+
+  out.frame = phy::parse_frame_body(out.bits);
+  out.crc_ok = out.frame.has_value() && out.frame->crc_ok;
+  out.final_phase = wrap_angle(phase);
+  return out;
+}
+
+}  // namespace cbma::rx

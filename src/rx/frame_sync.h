@@ -1,0 +1,45 @@
+// Frame synchronization by energy detection (§III-B):
+// a moving-average filter of window W_n tracks the baseline power level;
+// a new frame is declared when the instantaneous power level (short head
+// average) exceeds the filtered baseline by the decision threshold
+// P_th = 3 dB.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace cbma::rx {
+
+struct FrameSyncConfig {
+  std::size_t window = 128;       ///< W_n, baseline moving-average window (samples)
+  double threshold_db = 3.0;      ///< P_th above the filtered level
+  /// Samples averaged for the "current" level. Two consecutive windows of
+  /// this size must BOTH clear the threshold, so an isolated noise spike
+  /// (which can only dominate one of them) cannot fire the comparator.
+  std::size_t head_average = 16;
+  double min_baseline = 1e-30;    ///< numeric floor for silent channels
+};
+
+class FrameSynchronizer {
+ public:
+  explicit FrameSynchronizer(FrameSyncConfig config);
+
+  const FrameSyncConfig& config() const { return config_; }
+
+  /// First sample index at or after `begin` where the energy comparator
+  /// fires, or nullopt. `magnitude` is P(t) = √(I²+Q²).
+  std::optional<std::size_t> detect(std::span<const double> magnitude,
+                                    std::size_t begin = 0) const;
+
+  /// All trigger points, suppressing re-triggers within `refractory`
+  /// samples of a previous detection (one detection per frame).
+  std::vector<std::size_t> detect_all(std::span<const double> magnitude,
+                                      std::size_t refractory) const;
+
+ private:
+  FrameSyncConfig config_;
+};
+
+}  // namespace cbma::rx

@@ -1,0 +1,95 @@
+#include "rx/receiver.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expect.h"
+
+namespace cbma::rx {
+
+bool AckMessage::contains(std::size_t tag_index) const {
+  return std::find(decoded_tags.begin(), decoded_tags.end(), tag_index) !=
+         decoded_tags.end();
+}
+
+const TagDecodeResult& RxReport::for_tag(std::size_t tag_index) const {
+  CBMA_REQUIRE(tag_index < results.size(), "tag index out of report");
+  return results[tag_index];
+}
+
+Receiver::Receiver(ReceiverConfig config, std::vector<pn::PnCode> group_codes)
+    : config_(config),
+      codes_(std::move(group_codes)),
+      sync_(config.sync),
+      detector_(config.detect, codes_, config.preamble_bits, config.samples_per_chip) {
+  CBMA_REQUIRE(!codes_.empty(), "receiver needs a tag group");
+  decoders_.reserve(codes_.size());
+  for (const auto& c : codes_) {
+    decoders_.emplace_back(c, config_.preamble_bits, config_.samples_per_chip,
+                           config_.phase_tracking_gain);
+  }
+}
+
+const pn::PnCode& Receiver::code(std::size_t i) const {
+  CBMA_REQUIRE(i < codes_.size(), "code index out of group");
+  return codes_[i];
+}
+
+RxReport Receiver::process_iq(std::span<const std::complex<double>> iq) const {
+  RxReport report;
+  report.results.resize(codes_.size());
+  for (std::size_t i = 0; i < codes_.size(); ++i) report.results[i].tag_index = i;
+
+  // Frame synchronization operates on the energy envelope (§III-B).
+  std::vector<double> magnitude(iq.size());
+  for (std::size_t i = 0; i < iq.size(); ++i) magnitude[i] = std::abs(iq[i]);
+
+  // A noise spike can fire the energy comparator ahead of the true frame
+  // and a partially-overlapping search window then locks onto a sidelobe;
+  // real receivers keep listening after a CRC failure. Walk successive sync
+  // triggers, decode each candidate, and keep the attempt that validated
+  // the most frames (bounded, so an empty window stays cheap).
+  constexpr int kMaxSyncAttempts = 4;
+  std::size_t begin = 0;
+  for (int attempt = 0; attempt < kMaxSyncAttempts; ++attempt) {
+    const auto trigger = sync_.detect(magnitude, begin);
+    if (!trigger) break;
+    if (!report.frame_start) report.frame_start = trigger;
+
+    const auto detections = detector_.detect(iq, *trigger);
+    RxReport candidate;
+    candidate.frame_start = trigger;
+    candidate.results.resize(codes_.size());
+    for (std::size_t i = 0; i < codes_.size(); ++i) candidate.results[i].tag_index = i;
+
+    for (const auto& d : detections) {
+      auto& r = candidate.results[d.tag_index];
+      r.detected = true;
+      r.correlation = d.correlation;
+      r.offset_samples = d.offset_samples;
+
+      const auto decoded =
+          decoders_[d.tag_index].decode(iq, d.offset_samples, d.phase);
+      // The frame's identity must match the code that decoded it: a wrong
+      // code at a lucky lag reproduces another tag's bits sign-consistently
+      // (CRC included), so the in-frame tag id is the discriminator.
+      if (decoded.crc_ok &&
+          decoded.frame->tag_id == static_cast<std::uint8_t>(d.tag_index)) {
+        r.crc_ok = true;
+        r.payload = decoded.frame->payload;
+        candidate.ack.decoded_tags.push_back(d.tag_index);
+      }
+    }
+
+    if (candidate.decoded_count() > report.decoded_count() ||
+        (attempt == 0 && !detections.empty())) {
+      report = std::move(candidate);
+    }
+    if (report.decoded_count() > 0) break;
+    // Skip ahead past this trigger before re-arming.
+    begin = *trigger + config_.sync.window;
+  }
+  return report;
+}
+
+}  // namespace cbma::rx

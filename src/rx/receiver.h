@@ -1,0 +1,75 @@
+// The complete CBMA receiver pipeline (§III-B): energy-envelope frame
+// synchronization → complex-correlation user detection → coherent per-user
+// decoding → acknowledgement. One Receiver instance serves a tag group; it
+// holds the group's PN codes and precomputed templates.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "pn/code.h"
+#include "rx/decoder.h"
+#include "rx/frame_sync.h"
+#include "rx/user_detect.h"
+
+namespace cbma::rx {
+
+struct ReceiverConfig {
+  FrameSyncConfig sync;
+  UserDetectConfig detect;
+  std::size_t samples_per_chip = 4;
+  std::size_t preamble_bits = 8;
+  double phase_tracking_gain = 0.25;  ///< decoder's decision-directed loop gain
+};
+
+struct TagDecodeResult {
+  std::size_t tag_index = 0;
+  bool detected = false;         ///< user detection fired for this code
+  bool crc_ok = false;           ///< frame decoded, CRC and in-frame id verified
+  double correlation = 0.0;      ///< preamble correlation peak
+  std::size_t offset_samples = 0;
+  std::vector<std::uint8_t> payload;  ///< valid only when crc_ok
+};
+
+/// The acknowledgement the receiver broadcasts: IDs (group indices) of the
+/// tags whose frames decoded successfully (§III-B "Acknowledgement").
+struct AckMessage {
+  std::vector<std::size_t> decoded_tags;
+
+  bool contains(std::size_t tag_index) const;
+};
+
+struct RxReport {
+  std::optional<std::size_t> frame_start;  ///< frame-sync trigger, if any
+  std::vector<TagDecodeResult> results;    ///< one entry per group code
+  AckMessage ack;
+
+  const TagDecodeResult& for_tag(std::size_t tag_index) const;
+  std::size_t decoded_count() const { return ack.decoded_tags.size(); }
+};
+
+class Receiver {
+ public:
+  Receiver(ReceiverConfig config, std::vector<pn::PnCode> group_codes);
+
+  const ReceiverConfig& config() const { return config_; }
+  std::size_t group_size() const { return codes_.size(); }
+  const pn::PnCode& code(std::size_t i) const;
+
+  /// Full pipeline on a complex-baseband window. Frame sync runs on the
+  /// magnitude envelope P(t) = √(I²+Q²) (the paper's §V-B quantity);
+  /// detection and decoding are coherent.
+  RxReport process_iq(std::span<const std::complex<double>> iq) const;
+
+ private:
+  ReceiverConfig config_;
+  std::vector<pn::PnCode> codes_;
+  FrameSynchronizer sync_;
+  UserDetector detector_;
+  std::vector<Decoder> decoders_;
+};
+
+}  // namespace cbma::rx

@@ -1,0 +1,131 @@
+#include "rx/user_detect.h"
+
+#include <algorithm>
+
+#include "phy/frame.h"
+#include "pn/correlation.h"
+#include "util/expect.h"
+
+namespace cbma::rx {
+namespace {
+
+/// Upsampled template of a code's spread preamble, built per bit period
+/// from the *per-code-period* mean-removed bipolar code (sign flipped for
+/// '0' bits). Removing the mean per code period — rather than over the
+/// whole preamble — is essential: with the footnote-2 negation convention
+/// the dense '0'-bit chips are nearly identical across users, and a
+/// whole-preamble mean removal would leave every code correlating with
+/// every frame.
+std::vector<double> preamble_template(const pn::PnCode& code, std::size_t preamble_bits,
+                                      std::size_t samples_per_chip) {
+  const auto bits = phy::alternating_preamble(preamble_bits);
+  const auto bit_template = pn::mean_removed_template(code, samples_per_chip);
+  std::vector<double> tmpl;
+  tmpl.reserve(bits.size() * bit_template.size());
+  for (const auto bit : bits) {
+    for (const double v : bit_template) tmpl.push_back(bit ? v : -v);
+  }
+  return tmpl;
+}
+
+}  // namespace
+
+UserDetector::UserDetector(UserDetectConfig config, std::span<const pn::PnCode> codes,
+                           std::size_t preamble_bits, std::size_t samples_per_chip)
+    : config_(config), samples_per_chip_(samples_per_chip) {
+  CBMA_REQUIRE(!codes.empty(), "detector needs at least one code");
+  CBMA_REQUIRE(samples_per_chip >= 1, "samples_per_chip must be positive");
+  CBMA_REQUIRE(config_.threshold > 0.0 && config_.threshold < 1.0,
+               "threshold must be in (0,1)");
+  CBMA_REQUIRE(config_.relative_threshold >= 0.0 && config_.relative_threshold <= 1.0,
+               "relative threshold must be in [0,1]");
+  CBMA_REQUIRE(config_.search_back_chips >= 0.0 && config_.search_ahead_chips >= 0.0,
+               "search window must be non-negative");
+  CBMA_REQUIRE(config_.group_window_chips >= 0.0,
+               "group window must be non-negative");
+  templates_.reserve(codes.size());
+  for (const auto& code : codes) {
+    templates_.push_back(preamble_template(code, preamble_bits, samples_per_chip));
+  }
+}
+
+DetectedUser UserDetector::probe(std::span<const std::complex<double>> iq,
+                                 std::size_t coarse_start, std::size_t tag_index) const {
+  CBMA_REQUIRE(tag_index < templates_.size(), "tag index out of group");
+  const auto spc = static_cast<double>(samples_per_chip_);
+  const auto back = static_cast<std::size_t>(config_.search_back_chips * spc);
+  const auto ahead = static_cast<std::size_t>(config_.search_ahead_chips * spc);
+  const std::size_t begin = coarse_start > back ? coarse_start - back : 0;
+  const std::size_t end = coarse_start + ahead + 1;
+  const auto peak = pn::sliding_complex_peak(iq, templates_[tag_index], begin, end);
+  return DetectedUser{tag_index, peak.offset, peak.value, peak.phase};
+}
+
+std::vector<DetectedUser> UserDetector::detect(std::span<const std::complex<double>> iq,
+                                               std::size_t coarse_start) const {
+  // Successive detection with interference cancellation on a residual copy.
+  std::vector<std::complex<double>> residual(iq.begin(), iq.end());
+  std::vector<bool> taken(templates_.size(), false);
+
+  // Precomputed template energies for the gain estimates.
+  std::vector<double> tmpl_norm2(templates_.size());
+  for (std::size_t i = 0; i < templates_.size(); ++i) {
+    double e = 0.0;
+    for (const double v : templates_[i]) e += v * v;
+    tmpl_norm2[i] = e;
+  }
+
+  const auto spc = static_cast<double>(samples_per_chip_);
+  const auto group_span =
+      static_cast<std::size_t>(config_.group_window_chips * spc);
+
+  std::vector<DetectedUser> out;
+  double anchor_correlation = 0.0;
+  for (std::size_t round = 0; round < templates_.size(); ++round) {
+    // Search window: free around the coarse trigger for the anchor, the
+    // group window around the anchor afterwards.
+    std::size_t begin, end;
+    if (out.empty()) {
+      const auto back = static_cast<std::size_t>(config_.search_back_chips * spc);
+      const auto ahead = static_cast<std::size_t>(config_.search_ahead_chips * spc);
+      begin = coarse_start > back ? coarse_start - back : 0;
+      end = coarse_start + ahead + 1;
+    } else {
+      const std::size_t anchor = out.front().offset_samples;
+      begin = anchor > group_span ? anchor - group_span : 0;
+      end = anchor + group_span + 1;
+    }
+
+    DetectedUser best;
+    for (std::size_t i = 0; i < templates_.size(); ++i) {
+      if (taken[i]) continue;
+      const auto peak = pn::sliding_complex_peak(residual, templates_[i], begin, end);
+      if (peak.value > best.correlation) {
+        best = DetectedUser{i, peak.offset, peak.value, peak.phase};
+      }
+    }
+    if (best.correlation < config_.threshold) break;
+    if (out.empty()) {
+      anchor_correlation = best.correlation;
+    } else if (best.correlation < config_.relative_threshold * anchor_correlation) {
+      break;
+    }
+    taken[best.tag_index] = true;
+    out.push_back(best);
+
+    if (!config_.enable_sic) continue;
+    // Cancel the detected user's preamble contribution: the complex gain is
+    // the least-squares fit of the template at the detected offset.
+    const auto& tmpl = templates_[best.tag_index];
+    const auto corr = pn::complex_correlate_at(residual, tmpl, best.offset_samples);
+    const std::complex<double> gain = corr / tmpl_norm2[best.tag_index];
+    for (std::size_t k = 0; k < tmpl.size(); ++k) {
+      const std::size_t s = best.offset_samples + k;
+      if (s >= residual.size()) break;
+      residual[s] -= gain * tmpl[k];
+    }
+  }
+  return out;
+}
+
+}  // namespace cbma::rx

@@ -1,0 +1,86 @@
+// Correlation-based user detection (§III-B, §V):
+// every group code's spread preamble is slid over the head of the detected
+// frame in the complex baseband; a normalized-|correlation| peak above the
+// threshold declares that user present and yields its per-user timing
+// offset *and* carrier-phase estimate. Searching over offsets is what makes
+// the detector robust to the tags' asynchronous starts — the paper's answer
+// to the "asynchronous signal" challenge — and the complex correlation is
+// invariant to each tag's unknown carrier phase.
+//
+// Detection is successive: the strongest code is found first, its estimated
+// preamble contribution is subtracted from a residual copy, and the search
+// repeats for the remaining codes inside the group window around the
+// anchor. Without this interference cancellation a weak user's aligned
+// peak is regularly beaten by the *sum* of the other users' correlation
+// sidelobes at a nearby lag once several tags collide.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "phy/tag.h"
+#include "pn/code.h"
+
+namespace cbma::rx {
+
+struct UserDetectConfig {
+  double threshold = 0.20;           ///< absolute normalized-correlation threshold
+  /// A code is also rejected when its peak is below this fraction of the
+  /// strongest peak in the window — shifted-lag sidelobes of a present code
+  /// sit well below the aligned peaks of the actual transmitters.
+  double relative_threshold = 0.40;
+  /// Search window around the coarse start. The spike-proof energy
+  /// comparator fires within ~2 head-windows of the true frame edge, so a
+  /// tight window suffices — and a tight window is essential: distant lags
+  /// expose the detector to other users' correlation sidelobes.
+  double search_back_chips = 10.0;
+  double search_ahead_chips = 8.0;
+  /// Group-window constraint: tags of a group start within a small mutual
+  /// offset (the excitation triggers them together; Fig. 11 studies the
+  /// residual delays). After the strongest code's peak anchors the frame,
+  /// every other code is searched only within ± this window of the anchor,
+  /// which keeps weak users from locking onto interference sidelobes at
+  /// distant lags. Widen it when deliberately delaying tags by more.
+  double group_window_chips = 2.0;
+  /// Successive interference cancellation during detection (DESIGN.md
+  /// §4.4). Disable only for ablation studies: without it the sum of other
+  /// users' sidelobes regularly beats a weak user's aligned peak.
+  bool enable_sic = true;
+};
+
+struct DetectedUser {
+  std::size_t tag_index = 0;
+  std::size_t offset_samples = 0;  ///< start of the user's preamble in the window
+  double correlation = 0.0;        ///< normalized |correlation| at the peak
+  double phase = 0.0;              ///< carrier-phase estimate (radians)
+};
+
+class UserDetector {
+ public:
+  /// `codes`: the group's PN codes (receiver knows all of them);
+  /// `preamble_bits` and `samples_per_chip` must match the tags' config.
+  UserDetector(UserDetectConfig config, std::span<const pn::PnCode> codes,
+               std::size_t preamble_bits, std::size_t samples_per_chip);
+
+  const UserDetectConfig& config() const { return config_; }
+  std::size_t group_size() const { return templates_.size(); }
+
+  /// Detect users around `coarse_start` (the frame synchronizer's trigger).
+  /// Returns every code whose correlation peak clears both thresholds.
+  std::vector<DetectedUser> detect(std::span<const std::complex<double>> iq,
+                                   std::size_t coarse_start) const;
+
+  /// Peak correlation (offset + phase) for one specific code, with no
+  /// thresholding — used by tests and calibration.
+  DetectedUser probe(std::span<const std::complex<double>> iq,
+                     std::size_t coarse_start, std::size_t tag_index) const;
+
+ private:
+  UserDetectConfig config_;
+  std::size_t samples_per_chip_;
+  std::vector<std::vector<double>> templates_;  ///< per-bit mean-removed preambles
+};
+
+}  // namespace cbma::rx

@@ -1,0 +1,35 @@
+// Contract-checking macros for the CBMA library.
+//
+// CBMA_REQUIRE validates caller-supplied inputs (preconditions on public
+// APIs) and throws std::invalid_argument so misconfiguration is reported,
+// not silently mangled. CBMA_ASSERT guards internal invariants and throws
+// std::logic_error; if one fires it is a library bug.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace cbma {
+
+[[noreturn]] inline void require_failed(const char* cond, const char* file, int line,
+                                        const std::string& msg) {
+  throw std::invalid_argument(std::string(file) + ":" + std::to_string(line) +
+                              ": requirement failed: " + cond + (msg.empty() ? "" : " — " + msg));
+}
+
+[[noreturn]] inline void assert_failed(const char* cond, const char* file, int line) {
+  throw std::logic_error(std::string(file) + ":" + std::to_string(line) +
+                         ": internal invariant violated: " + cond);
+}
+
+}  // namespace cbma
+
+#define CBMA_REQUIRE(cond, msg)                                      \
+  do {                                                               \
+    if (!(cond)) ::cbma::require_failed(#cond, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#define CBMA_ASSERT(cond)                                            \
+  do {                                                               \
+    if (!(cond)) ::cbma::assert_failed(#cond, __FILE__, __LINE__);   \
+  } while (false)

@@ -1,0 +1,48 @@
+#include "util/rng.h"
+
+#include <algorithm>
+
+#include "util/expect.h"
+#include "util/units.h"
+
+namespace cbma {
+
+double Rng::uniform(double lo, double hi) {
+  CBMA_REQUIRE(lo <= hi, "uniform bounds inverted");
+  std::uniform_real_distribution<double> d(lo, hi);
+  return d(engine_);
+}
+
+int Rng::uniform_int(int lo, int hi) {
+  CBMA_REQUIRE(lo <= hi, "uniform_int bounds inverted");
+  std::uniform_int_distribution<int> d(lo, hi);
+  return d(engine_);
+}
+
+double Rng::gaussian(double mean, double stddev) {
+  CBMA_REQUIRE(stddev >= 0.0, "negative stddev");
+  std::normal_distribution<double> d(mean, stddev);
+  return d(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  CBMA_REQUIRE(p >= 0.0 && p <= 1.0, "probability out of range");
+  std::bernoulli_distribution d(p);
+  return d(engine_);
+}
+
+double Rng::exponential(double mean) {
+  CBMA_REQUIRE(mean > 0.0, "exponential mean must be positive");
+  std::exponential_distribution<double> d(1.0 / mean);
+  return d(engine_);
+}
+
+double Rng::phase() { return uniform(0.0, 2.0 * units::kPi); }
+
+Rng Rng::fork() {
+  // A fresh engine seeded from this stream; children are independent of each
+  // other and of subsequent draws from the parent.
+  return Rng(engine_());
+}
+
+}  // namespace cbma

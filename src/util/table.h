@@ -1,0 +1,32 @@
+// Minimal console table renderer so every bench prints the same row/series
+// layout as the paper's tables and figures, with aligned columns.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cbma {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; must match the header arity.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with fixed precision.
+  static std::string num(double v, int precision = 3);
+  /// Format a proportion as a percentage string, e.g. "12.34%".
+  static std::string percent(double p, int precision = 2);
+
+  /// Render with column alignment and a header separator.
+  std::string render() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cbma

@@ -1,0 +1,42 @@
+// Unit conversions and physical constants used throughout the simulator.
+//
+// Power quantities are carried in linear watts inside hot paths; dB/dBm are
+// conversion helpers at the edges (configuration and reporting).
+#pragma once
+
+#include <cmath>
+
+namespace cbma::units {
+
+inline constexpr double kSpeedOfLight = 299'792'458.0;  // m/s
+inline constexpr double kPi = 3.14159265358979323846;
+
+/// Boltzmann constant, J/K — used for the thermal noise floor.
+inline constexpr double kBoltzmann = 1.380649e-23;
+
+/// Convert a linear power ratio to decibels.
+inline double to_db(double linear) { return 10.0 * std::log10(linear); }
+
+/// Convert decibels to a linear power ratio.
+inline double from_db(double db) { return std::pow(10.0, db / 10.0); }
+
+/// Convert watts to dBm.
+inline double watts_to_dbm(double watts) { return 10.0 * std::log10(watts * 1e3); }
+
+/// Convert dBm to watts.
+inline double dbm_to_watts(double dbm) { return std::pow(10.0, dbm / 10.0) * 1e-3; }
+
+/// Wavelength (m) of a carrier at frequency `hz`.
+inline double wavelength(double hz) { return kSpeedOfLight / hz; }
+
+/// Amplitude (voltage-like) ratio for a power ratio given in dB.
+inline double amplitude_from_db(double db) { return std::pow(10.0, db / 20.0); }
+
+/// Thermal noise power (watts) in bandwidth `bw_hz` at temperature `kelvin`,
+/// inflated by a receiver noise figure in dB.
+inline double thermal_noise_watts(double bw_hz, double noise_figure_db = 0.0,
+                                  double kelvin = 290.0) {
+  return kBoltzmann * kelvin * bw_hz * from_db(noise_figure_db);
+}
+
+}  // namespace cbma::units

@@ -1,0 +1,82 @@
+#include "core/config.h"
+
+#include <gtest/gtest.h>
+
+#include "util/units.h"
+
+namespace cbma::core {
+namespace {
+
+TEST(SystemConfig, PaperDefaults) {
+  const SystemConfig cfg;
+  EXPECT_EQ(cfg.code_family, pn::CodeFamily::kTwoNC);
+  EXPECT_DOUBLE_EQ(cfg.carrier_hz, 2.0e9);       // §VI: 2 GHz carrier
+  EXPECT_DOUBLE_EQ(cfg.subcarrier_hz, 20.0e6);   // §VI: 20 MHz shift
+  EXPECT_DOUBLE_EQ(cfg.bitrate_bps, 1e6);        // 1 µs symbol time
+  EXPECT_EQ(cfg.preamble_bits, 8u);              // 10101010
+  EXPECT_EQ(cfg.max_tags, 10u);                  // 10-tag testbed
+}
+
+TEST(SystemConfig, CodeLengthForTwoNC) {
+  SystemConfig cfg;
+  cfg.code_family = pn::CodeFamily::kTwoNC;
+  cfg.max_tags = 10;
+  cfg.code_min_length = 20;
+  EXPECT_EQ(cfg.code_length(), 32u);
+}
+
+TEST(SystemConfig, CodeLengthForGold) {
+  SystemConfig cfg;
+  cfg.code_family = pn::CodeFamily::kGold;
+  cfg.code_min_length = 31;
+  EXPECT_EQ(cfg.code_length(), 31u);
+}
+
+TEST(SystemConfig, ChipRateIsBitrateTimesLength) {
+  SystemConfig cfg;
+  EXPECT_DOUBLE_EQ(cfg.chip_rate_hz(),
+                   cfg.bitrate_bps * static_cast<double>(cfg.code_length()));
+}
+
+TEST(SystemConfig, SampleRate) {
+  SystemConfig cfg;
+  cfg.samples_per_chip = 4;
+  EXPECT_DOUBLE_EQ(cfg.sample_rate_hz(), 4.0 * cfg.chip_rate_hz());
+}
+
+TEST(SystemConfig, SymbolTime) {
+  SystemConfig cfg;
+  EXPECT_DOUBLE_EQ(cfg.symbol_time_s(), 1e-6);  // the paper's 1 µs
+}
+
+TEST(SystemConfig, NoisePowerCombinesFigureAndMargin) {
+  SystemConfig cfg;
+  const double base_db = units::watts_to_dbm(cfg.noise_power_w());
+  cfg.noise_margin_db += 10.0;
+  EXPECT_NEAR(units::watts_to_dbm(cfg.noise_power_w()), base_db + 10.0, 1e-9);
+}
+
+TEST(SystemConfig, NoiseScalesWithChipRate) {
+  SystemConfig slow, fast;
+  slow.bitrate_bps = 0.25e6;
+  fast.bitrate_bps = 1e6;
+  // 4× bandwidth = +6 dB noise.
+  EXPECT_NEAR(units::to_db(fast.noise_power_w() / slow.noise_power_w()), 6.02, 0.05);
+}
+
+TEST(SystemConfig, SummaryMentionsKeyParameters) {
+  SystemConfig cfg;
+  const auto s = cfg.summary();
+  EXPECT_NE(s.find("2NC"), std::string::npos);
+  EXPECT_NE(s.find("preamble=8b"), std::string::npos);
+  EXPECT_NE(s.find("Mbps"), std::string::npos);
+}
+
+TEST(SystemConfig, InvalidMaxTagsThrows) {
+  SystemConfig cfg;
+  cfg.max_tags = 0;
+  EXPECT_THROW(cfg.code_length(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cbma::core

@@ -1,0 +1,128 @@
+#include "core/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cbma::core {
+namespace {
+
+SystemConfig fast_config() {
+  SystemConfig cfg;
+  cfg.max_tags = 5;
+  cfg.payload_bytes = 4;
+  return cfg;
+}
+
+TEST(MeasureFer, CleanPairHasLowFer) {
+  auto dep = rfsim::Deployment::paper_frame();
+  dep.add_tag({0.0, 0.5});
+  dep.add_tag({0.0, -0.5});
+  const auto point = measure_fer(fast_config(), dep, 40, 1);
+  EXPECT_LE(point.fer, 0.1);
+  EXPECT_EQ(point.stats.sent[0], 40u);
+  ASSERT_EQ(point.snr_db.size(), 2u);
+  EXPECT_GT(point.snr_db[0], 5.0);
+}
+
+TEST(MeasureFer, Deterministic) {
+  auto dep = rfsim::Deployment::paper_frame();
+  dep.add_tag({0.0, 0.6});
+  dep.add_tag({0.3, -0.7});
+  const auto a = measure_fer(fast_config(), dep, 30, 77);
+  const auto b = measure_fer(fast_config(), dep, 30, 77);
+  EXPECT_DOUBLE_EQ(a.fer, b.fer);
+  EXPECT_EQ(a.stats.acked, b.stats.acked);
+}
+
+TEST(MeasureFer, RejectsZeroPackets) {
+  auto dep = rfsim::Deployment::paper_frame();
+  dep.add_tag({0.0, 0.5});
+  EXPECT_THROW(measure_fer(fast_config(), dep, 0, 1), std::invalid_argument);
+}
+
+TEST(MeasureFer, FarTagsFail) {
+  auto dep = rfsim::Deployment::paper_frame();
+  dep.add_tag({30.0, 40.0});
+  const auto point = measure_fer(fast_config(), dep, 20, 2);
+  EXPECT_GT(point.fer, 0.9);
+}
+
+TEST(Scheme, Names) {
+  EXPECT_EQ(to_string(Scheme::kBaseline), "none");
+  EXPECT_EQ(to_string(Scheme::kPowerControl), "power-control");
+  EXPECT_EQ(to_string(Scheme::kPowerControlAndSelection),
+            "power-control+selection");
+}
+
+TEST(SchemeTrial, ValidatesConfig) {
+  SchemeRunConfig run;
+  run.population = 2;
+  run.group_size = 5;
+  EXPECT_THROW(run_scheme_trial(fast_config(), run, Scheme::kBaseline, 1),
+               std::invalid_argument);
+}
+
+TEST(SchemeTrial, ReturnsErrorRateInRange) {
+  SchemeRunConfig run;
+  run.population = 8;
+  run.group_size = 3;
+  run.packets_per_round = 10;
+  run.final_packets = 20;
+  run.selection_rounds = 2;
+  for (const auto scheme : {Scheme::kBaseline, Scheme::kPowerControl,
+                            Scheme::kPowerControlAndSelection}) {
+    const double er = run_scheme_trial(fast_config(), run, scheme, 5);
+    EXPECT_GE(er, 0.0);
+    EXPECT_LE(er, 1.0);
+  }
+}
+
+TEST(SchemeTrial, DeterministicPerSeed) {
+  SchemeRunConfig run;
+  run.population = 6;
+  run.group_size = 2;
+  run.packets_per_round = 10;
+  run.final_packets = 20;
+  const double a = run_scheme_trial(fast_config(), run, Scheme::kPowerControl, 9);
+  const double b = run_scheme_trial(fast_config(), run, Scheme::kPowerControl, 9);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(SchemeErrorRates, ProducesRequestedTrials) {
+  SchemeRunConfig run;
+  run.population = 6;
+  run.group_size = 2;
+  run.packets_per_round = 8;
+  run.final_packets = 10;
+  const auto rates =
+      scheme_error_rates(fast_config(), run, Scheme::kBaseline, 5, 11);
+  EXPECT_EQ(rates.size(), 5u);
+  for (const double r : rates) {
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, 1.0);
+  }
+}
+
+TEST(SchemeErrorRates, AdaptationHelpsOnAverage) {
+  // Macro-benchmark sanity: with a spread-out population, power control
+  // must not be worse than no control on average (Fig. 10's ordering).
+  SchemeRunConfig run;
+  run.population = 10;
+  run.group_size = 4;
+  run.packets_per_round = 15;
+  run.final_packets = 30;
+  run.room = rfsim::Room{3.0, 3.0};
+  const auto base =
+      scheme_error_rates(fast_config(), run, Scheme::kBaseline, 6, 21);
+  const auto pc =
+      scheme_error_rates(fast_config(), run, Scheme::kPowerControl, 6, 21);
+  const double mean_base =
+      std::accumulate(base.begin(), base.end(), 0.0) / base.size();
+  const double mean_pc = std::accumulate(pc.begin(), pc.end(), 0.0) / pc.size();
+  EXPECT_LE(mean_pc, mean_base + 0.05);
+}
+
+}  // namespace
+}  // namespace cbma::core

@@ -1,0 +1,219 @@
+#include "core/system.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace cbma::core {
+namespace {
+
+SystemConfig fast_config(std::size_t max_tags = 4) {
+  SystemConfig cfg;
+  cfg.max_tags = max_tags;
+  cfg.payload_bytes = 4;  // keep frames short for test speed
+  return cfg;
+}
+
+rfsim::Deployment close_pair() {
+  auto dep = rfsim::Deployment::paper_frame();
+  dep.add_tag({0.0, 0.5});
+  dep.add_tag({0.0, -0.5});
+  return dep;
+}
+
+TEST(CbmaSystem, RejectsBadConstruction) {
+  EXPECT_THROW(CbmaSystem(fast_config(), rfsim::Deployment::paper_frame()),
+               std::invalid_argument);  // no tags
+  SystemConfig cfg = fast_config();
+  cfg.initial_impedance_level = 7;
+  EXPECT_THROW(CbmaSystem(cfg, close_pair()), std::invalid_argument);
+}
+
+TEST(CbmaSystem, DefaultGroupIsWholePopulationUpToCap) {
+  const CbmaSystem sys(fast_config(4), close_pair());
+  EXPECT_EQ(sys.group_size(), 2u);
+  EXPECT_EQ(sys.active_group()[0], 0u);
+  EXPECT_EQ(sys.active_group()[1], 1u);
+}
+
+TEST(CbmaSystem, GroupValidation) {
+  CbmaSystem sys(fast_config(2), close_pair());
+  EXPECT_THROW(sys.set_active_group({}), std::invalid_argument);
+  EXPECT_THROW(sys.set_active_group({0, 1, 0}), std::invalid_argument);  // > max
+  EXPECT_THROW(sys.set_active_group({5}), std::invalid_argument);
+  sys.set_active_group({1});
+  EXPECT_EQ(sys.group_size(), 1u);
+}
+
+TEST(CbmaSystem, ImpedanceStateManagement) {
+  SystemConfig cfg = fast_config();
+  cfg.initial_impedance_level = 3;
+  CbmaSystem sys(cfg, close_pair());
+  EXPECT_EQ(sys.impedance_level_count(), 4u);
+  EXPECT_EQ(sys.impedance_level(0), 3u);
+  sys.set_impedance_level(0, 1);
+  EXPECT_EQ(sys.impedance_level(0), 1u);
+  sys.step_impedance(0);
+  EXPECT_EQ(sys.impedance_level(0), 2u);
+  // Wrap at Z_max (Algorithm 1 lines 18–19).
+  sys.set_impedance_level(0, 3);
+  sys.step_impedance(0);
+  EXPECT_EQ(sys.impedance_level(0), 0u);
+  EXPECT_THROW(sys.set_impedance_level(0, 4), std::invalid_argument);
+  EXPECT_THROW(sys.impedance_level(9), std::invalid_argument);
+}
+
+TEST(CbmaSystem, ImpedanceControlsReceivedPower) {
+  CbmaSystem sys(fast_config(), close_pair());
+  sys.set_impedance_level(0, 3);
+  const double strong = sys.received_power_dbm(0);
+  sys.set_impedance_level(0, 0);
+  const double weak = sys.received_power_dbm(0);
+  EXPECT_NEAR(strong - weak, 11.0, 0.01);  // the calibrated bank range
+}
+
+TEST(CbmaSystem, SnrFollowsGeometry) {
+  auto dep = rfsim::Deployment::paper_frame();
+  dep.add_tag({0.0, 0.3});
+  dep.add_tag({0.0, 2.5});
+  const CbmaSystem sys(fast_config(), dep);
+  EXPECT_GT(sys.snr_db(0), sys.snr_db(1) + 10.0);
+}
+
+TEST(CbmaSystem, PredictedPowerMatchesFriisShape) {
+  auto dep = rfsim::Deployment::paper_frame();
+  dep.add_tag({0.0, 0.3});
+  dep.add_tag({0.0, 1.8});
+  const CbmaSystem sys(fast_config(), dep);
+  EXPECT_GT(sys.predicted_power_dbm(0), sys.predicted_power_dbm(1));
+}
+
+TEST(CbmaSystem, TransmitRoundDecodesBothCloseTags) {
+  const CbmaSystem sys(fast_config(), close_pair());
+  Rng rng(1);
+  int both = 0;
+  for (int i = 0; i < 10; ++i) {
+    const auto report = sys.transmit_round(rng);
+    if (report.ack.contains(0) && report.ack.contains(1)) ++both;
+  }
+  EXPECT_GE(both, 9);
+}
+
+TEST(CbmaSystem, ExplicitPayloadsRoundTrip) {
+  const CbmaSystem sys(fast_config(), close_pair());
+  Rng rng(2);
+  const std::vector<std::vector<std::uint8_t>> payloads{{0x11, 0x22}, {0x33}};
+  const auto report = sys.transmit_round(payloads, rng);
+  ASSERT_TRUE(report.ack.contains(0));
+  ASSERT_TRUE(report.ack.contains(1));
+  EXPECT_EQ(report.for_tag(0).payload, payloads[0]);
+  EXPECT_EQ(report.for_tag(1).payload, payloads[1]);
+}
+
+TEST(CbmaSystem, PayloadArityValidated) {
+  const CbmaSystem sys(fast_config(), close_pair());
+  Rng rng(3);
+  const std::vector<std::vector<std::uint8_t>> payloads{{0x11}};
+  EXPECT_THROW(sys.transmit_round(payloads, rng), std::invalid_argument);
+}
+
+TEST(CbmaSystem, ExplicitDelaysValidated) {
+  const CbmaSystem sys(fast_config(), close_pair());
+  Rng rng(4);
+  const std::vector<std::vector<std::uint8_t>> payloads{{1}, {2}};
+  const std::vector<double> wrong_arity{0.0};
+  EXPECT_THROW(sys.transmit_round_with_delays(payloads, wrong_arity, rng),
+               std::invalid_argument);
+  const std::vector<double> negative{0.0, -1.0};
+  EXPECT_THROW(sys.transmit_round_with_delays(payloads, negative, rng),
+               std::invalid_argument);
+}
+
+TEST(CbmaSystem, RunPacketsCountsPerSlot) {
+  const CbmaSystem sys(fast_config(), close_pair());
+  Rng rng(5);
+  const auto stats = sys.run_packets(20, rng);
+  EXPECT_EQ(stats.sent[0], 20u);
+  EXPECT_EQ(stats.sent[1], 20u);
+  EXPECT_GE(stats.acked[0], 18u);
+  EXPECT_GE(stats.acked[1], 18u);
+  EXPECT_LE(stats.frame_error_rate(), 0.1);
+}
+
+TEST(CbmaSystem, PowerControlRescuesUncontrolledWeakTag) {
+  // The uncontrolled state leaves the far tag at its weakest reflection
+  // level — below the receiver floor; Algorithm 1's ramp-up restores it.
+  auto dep = rfsim::Deployment::paper_frame();
+  dep.add_tag({0.0, 0.4});
+  dep.add_tag({0.0, 1.0});
+  SystemConfig cfg = fast_config();
+  CbmaSystem sys(cfg, dep);
+  sys.set_impedance_level(1, 0);  // far tag stuck at −11 dB backscatter
+  Rng rng(6);
+  const double fer_before = sys.run_packets(60, rng).frame_error_rate();
+  const auto outcome = sys.run_power_control({}, 30, rng);
+  const double fer_after = sys.run_packets(60, rng).frame_error_rate();
+  EXPECT_GT(fer_before, 0.2);             // the weak tag was mostly lost
+  EXPECT_LT(fer_after, fer_before - 0.1); // and the ramp-up recovered it
+  EXPECT_LE(outcome.final_fer, 1.0);
+}
+
+TEST(CbmaSystem, PowerControlLeavesHealthyTagsAlone) {
+  CbmaSystem sys(fast_config(), close_pair());
+  Rng rng(7);
+  sys.set_impedance_level(0, 3);
+  sys.set_impedance_level(1, 2);
+  sys.run_power_control({}, 10, rng);
+  // Both tags decode easily at close range: no adjustment happens and the
+  // working levels are kept.
+  EXPECT_EQ(sys.impedance_level(0), 3u);
+  EXPECT_EQ(sys.impedance_level(1), 2u);
+}
+
+TEST(CbmaSystem, PowerControlRespectsCycleCap) {
+  // An impossible link (tag extremely far): controller must exhaust at
+  // 3 × n cycles, not loop forever.
+  auto dep = rfsim::Deployment::paper_frame();
+  dep.add_tag({50.0, 80.0});
+  dep.add_tag({-60.0, 70.0});
+  CbmaSystem sys(fast_config(), dep);
+  Rng rng(8);
+  const auto outcome = sys.run_power_control({}, 5, rng);
+  EXPECT_TRUE(outcome.exhausted);
+  EXPECT_LE(outcome.rounds, 6u);  // 3 × 2 tags
+}
+
+TEST(CbmaSystem, InterferersAndExcitationInjectable) {
+  CbmaSystem sys(fast_config(), close_pair());
+  sys.add_interferer(std::make_unique<rfsim::WifiInterferer>(1e-9));
+  sys.add_interferer(std::make_unique<rfsim::BluetoothInterferer>(1e-9));
+  sys.set_excitation(std::make_unique<rfsim::OfdmExcitation>(1e-3, 1e-3));
+  Rng rng(9);
+  EXPECT_NO_THROW(sys.transmit_round(rng));
+  sys.clear_interferers();
+  EXPECT_THROW(sys.set_excitation(nullptr), std::invalid_argument);
+  EXPECT_THROW(sys.add_interferer(nullptr), std::invalid_argument);
+}
+
+TEST(CbmaSystem, NonDefaultImpedanceBank) {
+  SystemConfig cfg = fast_config();
+  cfg.impedance_levels = 8;
+  cfg.impedance_range_db = 14.0;
+  CbmaSystem sys(cfg, close_pair());
+  EXPECT_EQ(sys.impedance_level_count(), 8u);
+  // Default start = strongest of the custom bank.
+  EXPECT_EQ(sys.impedance_level(0), 7u);
+  sys.set_impedance_level(0, 0);
+  const double weak = sys.received_power_dbm(0);
+  sys.set_impedance_level(0, 7);
+  EXPECT_NEAR(sys.received_power_dbm(0) - weak, 14.0, 0.01);
+}
+
+TEST(CbmaSystem, GroupCodesMatchConfigFamily) {
+  const CbmaSystem sys(fast_config(), close_pair());
+  EXPECT_EQ(sys.group_codes().size(), 4u);
+  EXPECT_EQ(sys.group_codes()[0].length(), 32u);
+}
+
+}  // namespace
+}  // namespace cbma::core

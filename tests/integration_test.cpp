@@ -1,0 +1,171 @@
+// Cross-module integration sweeps: the full pipeline (tag → channel →
+// receiver → ACK) parameterized over code family, tag count and payload
+// size, plus subset transmission and end-to-end determinism.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+#include "core/system.h"
+#include "util/units.h"
+
+namespace cbma::core {
+namespace {
+
+rfsim::Deployment ring(std::size_t n_tags, double radius = 0.25, double cy = 0.75) {
+  auto dep = rfsim::Deployment::paper_frame();
+  for (std::size_t k = 0; k < n_tags; ++k) {
+    const double angle = 2.0 * units::kPi * static_cast<double>(k) /
+                         static_cast<double>(n_tags);
+    dep.add_tag({radius * std::cos(angle), cy + radius * std::sin(angle)});
+  }
+  return dep;
+}
+
+class PipelineSweep
+    : public ::testing::TestWithParam<std::tuple<pn::CodeFamily, std::size_t,
+                                                 std::size_t>> {};
+
+// Every (family, tag count, payload size) combination must deliver nearly
+// all frames on an equal-strength ring.
+TEST_P(PipelineSweep, ConcurrentGroupDelivers) {
+  const auto [family, n_tags, payload_bytes] = GetParam();
+  SystemConfig cfg;
+  cfg.code_family = family;
+  cfg.code_min_length = 31;
+  cfg.max_tags = n_tags;
+  cfg.payload_bytes = payload_bytes;
+
+  CbmaSystem sys(cfg, ring(n_tags));
+  Rng rng(77);
+  const auto stats = sys.run_packets(25, rng);
+  EXPECT_LE(stats.frame_error_rate(), 0.12)
+      << pn::to_string(family) << " tags=" << n_tags << " payload=" << payload_bytes;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FamiliesTagsPayloads, PipelineSweep,
+    ::testing::Combine(::testing::Values(pn::CodeFamily::kGold,
+                                         pn::CodeFamily::kTwoNC),
+                       ::testing::Values(std::size_t{1}, std::size_t{2},
+                                         std::size_t{4}, std::size_t{6}),
+                       ::testing::Values(std::size_t{0}, std::size_t{4},
+                                         std::size_t{32})));
+
+TEST(Integration, PayloadIntegrityAcrossTheAir) {
+  // Every delivered payload must match what its tag sent, bit for bit.
+  SystemConfig cfg;
+  cfg.max_tags = 4;
+  CbmaSystem sys(cfg, ring(4));
+  Rng rng(88);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<std::vector<std::uint8_t>> payloads;
+    for (std::size_t k = 0; k < 4; ++k) {
+      std::vector<std::uint8_t> p(cfg.payload_bytes);
+      for (auto& b : p) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+      payloads.push_back(std::move(p));
+    }
+    const auto report = sys.transmit_round(payloads, rng);
+    for (std::size_t k = 0; k < 4; ++k) {
+      if (report.results[k].crc_ok) {
+        EXPECT_EQ(report.results[k].payload, payloads[k]) << "tag " << k;
+      }
+    }
+  }
+}
+
+TEST(Integration, SubsetTransmissionMatchesActiveSet) {
+  SystemConfig cfg;
+  cfg.max_tags = 6;
+  CbmaSystem sys(cfg, ring(6));
+  Rng rng(99);
+  int mismatches = 0;
+  for (int round = 0; round < 30; ++round) {
+    std::vector<std::size_t> subset;
+    for (std::size_t k = 0; k < 6; ++k) {
+      if (rng.bernoulli(0.5)) subset.push_back(k);
+    }
+    if (subset.empty()) subset.push_back(0);
+    const auto report = sys.transmit_round_subset(subset, rng);
+    for (std::size_t k = 0; k < 6; ++k) {
+      const bool sent = std::find(subset.begin(), subset.end(), k) != subset.end();
+      if (report.ack.contains(k) != sent) ++mismatches;
+    }
+  }
+  EXPECT_LE(mismatches, 4);  // ≤ ~2 % of 180 tag-rounds
+}
+
+TEST(Integration, SubsetValidatesSlots) {
+  SystemConfig cfg;
+  cfg.max_tags = 3;
+  CbmaSystem sys(cfg, ring(3));
+  Rng rng(1);
+  EXPECT_THROW(sys.transmit_round_subset({}, rng), std::invalid_argument);
+  const std::vector<std::size_t> bad{5};
+  EXPECT_THROW(sys.transmit_round_subset(bad, rng), std::invalid_argument);
+}
+
+TEST(Integration, EndToEndDeterminism) {
+  SystemConfig cfg;
+  cfg.max_tags = 3;
+  const auto dep = ring(3);
+  auto run = [&](std::uint64_t seed) {
+    CbmaSystem sys(cfg, dep);
+    Rng rng(seed);
+    const auto stats = sys.run_packets(15, rng);
+    return std::make_pair(stats.acked, stats.sent);
+  };
+  EXPECT_EQ(run(1234), run(1234));
+  // Different seeds may differ (not asserted — just exercise the path).
+  (void)run(5678);
+}
+
+TEST(Integration, LowSamplesPerChipStillWorks) {
+  // spc = 2 halves the simulation cost; the lead-in auto-extends so the
+  // frame synchronizer keeps its baseline window.
+  SystemConfig cfg;
+  cfg.max_tags = 3;
+  cfg.samples_per_chip = 2;
+  CbmaSystem sys(cfg, ring(3));
+  EXPECT_GE(sys.config().lead_in_chips, 80.0);  // extended past the default 64
+  Rng rng(7);
+  const auto stats = sys.run_packets(20, rng);
+  EXPECT_LE(stats.frame_error_rate(), 0.15);
+}
+
+TEST(Integration, GoldFamilySupportsManyTags) {
+  // Ten concurrent tags on Gold-31 codes (the family holds 33).
+  SystemConfig cfg;
+  cfg.code_family = pn::CodeFamily::kGold;
+  cfg.code_min_length = 31;
+  cfg.max_tags = 10;
+  CbmaSystem sys(cfg, ring(10, 0.3));
+  Rng rng(11);
+  const auto stats = sys.run_packets(15, rng);
+  EXPECT_LE(stats.frame_error_rate(), 0.2);
+}
+
+TEST(Integration, PhaseTrackingGainZeroStillDecodesShortFrames) {
+  SystemConfig cfg;
+  cfg.max_tags = 2;
+  cfg.phase_tracking_gain = 0.0;
+  cfg.payload_bytes = 4;
+  CbmaSystem sys(cfg, ring(2));
+  Rng rng(13);
+  const auto stats = sys.run_packets(20, rng);
+  EXPECT_LE(stats.frame_error_rate(), 0.2);
+}
+
+TEST(Integration, MultipathChannelEndToEnd) {
+  SystemConfig cfg;
+  cfg.max_tags = 3;
+  cfg.multipath.enabled = true;
+  CbmaSystem sys(cfg, ring(3));
+  Rng rng(17);
+  const auto stats = sys.run_packets(25, rng);
+  EXPECT_LE(stats.frame_error_rate(), 0.25);
+}
+
+}  // namespace
+}  // namespace cbma::core

@@ -1,0 +1,116 @@
+#include "mac/fsa.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace cbma::mac {
+namespace {
+
+TEST(Fsa, RejectsBadConfig) {
+  FsaConfig cfg;
+  cfg.initial_frame_size = 0;
+  EXPECT_THROW(FsaSimulator{cfg}, std::invalid_argument);
+  cfg = FsaConfig{};
+  cfg.max_frame_size = 4;
+  cfg.initial_frame_size = 16;
+  EXPECT_THROW(FsaSimulator{cfg}, std::invalid_argument);
+}
+
+TEST(Fsa, ResolveAllEventuallySucceedsForEveryTag) {
+  FsaSimulator sim({});
+  Rng rng(1);
+  const auto res = sim.resolve_all(20, rng);
+  EXPECT_EQ(res.successes, 20u);
+  EXPECT_GT(res.frames, 0u);
+  EXPECT_GT(res.slots_used, 20u);  // collisions force extra slots
+}
+
+TEST(Fsa, SingleTagResolvesInOneSlotIfFrameSizeOne) {
+  FsaConfig cfg;
+  cfg.initial_frame_size = 1;
+  FsaSimulator sim(cfg);
+  Rng rng(2);
+  const auto res = sim.resolve_all(1, rng);
+  EXPECT_EQ(res.successes, 1u);
+  EXPECT_EQ(res.slots_used, 1u);
+  EXPECT_EQ(res.collisions, 0u);
+}
+
+TEST(Fsa, SlotAccountingConsistent) {
+  FsaSimulator sim({});
+  Rng rng(3);
+  const auto res = sim.resolve_all(50, rng);
+  EXPECT_EQ(res.successes + res.collisions + res.idle_slots, res.slots_used);
+}
+
+TEST(Fsa, EfficiencyNearTheoreticalOptimum) {
+  // Well-sized FSA tops out at 1/e ≈ 36.8 % slot efficiency.
+  FsaConfig cfg;
+  cfg.initial_frame_size = 64;
+  FsaSimulator sim(cfg);
+  Rng rng(4);
+  double total_eff = 0.0;
+  const int trials = 50;
+  for (int i = 0; i < trials; ++i) {
+    total_eff += sim.resolve_all(64, rng).efficiency();
+  }
+  const double eff = total_eff / trials;
+  EXPECT_GT(eff, 0.25);
+  EXPECT_LT(eff, 0.45);
+}
+
+TEST(Fsa, SaturatedThroughputBoundedByInverseE) {
+  FsaConfig cfg;
+  cfg.initial_frame_size = 16;
+  FsaSimulator sim(cfg);
+  Rng rng(5);
+  const auto res = sim.run_saturated(16, 200, rng);
+  EXPECT_GT(res.efficiency(), 0.2);
+  EXPECT_LT(res.efficiency(), 1.0 / 2.0);
+}
+
+TEST(Fsa, NonAdaptiveKeepsFrameSize) {
+  FsaConfig cfg;
+  cfg.initial_frame_size = 8;
+  cfg.adaptive = false;
+  FsaSimulator sim(cfg);
+  Rng rng(6);
+  const auto res = sim.run_saturated(4, 10, rng);
+  EXPECT_EQ(res.slots_used, 80u);  // 10 frames × 8 slots
+}
+
+TEST(Fsa, AdaptiveShrinksWhenFewTags) {
+  FsaConfig cfg;
+  cfg.initial_frame_size = 256;
+  FsaSimulator sim(cfg);
+  Rng rng(7);
+  const auto res = sim.resolve_all(2, rng);
+  // After the huge first frame, adaptation must not keep burning 256-slot
+  // frames for 2 tags.
+  EXPECT_LT(res.slots_used, 2u * 256u);
+}
+
+TEST(Fsa, MoreTagsNeedMoreSlots) {
+  FsaSimulator sim({});
+  Rng r1(8), r2(8);
+  const auto small = sim.resolve_all(5, r1);
+  const auto large = sim.resolve_all(100, r2);
+  EXPECT_GT(large.slots_used, small.slots_used);
+}
+
+TEST(Fsa, RejectsDegenerateRuns) {
+  FsaSimulator sim({});
+  Rng rng(9);
+  EXPECT_THROW(sim.resolve_all(0, rng), std::invalid_argument);
+  EXPECT_THROW(sim.run_saturated(0, 5, rng), std::invalid_argument);
+  EXPECT_THROW(sim.run_saturated(5, 0, rng), std::invalid_argument);
+}
+
+TEST(FsaResult, EmptyEfficiencyIsZero) {
+  FsaResult res;
+  EXPECT_DOUBLE_EQ(res.efficiency(), 0.0);
+}
+
+}  // namespace
+}  // namespace cbma::mac

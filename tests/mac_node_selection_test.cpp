@@ -1,0 +1,177 @@
+#include "mac/node_selection.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace cbma::mac {
+namespace {
+
+rfsim::Deployment population_with_tags() {
+  auto dep = rfsim::Deployment::paper_frame();
+  // Tags at increasing distance from the RX axis: index 0 is best placed.
+  dep.add_tag({0.0, 0.3});
+  dep.add_tag({0.0, 1.0});
+  dep.add_tag({0.0, 2.0});
+  dep.add_tag({1.5, 2.5});
+  dep.add_tag({-1.8, -2.6});
+  dep.add_tag({0.2, -0.4});
+  return dep;
+}
+
+NodeSelector make_selector(NodeSelectionConfig cfg = {}) {
+  rfsim::LinkBudget budget;
+  return NodeSelector(cfg, budget);
+}
+
+TEST(NodeSelector, RejectsBadConfig) {
+  rfsim::LinkBudget budget;
+  NodeSelectionConfig cfg;
+  cfg.bad_ack_ratio = 1.5;
+  EXPECT_THROW(NodeSelector(cfg, budget), std::invalid_argument);
+  cfg = NodeSelectionConfig{};
+  cfg.initial_acceptance = -0.1;
+  EXPECT_THROW(NodeSelector(cfg, budget), std::invalid_argument);
+  cfg = NodeSelectionConfig{};
+  cfg.cooling_rounds = 0.0;
+  EXPECT_THROW(NodeSelector(cfg, budget), std::invalid_argument);
+  cfg = NodeSelectionConfig{};
+  cfg.candidate_attempts = 0;
+  EXPECT_THROW(NodeSelector(cfg, budget), std::invalid_argument);
+}
+
+TEST(NodeSelector, DefaultExclusionRadiusIsHalfWavelength) {
+  const auto sel = make_selector();
+  rfsim::LinkBudget budget;
+  EXPECT_NEAR(sel.exclusion_radius(), budget.wavelength() / 2.0, 1e-12);
+}
+
+TEST(NodeSelector, ExplicitExclusionRadiusWins) {
+  NodeSelectionConfig cfg;
+  cfg.exclusion_radius_m = 0.42;
+  EXPECT_DOUBLE_EQ(make_selector(cfg).exclusion_radius(), 0.42);
+}
+
+TEST(NodeSelector, PredictedStrengthFollowsGeometry) {
+  const auto sel = make_selector();
+  const auto dep = population_with_tags();
+  // Closer tag → stronger Eq. 1 prediction.
+  EXPECT_GT(sel.predicted_dbm(dep, 0), sel.predicted_dbm(dep, 2));
+  EXPECT_GT(sel.predicted_dbm(dep, 1), sel.predicted_dbm(dep, 4));
+}
+
+TEST(NodeSelector, AcceptanceProbabilityDecaysWithRounds) {
+  // §V-C: worse positions are more likely to be allowed at the start.
+  NodeSelectionConfig cfg;
+  cfg.initial_acceptance = 0.8;
+  cfg.cooling_rounds = 2.0;
+  const auto sel = make_selector(cfg);
+  EXPECT_DOUBLE_EQ(sel.acceptance_probability(0), 0.8);
+  EXPECT_GT(sel.acceptance_probability(0), sel.acceptance_probability(1));
+  EXPECT_GT(sel.acceptance_probability(1), sel.acceptance_probability(5));
+  EXPECT_LT(sel.acceptance_probability(20), 0.01);
+}
+
+TEST(NodeSelector, GoodTagsAreKept) {
+  const auto sel = make_selector();
+  const auto dep = population_with_tags();
+  Rng rng(1);
+  const std::vector<std::size_t> group{0, 1};
+  const std::vector<double> ratios{0.95, 0.92};  // all above 70 %
+  const auto out = sel.reselect(dep, group, ratios, 0, rng);
+  EXPECT_EQ(out, group);
+}
+
+TEST(NodeSelector, BadTagReplacedByStrongerCandidate) {
+  NodeSelectionConfig cfg;
+  cfg.initial_acceptance = 0.0;  // only accept strict improvements
+  const auto sel = make_selector(cfg);
+  const auto dep = population_with_tags();
+  Rng rng(2);
+  // Group holds the two worst-placed tags; tag in slot 1 is failing.
+  const std::vector<std::size_t> group{3, 4};
+  const std::vector<double> ratios{0.9, 0.1};
+  const auto out = sel.reselect(dep, group, ratios, 10, rng);
+  EXPECT_EQ(out[0], 3u);          // healthy slot untouched
+  EXPECT_NE(out[1], 4u);          // failing tag replaced
+  // Replacement must improve the predicted strength.
+  EXPECT_GT(sel.predicted_dbm(dep, out[1]), sel.predicted_dbm(dep, 4));
+}
+
+TEST(NodeSelector, ExclusionRadiusBlocksCloseCandidates) {
+  NodeSelectionConfig cfg;
+  cfg.exclusion_radius_m = 10.0;  // everything is "too close"
+  cfg.initial_acceptance = 1.0;
+  const auto sel = make_selector(cfg);
+  const auto dep = population_with_tags();
+  Rng rng(3);
+  const std::vector<std::size_t> group{0, 2};
+  const std::vector<double> ratios{0.9, 0.0};
+  // Every candidate violates exclusion against slot 0 → no replacement.
+  const auto out = sel.reselect(dep, group, ratios, 0, rng);
+  EXPECT_EQ(out[1], 2u);
+}
+
+TEST(NodeSelector, NoIdleTagsNoChange) {
+  const auto sel = make_selector();
+  auto dep = rfsim::Deployment::paper_frame();
+  dep.add_tag({0.0, 0.5});
+  dep.add_tag({0.0, 1.0});
+  Rng rng(4);
+  const std::vector<std::size_t> group{0, 1};  // whole population in group
+  const std::vector<double> ratios{0.1, 0.1};
+  const auto out = sel.reselect(dep, group, ratios, 0, rng);
+  EXPECT_EQ(out, group);
+}
+
+TEST(NodeSelector, ValidatesArity) {
+  const auto sel = make_selector();
+  const auto dep = population_with_tags();
+  Rng rng(5);
+  const std::vector<std::size_t> group{0, 1};
+  const std::vector<double> wrong{0.5};
+  EXPECT_THROW(sel.reselect(dep, group, wrong, 0, rng), std::invalid_argument);
+}
+
+TEST(NodeSelector, ValidatesGroupIndices) {
+  const auto sel = make_selector();
+  const auto dep = population_with_tags();
+  Rng rng(6);
+  const std::vector<std::size_t> group{0, 99};
+  const std::vector<double> ratios{0.5, 0.5};
+  EXPECT_THROW(sel.reselect(dep, group, ratios, 0, rng), std::invalid_argument);
+}
+
+TEST(NodeSelector, SwappedOutTagReturnsToIdlePool) {
+  NodeSelectionConfig cfg;
+  cfg.initial_acceptance = 0.0;
+  const auto sel = make_selector(cfg);
+  const auto dep = population_with_tags();
+  Rng rng(7);
+  // Two bad slots: after replacing slot 0, its old tag is idle again and
+  // must not be double-assigned to slot 1.
+  const std::vector<std::size_t> group{3, 4};
+  const std::vector<double> ratios{0.0, 0.0};
+  const auto out = sel.reselect(dep, group, ratios, 10, rng);
+  EXPECT_NE(out[0], out[1]);
+}
+
+TEST(NodeSelector, LateRoundsRejectWorsePositions) {
+  // With acceptance ≈ 0 at late rounds and only worse candidates in the
+  // pool, the failing tag keeps its slot.
+  NodeSelectionConfig cfg;
+  cfg.cooling_rounds = 1.0;
+  const auto sel = make_selector(cfg);
+  auto dep = rfsim::Deployment::paper_frame();
+  dep.add_tag({0.0, 0.2});    // group member (excellent)
+  dep.add_tag({2.0, 3.0});    // far candidate
+  dep.add_tag({-2.0, -3.0});  // far candidate
+  Rng rng(8);
+  const std::vector<std::size_t> group{0};
+  const std::vector<double> ratios{0.1};
+  const auto out = sel.reselect(dep, group, ratios, 50, rng);
+  EXPECT_EQ(out[0], 0u);
+}
+
+}  // namespace
+}  // namespace cbma::mac

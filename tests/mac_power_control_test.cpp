@@ -1,0 +1,135 @@
+#include "mac/power_control.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace cbma::mac {
+namespace {
+
+TEST(PowerController, RejectsBadConfig) {
+  EXPECT_THROW(PowerController({}, 0), std::invalid_argument);
+  PowerControlConfig cfg;
+  cfg.fer_threshold = 1.5;
+  EXPECT_THROW(PowerController(cfg, 2), std::invalid_argument);
+  cfg = PowerControlConfig{};
+  cfg.ack_ratio_threshold = -0.1;
+  EXPECT_THROW(PowerController(cfg, 2), std::invalid_argument);
+  cfg = PowerControlConfig{};
+  cfg.cycle_cap_factor = 0;
+  EXPECT_THROW(PowerController(cfg, 2), std::invalid_argument);
+}
+
+TEST(PowerController, CycleCapIsThreeTimesTags) {
+  // §V-B: "we limit the number of execution cycles to 3 times the number
+  // of tags".
+  EXPECT_EQ(PowerController({}, 5).cycle_cap(), 15u);
+  EXPECT_EQ(PowerController({}, 10).cycle_cap(), 30u);
+}
+
+TEST(PowerController, ArityValidated) {
+  PowerController pc({}, 3);
+  const std::vector<double> two{0.5, 0.5};
+  EXPECT_THROW(pc.update(two), std::invalid_argument);
+  const std::vector<double> bad{0.5, 0.5, 1.5};
+  EXPECT_THROW(pc.update(bad), std::invalid_argument);
+}
+
+TEST(PowerController, FerIsOneMinusMeanAckRatio) {
+  PowerController pc({}, 4);
+  const std::vector<double> ratios{1.0, 0.5, 0.5, 0.0};
+  const auto d = pc.update(ratios);
+  EXPECT_NEAR(d.fer, 0.5, 1e-12);
+}
+
+TEST(PowerController, GoodGroupNeedsNoAdjustment) {
+  PowerControlConfig cfg;
+  cfg.fer_threshold = 0.10;
+  PowerController pc(cfg, 3);
+  const std::vector<double> ratios{0.97, 0.95, 0.99};
+  const auto d = pc.update(ratios);
+  EXPECT_FALSE(d.adjusted);
+  EXPECT_FALSE(d.exhausted);
+  EXPECT_EQ(pc.cycles_used(), 0u);
+}
+
+TEST(PowerController, OnlyLowAckTagsStep) {
+  // Algorithm 1 line 17: step tags with ACK ratio below 50 %.
+  PowerController pc({}, 4);
+  const std::vector<double> ratios{0.9, 0.4, 0.55, 0.1};
+  const auto d = pc.update(ratios);
+  EXPECT_TRUE(d.adjusted);
+  EXPECT_FALSE(d.step_tag[0]);
+  EXPECT_TRUE(d.step_tag[1]);
+  EXPECT_FALSE(d.step_tag[2]);
+  EXPECT_TRUE(d.step_tag[3]);
+}
+
+TEST(PowerController, HighFerButAllAboveHalfDoesNothing) {
+  PowerControlConfig cfg;
+  cfg.fer_threshold = 0.10;
+  PowerController pc(cfg, 2);
+  // FER = 0.3 > threshold, but both tags ≥ 50 % ACK.
+  const std::vector<double> ratios{0.7, 0.7};
+  const auto d = pc.update(ratios);
+  EXPECT_GT(d.fer, cfg.fer_threshold);
+  EXPECT_FALSE(d.adjusted);
+}
+
+TEST(PowerController, ExhaustsAtCycleCap) {
+  PowerController pc({}, 2);  // cap = 6
+  const std::vector<double> bad{0.0, 0.0};
+  for (int i = 0; i < 6; ++i) {
+    const auto d = pc.update(bad);
+    EXPECT_TRUE(d.adjusted);
+    EXPECT_EQ(d.exhausted, i == 5);
+  }
+  // Next round: no more stepping.
+  const auto d = pc.update(bad);
+  EXPECT_FALSE(d.adjusted);
+  EXPECT_TRUE(d.exhausted);
+  EXPECT_TRUE(pc.exhausted());
+}
+
+TEST(PowerController, ResetRestoresBudget) {
+  PowerController pc({}, 1);  // cap = 3
+  const std::vector<double> bad{0.0};
+  for (int i = 0; i < 3; ++i) pc.update(bad);
+  EXPECT_TRUE(pc.exhausted());
+  pc.reset();
+  EXPECT_FALSE(pc.exhausted());
+  EXPECT_EQ(pc.cycles_used(), 0u);
+  EXPECT_TRUE(pc.update(bad).adjusted);
+}
+
+TEST(PowerController, RatioRangeValidated) {
+  PowerController pc({}, 1);
+  const std::vector<double> bad{1.2};
+  EXPECT_THROW(pc.update(bad), std::invalid_argument);
+}
+
+TEST(PowerController, NoStepRoundsDoNotConsumeBudget) {
+  PowerController pc({}, 1);  // cap = 3
+  const std::vector<double> good{1.0};
+  for (int i = 0; i < 10; ++i) pc.update(good);
+  EXPECT_EQ(pc.cycles_used(), 0u);
+}
+
+class FerThresholdTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(FerThresholdTest, AdjustsExactlyWhenAboveThreshold) {
+  PowerControlConfig cfg;
+  cfg.fer_threshold = GetParam();
+  PowerController pc(cfg, 2);
+  // One dead tag: FER = 0.5, the dead tag is below the 50 % ACK bar.
+  const std::vector<double> ratios{1.0, 0.0};
+  const auto d = pc.update(ratios);
+  EXPECT_EQ(d.adjusted, 0.5 > GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, FerThresholdTest,
+                         ::testing::Values(0.05, 0.3, 0.49, 0.51, 0.9));
+
+}  // namespace
+}  // namespace cbma::mac

@@ -1,0 +1,109 @@
+#include "mac/single_tag.h"
+#include "mac/throughput.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace cbma::mac {
+namespace {
+
+TEST(SingleTag, RejectsBadConfig) {
+  SingleTagConfig cfg;
+  cfg.bitrate_bps = 0.0;
+  EXPECT_THROW(single_tag_round_robin(cfg, 1), std::invalid_argument);
+  cfg = SingleTagConfig{};
+  cfg.payload_bits = cfg.frame_bits + 1;
+  EXPECT_THROW(single_tag_round_robin(cfg, 1), std::invalid_argument);
+  cfg = SingleTagConfig{};
+  cfg.frame_error_rate = 1.0;
+  EXPECT_THROW(single_tag_round_robin(cfg, 1), std::invalid_argument);
+  EXPECT_THROW(single_tag_round_robin(SingleTagConfig{}, 0), std::invalid_argument);
+}
+
+TEST(SingleTag, AggregateIndependentOfTagCount) {
+  // The channel serves one tag at a time: total goodput does not grow with
+  // the fleet, only the per-tag share shrinks.
+  const SingleTagConfig cfg;
+  const auto one = single_tag_round_robin(cfg, 1);
+  const auto ten = single_tag_round_robin(cfg, 10);
+  EXPECT_NEAR(one.aggregate_goodput_bps, ten.aggregate_goodput_bps, 1e-9);
+  EXPECT_NEAR(ten.per_tag_goodput_bps, one.per_tag_goodput_bps / 10.0, 1e-9);
+}
+
+TEST(SingleTag, RoundTimeScalesWithTags) {
+  const SingleTagConfig cfg;
+  const auto five = single_tag_round_robin(cfg, 5);
+  const auto ten = single_tag_round_robin(cfg, 10);
+  EXPECT_NEAR(ten.per_round_s, 2.0 * five.per_round_s, 1e-12);
+}
+
+TEST(SingleTag, GoodputBelowRawBitrate) {
+  const SingleTagConfig cfg;
+  const auto out = single_tag_round_robin(cfg, 4);
+  EXPECT_LT(out.aggregate_goodput_bps, cfg.bitrate_bps);
+  EXPECT_GT(out.aggregate_goodput_bps, 0.0);
+}
+
+TEST(SingleTag, FerDiscountsGoodput) {
+  SingleTagConfig clean;
+  SingleTagConfig lossy = clean;
+  lossy.frame_error_rate = 0.5;
+  EXPECT_NEAR(single_tag_round_robin(lossy, 3).aggregate_goodput_bps,
+              0.5 * single_tag_round_robin(clean, 3).aggregate_goodput_bps, 1e-9);
+}
+
+TEST(CbmaThroughput, RejectsBadConfig) {
+  CbmaRate rate;
+  rate.per_tag_bitrate_bps = 0.0;
+  EXPECT_THROW(cbma_throughput(rate), std::invalid_argument);
+  rate = CbmaRate{};
+  rate.n_tags = 0;
+  EXPECT_THROW(cbma_throughput(rate), std::invalid_argument);
+  rate = CbmaRate{};
+  rate.frame_error_rate = 1.5;
+  EXPECT_THROW(cbma_throughput(rate), std::invalid_argument);
+}
+
+TEST(CbmaThroughput, RatesAddAcrossTags) {
+  CbmaRate rate;
+  rate.per_tag_bitrate_bps = 1e6;
+  rate.n_tags = 10;
+  const auto out = cbma_throughput(rate);
+  EXPECT_DOUBLE_EQ(out.aggregate_raw_bps, 10e6);
+  EXPECT_NEAR(out.per_tag_goodput_bps * 10.0, out.aggregate_goodput_bps, 1e-9);
+}
+
+TEST(CbmaThroughput, PaperHeadlineShape) {
+  // 10 tags × 1 Mbps ≈ the paper's 8 Mbps-class aggregate after framing
+  // overhead and a mild FER.
+  CbmaRate rate;
+  rate.per_tag_bitrate_bps = 1e6;
+  rate.n_tags = 10;
+  rate.payload_bits = 16 * 8;
+  rate.frame_bits = 8 + 8 * (2 + 16 + 2);
+  rate.frame_error_rate = 0.05;
+  const auto out = cbma_throughput(rate);
+  EXPECT_GT(out.aggregate_goodput_bps, 6e6);
+  EXPECT_LT(out.aggregate_goodput_bps, 10e6);
+}
+
+TEST(CbmaThroughput, TenXOverSingleTag) {
+  // The headline comparison: concurrent CBMA vs a one-at-a-time baseline.
+  CbmaRate cbma;
+  cbma.n_tags = 10;
+  cbma.frame_error_rate = 0.05;
+  const SingleTagConfig single;
+  const auto c = cbma_throughput(cbma);
+  const auto s = single_tag_round_robin(single, 10);
+  EXPECT_GT(c.aggregate_goodput_bps, 8.0 * s.aggregate_goodput_bps);
+}
+
+TEST(CbmaThroughput, FullLossMeansZeroGoodput) {
+  CbmaRate rate;
+  rate.frame_error_rate = 1.0;
+  EXPECT_DOUBLE_EQ(cbma_throughput(rate).aggregate_goodput_bps, 0.0);
+}
+
+}  // namespace
+}  // namespace cbma::mac

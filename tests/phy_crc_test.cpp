@@ -1,0 +1,66 @@
+#include "phy/crc16.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cbma::phy {
+namespace {
+
+TEST(Crc16, KnownVector) {
+  // CRC-16/CCITT-FALSE of "123456789" is 0x29B1.
+  const std::vector<std::uint8_t> data{'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc16(data), 0x29B1);
+}
+
+TEST(Crc16, EmptyIsInit) {
+  EXPECT_EQ(crc16({}), kCrc16Init);
+}
+
+TEST(Crc16, SingleByteVectors) {
+  // Independently computed for poly 0x1021 init 0xFFFF.
+  EXPECT_EQ(crc16(std::vector<std::uint8_t>{0x00}), 0xE1F0);
+  EXPECT_EQ(crc16(std::vector<std::uint8_t>{0xFF}), 0xFF00);
+}
+
+TEST(Crc16, IncrementalMatchesBatch) {
+  const std::vector<std::uint8_t> data{0xDE, 0xAD, 0xBE, 0xEF, 0x42};
+  std::uint16_t crc = kCrc16Init;
+  for (const auto b : data) crc = crc16_update(crc, b);
+  EXPECT_EQ(crc, crc16(data));
+}
+
+TEST(Crc16, DetectsSingleBitFlip) {
+  std::vector<std::uint8_t> data{1, 2, 3, 4, 5, 6, 7, 8};
+  const auto original = crc16(data);
+  for (std::size_t byte = 0; byte < data.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      data[byte] ^= static_cast<std::uint8_t>(1 << bit);
+      EXPECT_NE(crc16(data), original) << "byte " << byte << " bit " << bit;
+      data[byte] ^= static_cast<std::uint8_t>(1 << bit);
+    }
+  }
+}
+
+TEST(Crc16, DetectsSwappedBytes) {
+  const std::vector<std::uint8_t> a{0x12, 0x34};
+  const std::vector<std::uint8_t> b{0x34, 0x12};
+  EXPECT_NE(crc16(a), crc16(b));
+}
+
+TEST(Crc16, DetectsAllBurstErrorsUpTo16Bits) {
+  // CRC-16 guarantees detection of any burst ≤ 16 bits.
+  const std::vector<std::uint8_t> data{9, 8, 7, 6, 5, 4, 3, 2, 1, 0};
+  const auto original = crc16(data);
+  for (std::size_t start_bit = 0; start_bit + 16 <= data.size() * 8; start_bit += 7) {
+    auto corrupted = data;
+    for (std::size_t k = 0; k < 16; ++k) {
+      const std::size_t bit = start_bit + k;
+      corrupted[bit / 8] ^= static_cast<std::uint8_t>(1 << (7 - bit % 8));
+    }
+    EXPECT_NE(crc16(corrupted), original) << "burst at " << start_bit;
+  }
+}
+
+}  // namespace
+}  // namespace cbma::phy

@@ -1,0 +1,71 @@
+#include "phy/energy.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace cbma::phy {
+namespace {
+
+TEST(TagEnergy, DefaultsAreMicrowattScale) {
+  // The paper's §VI claim: reflection consumes power at the µW scale.
+  const TagEnergyModel model;
+  const double p = model.transmit_power_w();
+  EXPECT_GT(p, 1e-6);
+  EXPECT_LT(p, 1e-4);
+}
+
+TEST(TagEnergy, PowerScalesWithSubcarrier) {
+  TagEnergyModel slow, fast;
+  slow.subcarrier_hz = 10e6;
+  fast.subcarrier_hz = 20e6;
+  slow.logic_power_w = fast.logic_power_w = 0.0;
+  EXPECT_NEAR(fast.transmit_power_w() / slow.transmit_power_w(), 2.0, 1e-9);
+}
+
+TEST(TagEnergy, SilentChipsAreFree) {
+  TagEnergyModel model;
+  model.logic_power_w = 0.0;
+  model.on_chip_fraction = 0.0;
+  EXPECT_DOUBLE_EQ(model.transmit_power_w(), 0.0);
+}
+
+TEST(TagEnergy, FrameEnergyMatchesDurationTimesPower) {
+  const TagEnergyModel model;
+  const double e = model.frame_energy_j(120, 1e6);  // 120 µs frame
+  EXPECT_NEAR(e, model.transmit_power_w() * 120e-6, 1e-18);
+}
+
+TEST(TagEnergy, FasterBitrateCostsLessPerFrame) {
+  const TagEnergyModel model;
+  EXPECT_LT(model.frame_energy_j(120, 2e6), model.frame_energy_j(120, 1e6));
+}
+
+TEST(TagEnergy, FramesPerJouleIsInverse) {
+  const TagEnergyModel model;
+  EXPECT_NEAR(model.frames_per_joule(120, 1e6) * model.frame_energy_j(120, 1e6),
+              1.0, 1e-12);
+}
+
+TEST(TagEnergy, CoinCellSupportsYearsOfReporting) {
+  // Sanity of the headline IoT pitch: a 200 mAh @3 V coin cell (~2160 J)
+  // funds billions of 1 Mbps frames.
+  const TagEnergyModel model;
+  const double frames = 2160.0 * model.frames_per_joule(120, 1e6);
+  EXPECT_GT(frames, 1e9);
+}
+
+TEST(TagEnergy, RejectsBadInputs) {
+  TagEnergyModel model;
+  model.subcarrier_hz = 0.0;
+  EXPECT_THROW(model.transmit_power_w(), std::invalid_argument);
+  model = TagEnergyModel{};
+  model.on_chip_fraction = 1.5;
+  EXPECT_THROW(model.transmit_power_w(), std::invalid_argument);
+  model = TagEnergyModel{};
+  EXPECT_THROW(model.frame_energy_j(0, 1e6), std::invalid_argument);
+  EXPECT_THROW(model.frame_energy_j(10, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cbma::phy

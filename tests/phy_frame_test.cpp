@@ -1,0 +1,148 @@
+#include "phy/frame.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <stdexcept>
+
+namespace cbma::phy {
+namespace {
+
+TEST(Preamble, AlternatingPattern) {
+  const auto p = alternating_preamble(8);
+  const std::vector<std::uint8_t> want{1, 0, 1, 0, 1, 0, 1, 0};
+  EXPECT_EQ(p, want);  // the paper's 10101010
+}
+
+TEST(Preamble, ArbitraryLengths) {
+  EXPECT_EQ(alternating_preamble(1).size(), 1u);
+  EXPECT_EQ(alternating_preamble(64).size(), 64u);
+  EXPECT_THROW(alternating_preamble(0), std::invalid_argument);
+}
+
+TEST(BitConversion, RoundTrip) {
+  const std::vector<std::uint8_t> bytes{0xA5, 0x00, 0xFF, 0x42};
+  EXPECT_EQ(bits_to_bytes(bytes_to_bits(bytes)), bytes);
+}
+
+TEST(BitConversion, MsbFirst) {
+  const std::vector<std::uint8_t> bytes{0x80};
+  const auto bits = bytes_to_bits(bytes);
+  EXPECT_EQ(bits[0], 1);
+  for (std::size_t i = 1; i < 8; ++i) EXPECT_EQ(bits[i], 0);
+}
+
+TEST(BitConversion, RejectsPartialBytes) {
+  const std::vector<std::uint8_t> bits{1, 0, 1};
+  EXPECT_THROW(bits_to_bytes(bits), std::invalid_argument);
+}
+
+TEST(BitConversion, RejectsNonBinary) {
+  std::vector<std::uint8_t> bits(8, 0);
+  bits[3] = 2;
+  EXPECT_THROW(bits_to_bytes(bits), std::invalid_argument);
+}
+
+TEST(FrameBits, LayoutAndLength) {
+  const std::vector<std::uint8_t> payload{0x11, 0x22, 0x33};
+  const auto bits = frame_bits(payload, 7, 8);
+  // preamble(8) + length(8) + id(8) + payload(24) + crc(16)
+  EXPECT_EQ(bits.size(), frame_bit_count(3, 8));
+  EXPECT_EQ(bits.size(), 8u + 8u + 8u + 24u + 16u);
+  // Length field value.
+  std::size_t len = 0;
+  for (std::size_t i = 8; i < 16; ++i) len = (len << 1) | bits[i];
+  EXPECT_EQ(len, 3u);
+  // Tag id field value.
+  std::size_t id = 0;
+  for (std::size_t i = 16; i < 24; ++i) id = (id << 1) | bits[i];
+  EXPECT_EQ(id, 7u);
+}
+
+TEST(FrameBits, RejectsOversizedPayload) {
+  const std::vector<std::uint8_t> payload(kMaxPayloadBytes + 1, 0);
+  EXPECT_THROW(frame_bits(payload, 0), std::invalid_argument);
+  EXPECT_THROW(frame_bit_count(kMaxPayloadBytes + 1), std::invalid_argument);
+}
+
+TEST(FrameBits, MaxPayloadAccepted) {
+  const std::vector<std::uint8_t> payload(kMaxPayloadBytes, 0xAB);
+  EXPECT_NO_THROW(frame_bits(payload, 3));
+}
+
+TEST(ParseFrame, RoundTrip) {
+  const std::vector<std::uint8_t> payload{1, 2, 3, 4, 5};
+  const auto bits = frame_bits(payload, 9, 8);
+  // Strip the preamble; parse the body.
+  const std::span<const std::uint8_t> body(bits.data() + 8, bits.size() - 8);
+  const auto parsed = parse_frame_body(body);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->crc_ok);
+  EXPECT_EQ(parsed->payload, payload);
+  EXPECT_EQ(parsed->tag_id, 9);
+}
+
+TEST(ParseFrame, EmptyPayloadRoundTrip) {
+  const auto bits = frame_bits({}, 0, 4);
+  const std::span<const std::uint8_t> body(bits.data() + 4, bits.size() - 4);
+  const auto parsed = parse_frame_body(body);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->crc_ok);
+  EXPECT_TRUE(parsed->payload.empty());
+}
+
+TEST(ParseFrame, CorruptedPayloadFailsCrc) {
+  const std::vector<std::uint8_t> payload{10, 20, 30};
+  auto bits = frame_bits(payload, 1, 8);
+  bits[8 + 8 + 8 + 5] ^= 1;  // flip a payload bit
+  const std::span<const std::uint8_t> body(bits.data() + 8, bits.size() - 8);
+  const auto parsed = parse_frame_body(body);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(parsed->crc_ok);
+}
+
+TEST(ParseFrame, CorruptedIdFailsCrc) {
+  const std::vector<std::uint8_t> payload{5};
+  auto bits = frame_bits(payload, 2, 8);
+  bits[8 + 8 + 3] ^= 1;  // flip an id bit
+  const std::span<const std::uint8_t> body(bits.data() + 8, bits.size() - 8);
+  const auto parsed = parse_frame_body(body);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(parsed->crc_ok);
+}
+
+TEST(ParseFrame, TruncatedStreamReturnsNullopt) {
+  const std::vector<std::uint8_t> payload{1, 2, 3};
+  const auto bits = frame_bits(payload, 0, 8);
+  const std::span<const std::uint8_t> body(bits.data() + 8, 20);  // too short
+  EXPECT_FALSE(parse_frame_body(body).has_value());
+}
+
+TEST(ParseFrame, AbsurdLengthFieldRejected) {
+  std::vector<std::uint8_t> bits(8 * 200, 1);  // length byte = 0xFF = 255
+  EXPECT_FALSE(parse_frame_body(bits).has_value());
+}
+
+TEST(ParseFrame, TooFewBitsForLengthField) {
+  const std::vector<std::uint8_t> bits{1, 0, 1};
+  EXPECT_FALSE(parse_frame_body(bits).has_value());
+}
+
+class FramePayloadSizeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FramePayloadSizeTest, RoundTripsEverySize) {
+  std::vector<std::uint8_t> payload(GetParam());
+  std::iota(payload.begin(), payload.end(), 0);
+  const auto bits = frame_bits(payload, 33, 16);
+  const std::span<const std::uint8_t> body(bits.data() + 16, bits.size() - 16);
+  const auto parsed = parse_frame_body(body);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->crc_ok);
+  EXPECT_EQ(parsed->payload, payload);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FramePayloadSizeTest,
+                         ::testing::Values(0u, 1u, 2u, 8u, 16u, 64u, 126u));
+
+}  // namespace
+}  // namespace cbma::phy

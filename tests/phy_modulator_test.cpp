@@ -1,0 +1,99 @@
+#include "phy/modulator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/units.h"
+
+namespace cbma::phy {
+namespace {
+
+TEST(SquareWaveHarmonics, FundamentalIsFourOverPi) {
+  EXPECT_NEAR(square_wave_harmonic_amplitude(1), 4.0 / units::kPi, 1e-12);
+}
+
+TEST(SquareWaveHarmonics, PaperQuotedLevels) {
+  // §VI: "the third and the fifth harmonics are about 9.5 dB and 14 dB
+  // lower than the first harmonic".
+  EXPECT_NEAR(square_wave_harmonic_rel_db(3), -9.54, 0.05);
+  EXPECT_NEAR(square_wave_harmonic_rel_db(5), -13.98, 0.05);
+}
+
+TEST(SquareWaveHarmonics, RejectsEvenOrZero) {
+  EXPECT_THROW(square_wave_harmonic_amplitude(0), std::invalid_argument);
+  EXPECT_THROW(square_wave_harmonic_amplitude(2), std::invalid_argument);
+}
+
+TEST(SquareWave, AlternatesAtRequestedFrequency) {
+  // 1 kHz at 8 kS/s: 4 samples high, 4 low.
+  const auto w = square_wave(1000.0, 8000.0, 16);
+  for (int i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(w[i], 1.0);
+  for (int i = 4; i < 8; ++i) EXPECT_DOUBLE_EQ(w[i], -1.0);
+  for (int i = 8; i < 12; ++i) EXPECT_DOUBLE_EQ(w[i], 1.0);
+}
+
+TEST(SquareWave, RejectsUndersampling) {
+  EXPECT_THROW(square_wave(1000.0, 1500.0, 16), std::invalid_argument);
+  EXPECT_THROW(square_wave(0.0, 8000.0, 16), std::invalid_argument);
+}
+
+TEST(SquareWave, MeasuredHarmonicsMatchFourier) {
+  // Eq. 2 verification on the synthesized waveform.
+  const double f = 1000.0, fs = 64000.0;
+  const auto w = square_wave(f, fs, 6400);  // 100 periods
+  EXPECT_NEAR(tone_magnitude(w, f, fs), 4.0 / units::kPi, 0.01);
+  EXPECT_NEAR(tone_magnitude(w, 3 * f, fs), 4.0 / (3 * units::kPi), 0.01);
+  EXPECT_NEAR(tone_magnitude(w, 5 * f, fs), 4.0 / (5 * units::kPi), 0.01);
+  // Even harmonics absent.
+  EXPECT_NEAR(tone_magnitude(w, 2 * f, fs), 0.0, 0.01);
+}
+
+TEST(OokModulate, GatesCarrierWithChips) {
+  // Eq. 3: '1' chips pass the square wave, '0' chips emit silence.
+  const std::vector<std::uint8_t> chips{1, 0, 1};
+  const std::vector<double> carrier{1.0, -1.0};
+  const auto out = ook_modulate(chips, 2, carrier);
+  ASSERT_EQ(out.size(), 6u);
+  EXPECT_DOUBLE_EQ(out[0], 1.0);
+  EXPECT_DOUBLE_EQ(out[1], -1.0);
+  EXPECT_DOUBLE_EQ(out[2], 0.0);
+  EXPECT_DOUBLE_EQ(out[3], 0.0);
+  EXPECT_DOUBLE_EQ(out[4], 1.0);
+  EXPECT_DOUBLE_EQ(out[5], -1.0);
+}
+
+TEST(OokModulate, CarrierCyclesWhenShorter) {
+  const std::vector<std::uint8_t> chips{1};
+  const std::vector<double> carrier{0.5};
+  const auto out = ook_modulate(chips, 4, carrier);
+  for (const double v : out) EXPECT_DOUBLE_EQ(v, 0.5);
+}
+
+TEST(OokModulate, RejectsBadInputs) {
+  const std::vector<std::uint8_t> chips{1};
+  EXPECT_THROW(ook_modulate(chips, 0, std::vector<double>{1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(ook_modulate(chips, 2, {}), std::invalid_argument);
+}
+
+TEST(OokModulate, AllZeroChipsAreSilent) {
+  const std::vector<std::uint8_t> chips(8, 0);
+  const auto carrier = square_wave(1000.0, 8000.0, 8);
+  const auto out = ook_modulate(chips, 4, carrier);
+  for (const double v : out) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(ToneMagnitude, PureSine) {
+  const double f = 500.0, fs = 8000.0;
+  std::vector<double> sine(8000);
+  for (std::size_t i = 0; i < sine.size(); ++i) {
+    sine[i] = 2.5 * std::sin(2.0 * units::kPi * f * static_cast<double>(i) / fs);
+  }
+  EXPECT_NEAR(tone_magnitude(sine, f, fs), 2.5, 0.01);
+  EXPECT_NEAR(tone_magnitude(sine, 2 * f, fs), 0.0, 0.01);
+}
+
+}  // namespace
+}  // namespace cbma::phy

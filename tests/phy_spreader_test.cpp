@@ -1,0 +1,84 @@
+#include "phy/spreader.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "pn/gold.h"
+#include "pn/msequence.h"
+
+namespace cbma::phy {
+namespace {
+
+TEST(Spreader, PaperExample) {
+  // §III-A: data "10" with PN code "01001" spreads to "0100110110".
+  const pn::PnCode code({0, 1, 0, 0, 1});
+  const std::vector<std::uint8_t> bits{1, 0};
+  const auto chips = spread(bits, code);
+  const std::vector<std::uint8_t> want{0, 1, 0, 0, 1, 1, 0, 1, 1, 0};
+  EXPECT_EQ(chips, want);
+}
+
+TEST(Spreader, OutputLength) {
+  const auto code = pn::msequence_code(5);
+  const std::vector<std::uint8_t> bits(10, 1);
+  EXPECT_EQ(spread(bits, code).size(), 10u * 31u);
+}
+
+TEST(Spreader, BitOneIsCode) {
+  const auto code = pn::msequence_code(3);
+  const std::vector<std::uint8_t> one{1};
+  EXPECT_EQ(spread(one, code), code.chips());
+}
+
+TEST(Spreader, BitZeroIsNegation) {
+  const auto code = pn::msequence_code(3);
+  const std::vector<std::uint8_t> zero{0};
+  EXPECT_EQ(spread(zero, code), code.chips_for_bit(false));
+}
+
+TEST(Spreader, RejectsNonBinaryBits) {
+  const auto code = pn::msequence_code(3);
+  const std::vector<std::uint8_t> bits{1, 2};
+  EXPECT_THROW(spread(bits, code), std::invalid_argument);
+}
+
+TEST(Despreader, RoundTripClean) {
+  const auto code = pn::msequence_code(5);
+  const std::vector<std::uint8_t> bits{1, 0, 0, 1, 1, 0, 1, 0};
+  EXPECT_EQ(despread_hard(spread(bits, code), code), bits);
+}
+
+TEST(Despreader, MajorityVoteSurvivesChipErrors) {
+  const auto code = pn::msequence_code(5);
+  const std::vector<std::uint8_t> bits{1, 0, 1};
+  auto chips = spread(bits, code);
+  // Corrupt 10 of 31 chips of the middle bit: majority still wins.
+  for (std::size_t i = 0; i < 10; ++i) chips[31 + i] ^= 1;
+  EXPECT_EQ(despread_hard(chips, code), bits);
+}
+
+TEST(Despreader, RejectsPartialChipCounts) {
+  const auto code = pn::msequence_code(5);
+  const std::vector<std::uint8_t> chips(32, 0);  // not a multiple of 31
+  EXPECT_THROW(despread_hard(chips, code), std::invalid_argument);
+}
+
+class SpreaderRoundTripTest
+    : public ::testing::TestWithParam<std::tuple<unsigned, int>> {};
+
+TEST_P(SpreaderRoundTripTest, GoldCodesRoundTrip) {
+  const auto [degree, code_index] = GetParam();
+  const pn::GoldFamily fam(degree);
+  const auto code = fam.code(static_cast<std::size_t>(code_index));
+  std::vector<std::uint8_t> bits;
+  for (int i = 0; i < 64; ++i) bits.push_back((i * 7 + 3) % 3 == 0 ? 1 : 0);
+  EXPECT_EQ(despread_hard(spread(bits, code), code), bits);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GoldCodes, SpreaderRoundTripTest,
+    ::testing::Combine(::testing::Values(5u, 6u), ::testing::Values(0, 1, 2, 10)));
+
+}  // namespace
+}  // namespace cbma::phy

@@ -1,0 +1,97 @@
+#include "phy/tag.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "phy/spreader.h"
+#include "pn/msequence.h"
+
+namespace cbma::phy {
+namespace {
+
+TagConfig base_config() {
+  TagConfig cfg;
+  cfg.id = 3;
+  cfg.code = pn::msequence_code(5);
+  cfg.preamble_bits = 8;
+  cfg.impedance_levels = 4;
+  return cfg;
+}
+
+TEST(Tag, RejectsBadConfig) {
+  TagConfig cfg = base_config();
+  cfg.code = pn::PnCode();
+  EXPECT_THROW(Tag{cfg}, std::invalid_argument);
+  cfg = base_config();
+  cfg.preamble_bits = 0;
+  EXPECT_THROW(Tag{cfg}, std::invalid_argument);
+  cfg = base_config();
+  cfg.impedance_levels = 0;
+  EXPECT_THROW(Tag{cfg}, std::invalid_argument);
+}
+
+TEST(Tag, ExposesConfig) {
+  const Tag tag(base_config());
+  EXPECT_EQ(tag.id(), 3u);
+  EXPECT_EQ(tag.preamble_bits(), 8u);
+  EXPECT_EQ(tag.code().length(), 31u);
+  EXPECT_EQ(tag.impedance_levels(), 4u);
+}
+
+TEST(Tag, ChipSequenceIsSpreadFrame) {
+  const Tag tag(base_config());
+  const std::vector<std::uint8_t> payload{0xAA, 0x55};
+  const auto chips = tag.chip_sequence(payload);
+  const auto bits = frame_bits(payload, 3, 8);
+  EXPECT_EQ(chips, spread(bits, tag.code()));
+  EXPECT_EQ(chips.size(), bits.size() * 31u);
+}
+
+TEST(Tag, ChipSequenceEmbedsTagId) {
+  TagConfig cfg = base_config();
+  cfg.id = 7;
+  const Tag a(cfg);
+  cfg.id = 9;
+  const Tag b(cfg);
+  // Same payload, different ids → different frames.
+  const std::vector<std::uint8_t> payload{1, 2, 3};
+  EXPECT_NE(a.chip_sequence(payload), b.chip_sequence(payload));
+}
+
+TEST(Tag, PreambleChipsMatchSpreadPreamble) {
+  const Tag tag(base_config());
+  const auto want = spread(alternating_preamble(8), tag.code());
+  EXPECT_EQ(tag.preamble_chips(), want);
+}
+
+TEST(Tag, ImpedanceLevelDefaultsToZero) {
+  const Tag tag(base_config());
+  EXPECT_EQ(tag.impedance_level(), 0u);
+}
+
+TEST(Tag, SetImpedanceLevelValidated) {
+  Tag tag(base_config());
+  tag.set_impedance_level(3);
+  EXPECT_EQ(tag.impedance_level(), 3u);
+  EXPECT_THROW(tag.set_impedance_level(4), std::invalid_argument);
+}
+
+TEST(Tag, StepImpedanceWrapsAtZmax) {
+  // Algorithm 1 lines 18–22.
+  Tag tag(base_config());
+  tag.set_impedance_level(2);
+  tag.step_impedance();
+  EXPECT_EQ(tag.impedance_level(), 3u);
+  tag.step_impedance();
+  EXPECT_EQ(tag.impedance_level(), 0u);  // wrap
+}
+
+TEST(Tag, EmptyPayloadStillFrames) {
+  const Tag tag(base_config());
+  const auto chips = tag.chip_sequence({});
+  EXPECT_EQ(chips.size(), frame_bit_count(0, 8) * 31u);
+}
+
+}  // namespace
+}  // namespace cbma::phy

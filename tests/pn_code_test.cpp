@@ -1,0 +1,87 @@
+#include "pn/code.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace cbma::pn {
+namespace {
+
+TEST(PnCode, RejectsEmptyAndNonBinary) {
+  EXPECT_THROW(PnCode(std::vector<std::uint8_t>{}), std::invalid_argument);
+  EXPECT_THROW(PnCode(std::vector<std::uint8_t>{0, 1, 2}), std::invalid_argument);
+}
+
+TEST(PnCode, BipolarMapping) {
+  const PnCode code({1, 0, 1, 1});
+  const auto& b = code.bipolar();
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_DOUBLE_EQ(b[0], 1.0);
+  EXPECT_DOUBLE_EQ(b[1], -1.0);
+  EXPECT_DOUBLE_EQ(b[2], 1.0);
+  EXPECT_DOUBLE_EQ(b[3], 1.0);
+}
+
+TEST(PnCode, ChipsForBitOneIsIdentity) {
+  const PnCode code({1, 0, 0, 1});
+  EXPECT_EQ(code.chips_for_bit(true), code.chips());
+}
+
+TEST(PnCode, ChipsForBitZeroIsNegation) {
+  // Footnote 2: the '0' chip sequence is the bitwise negation of '1'.
+  const PnCode code({1, 0, 0, 1});
+  const std::vector<std::uint8_t> want{0, 1, 1, 0};
+  EXPECT_EQ(code.chips_for_bit(false), want);
+}
+
+TEST(PnCode, Balance) {
+  EXPECT_EQ(PnCode({1, 1, 1, 1}).balance(), 4);
+  EXPECT_EQ(PnCode({0, 0, 0, 0}).balance(), -4);
+  EXPECT_EQ(PnCode({1, 0, 1, 0}).balance(), 0);
+}
+
+TEST(PnCode, EqualityComparesChips) {
+  EXPECT_EQ(PnCode({1, 0}, "a"), PnCode({1, 0}, "b"));
+  EXPECT_FALSE(PnCode({1, 0}) == PnCode({0, 1}));
+}
+
+TEST(CodeFamily, ToString) {
+  EXPECT_EQ(to_string(CodeFamily::kGold), "Gold");
+  EXPECT_EQ(to_string(CodeFamily::kTwoNC), "2NC");
+}
+
+TEST(MakeCodeSet, GoldPicksSmallestFittingDegree) {
+  const auto ten = make_code_set(CodeFamily::kGold, 10, 31);
+  EXPECT_EQ(ten.size(), 10u);
+  EXPECT_EQ(ten.front().length(), 31u);
+
+  // 40 codes do not fit in the degree-5 family (33 codes) → degree 6.
+  const auto forty = make_code_set(CodeFamily::kGold, 40, 31);
+  EXPECT_EQ(forty.front().length(), 63u);
+}
+
+TEST(MakeCodeSet, GoldHonoursMinLength) {
+  const auto codes = make_code_set(CodeFamily::kGold, 4, 60);
+  EXPECT_EQ(codes.front().length(), 63u);
+}
+
+TEST(MakeCodeSet, TwoNC) {
+  const auto codes = make_code_set(CodeFamily::kTwoNC, 10, 20);
+  EXPECT_EQ(codes.size(), 10u);
+  EXPECT_EQ(codes.front().length(), 32u);
+}
+
+TEST(MakeCodeSet, AllCodesShareLength) {
+  for (const auto family : {CodeFamily::kGold, CodeFamily::kTwoNC}) {
+    const auto codes = make_code_set(family, 8, 31);
+    for (const auto& c : codes) EXPECT_EQ(c.length(), codes.front().length());
+  }
+}
+
+TEST(MakeCodeSet, RejectsImpossibleRequests) {
+  EXPECT_THROW(make_code_set(CodeFamily::kGold, 0), std::invalid_argument);
+  EXPECT_THROW(make_code_set(CodeFamily::kGold, 5000), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cbma::pn

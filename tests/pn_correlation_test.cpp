@@ -1,0 +1,192 @@
+#include "pn/correlation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <stdexcept>
+
+#include "pn/msequence.h"
+#include "util/rng.h"
+
+namespace cbma::pn {
+namespace {
+
+TEST(PeriodicCrossCorrelation, RejectsMismatchedLengths) {
+  const PnCode a({1, 0, 1});
+  const PnCode b({1, 0});
+  EXPECT_THROW(periodic_cross_correlation(a, b, 0), std::invalid_argument);
+}
+
+TEST(PeriodicCrossCorrelation, RejectsShiftBeyondLength) {
+  const PnCode a({1, 0, 1});
+  EXPECT_THROW(periodic_cross_correlation(a, a, 3), std::invalid_argument);
+}
+
+TEST(PeriodicCrossCorrelation, SelfAtZeroIsLength) {
+  const auto code = msequence_code(5);
+  EXPECT_EQ(periodic_cross_correlation(code, code, 0), 31);
+}
+
+TEST(PeriodicCrossCorrelation, NegationGivesMinusLength) {
+  const PnCode a({1, 0, 1, 1});
+  const PnCode b({0, 1, 0, 0});
+  EXPECT_EQ(periodic_cross_correlation(a, b, 0), -4);
+}
+
+TEST(PeakCrossCorrelation, ExcludesAutopeakForSelf) {
+  const auto code = msequence_code(5);
+  EXPECT_EQ(peak_cross_correlation(code, code), 1);  // |−1| off-peak
+}
+
+TEST(MeanRemovedTemplate, ZeroMean) {
+  const auto code = msequence_code(5);
+  for (const std::size_t spc : {1u, 2u, 4u}) {
+    const auto tmpl = mean_removed_template(code, spc);
+    EXPECT_EQ(tmpl.size(), code.length() * spc);
+    double sum = 0.0;
+    for (const double v : tmpl) sum += v;
+    EXPECT_NEAR(sum, 0.0, 1e-9);
+  }
+}
+
+TEST(MeanRemovedTemplate, RejectsZeroUpsampling) {
+  EXPECT_THROW(mean_removed_template(msequence_code(3), 0), std::invalid_argument);
+}
+
+TEST(CorrelateAt, ExactMatchGivesEnergy) {
+  const std::vector<double> tmpl{1.0, -1.0, 1.0};
+  const std::vector<double> signal{0.0, 1.0, -1.0, 1.0, 0.0};
+  EXPECT_DOUBLE_EQ(correlate_at(signal, tmpl, 1), 3.0);
+}
+
+TEST(CorrelateAt, OutOfRangeIsZero) {
+  const std::vector<double> tmpl{1.0, 1.0};
+  const std::vector<double> signal{1.0};
+  EXPECT_DOUBLE_EQ(correlate_at(signal, tmpl, 0), 0.0);
+  EXPECT_DOUBLE_EQ(correlate_at(signal, {}, 2), 0.0);
+}
+
+TEST(NormalizedCorrelation, PerfectMatchIsOne) {
+  const auto code = msequence_code(5);
+  const auto tmpl = mean_removed_template(code);
+  // Signal = scaled unipolar chips + constant offset; the mean-removed
+  // normalized correlation must still be 1.
+  std::vector<double> signal;
+  signal.reserve(code.length());
+  for (const auto c : code.chips()) signal.push_back(5.0 * c + 3.0);
+  EXPECT_NEAR(normalized_correlation_at(signal, tmpl, 0), 1.0, 1e-9);
+}
+
+TEST(NormalizedCorrelation, InvertedMatchIsMinusOne) {
+  const auto code = msequence_code(5);
+  const auto tmpl = mean_removed_template(code);
+  std::vector<double> signal;
+  for (const auto c : code.chips()) signal.push_back(c ? -1.0 : 1.0);
+  EXPECT_NEAR(normalized_correlation_at(signal, tmpl, 0), -1.0, 1e-9);
+}
+
+TEST(NormalizedCorrelation, FlatSignalIsZero) {
+  const auto code = msequence_code(5);
+  const auto tmpl = mean_removed_template(code);
+  const std::vector<double> signal(code.length(), 7.0);
+  EXPECT_DOUBLE_EQ(normalized_correlation_at(signal, tmpl, 0), 0.0);
+}
+
+TEST(SlidingPeak, FindsEmbeddedCode) {
+  const auto code = msequence_code(5);
+  const auto tmpl = mean_removed_template(code, 2);
+  std::vector<double> signal(200, 0.0);
+  const std::size_t true_offset = 57;
+  for (std::size_t i = 0; i < code.length(); ++i) {
+    for (std::size_t s = 0; s < 2; ++s) {
+      signal[true_offset + 2 * i + s] = code.chip(i) ? 2.0 : 0.0;
+    }
+  }
+  const auto peak = sliding_peak(signal, tmpl, 0, 120);
+  EXPECT_EQ(peak.offset, true_offset);
+  EXPECT_NEAR(peak.value, 1.0, 1e-9);
+}
+
+TEST(SlidingPeak, RejectsInvertedWindow) {
+  const std::vector<double> signal(10, 0.0);
+  const std::vector<double> tmpl{1.0};
+  EXPECT_THROW(sliding_peak(signal, tmpl, 5, 2), std::invalid_argument);
+}
+
+TEST(ComplexCorrelateAt, PhaseRecovered) {
+  const auto code = msequence_code(5);
+  const auto tmpl = mean_removed_template(code);
+  const double phase = 1.1;
+  std::vector<std::complex<double>> signal;
+  for (const double v : tmpl) {
+    signal.push_back(std::polar(1.0, phase) * v * 2.0);
+  }
+  const auto corr = complex_correlate_at(signal, tmpl, 0);
+  EXPECT_NEAR(std::arg(corr), phase, 1e-9);
+}
+
+TEST(NormalizedComplexCorrelation, PhaseInvariantPerfectMatch) {
+  const auto code = msequence_code(5);
+  const auto tmpl = mean_removed_template(code);
+  for (const double phase : {0.0, 0.7, 2.9, -1.3}) {
+    std::vector<std::complex<double>> signal;
+    for (const auto c : code.chips()) {
+      signal.push_back(std::polar(3.0, phase) * static_cast<double>(c));
+    }
+    EXPECT_NEAR(normalized_complex_correlation_at(signal, tmpl, 0), 1.0, 1e-9)
+        << "phase " << phase;
+  }
+}
+
+TEST(SlidingComplexPeak, FindsOffsetAndPhase) {
+  const auto code = msequence_code(5);
+  const auto tmpl = mean_removed_template(code, 2);
+  const double phase = -0.9;
+  std::vector<std::complex<double>> signal(260, {0.0, 0.0});
+  const std::size_t true_offset = 101;
+  for (std::size_t i = 0; i < code.length(); ++i) {
+    for (std::size_t s = 0; s < 2; ++s) {
+      signal[true_offset + 2 * i + s] =
+          std::polar(1.5, phase) * static_cast<double>(code.chip(i));
+    }
+  }
+  const auto peak = sliding_complex_peak(signal, tmpl, 40, 180);
+  EXPECT_EQ(peak.offset, true_offset);
+  EXPECT_NEAR(peak.value, 1.0, 1e-9);
+  EXPECT_NEAR(peak.phase, phase, 1e-6);
+}
+
+TEST(SlidingComplexPeak, MatchesBruteForceUnderNoise) {
+  // The incremental running-sum implementation must agree with the direct
+  // per-offset computation.
+  Rng rng(5);
+  const auto code = msequence_code(5);
+  const auto tmpl = mean_removed_template(code, 2);
+  std::vector<std::complex<double>> signal(300);
+  for (auto& s : signal) s = {rng.gaussian(), rng.gaussian()};
+
+  const auto peak = sliding_complex_peak(signal, tmpl, 10, 200);
+  double best = -1.0;
+  std::size_t best_off = 0;
+  for (std::size_t off = 10; off < 200; ++off) {
+    const double v = normalized_complex_correlation_at(signal, tmpl, off);
+    if (v > best) {
+      best = v;
+      best_off = off;
+    }
+  }
+  EXPECT_EQ(peak.offset, best_off);
+  EXPECT_NEAR(peak.value, best, 1e-9);
+}
+
+TEST(SlidingComplexPeak, EmptyWindowReturnsDefault) {
+  const std::vector<std::complex<double>> signal(5, {0.0, 0.0});
+  const std::vector<double> tmpl(10, 1.0);
+  const auto peak = sliding_complex_peak(signal, tmpl, 0, 5);
+  EXPECT_EQ(peak.offset, 0u);
+  EXPECT_DOUBLE_EQ(peak.value, 0.0);
+}
+
+}  // namespace
+}  // namespace cbma::pn

@@ -1,0 +1,103 @@
+#include "pn/gold.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "pn/correlation.h"
+
+namespace cbma::pn {
+namespace {
+
+TEST(GoldFamily, SizesMatchTheory) {
+  const GoldFamily fam(5);
+  EXPECT_EQ(fam.code_length(), 31u);
+  EXPECT_EQ(fam.family_size(), 33u);
+  EXPECT_EQ(GoldFamily(6).code_length(), 63u);
+  EXPECT_EQ(GoldFamily(7).family_size(), 129u);
+}
+
+TEST(GoldFamily, TValue) {
+  EXPECT_EQ(GoldFamily::t_value(5), 9u);   // 2^3+1
+  EXPECT_EQ(GoldFamily::t_value(6), 17u);  // 2^4+1
+  EXPECT_EQ(GoldFamily::t_value(7), 17u);  // 2^4+1
+}
+
+TEST(GoldFamily, IndexOutOfFamilyThrows) {
+  const GoldFamily fam(5);
+  EXPECT_THROW(fam.code(33), std::invalid_argument);
+  EXPECT_THROW(fam.codes(34), std::invalid_argument);
+}
+
+TEST(GoldFamily, CodesAreDistinct) {
+  const GoldFamily fam(5);
+  std::set<std::vector<std::uint8_t>> seen;
+  for (std::size_t k = 0; k < fam.family_size(); ++k) {
+    seen.insert(fam.code(k).chips());
+  }
+  EXPECT_EQ(seen.size(), fam.family_size());
+}
+
+class GoldCrossCorrelationTest : public ::testing::TestWithParam<unsigned> {};
+
+// The defining Gold property: every periodic cross-correlation value between
+// distinct family members lies in {−1, −t(n), t(n)−2}.
+TEST_P(GoldCrossCorrelationTest, ThreeValued) {
+  const unsigned degree = GetParam();
+  const GoldFamily fam(degree);
+  const int t = static_cast<int>(GoldFamily::t_value(degree));
+  const std::set<int> allowed{-1, -t, t - 2};
+
+  // A representative subset (full family scan at degree 7+ is slow).
+  const std::size_t probe = 6;
+  for (std::size_t i = 0; i < probe; ++i) {
+    for (std::size_t j = i + 1; j < probe; ++j) {
+      const auto values =
+          periodic_cross_correlation_all(fam.code(i), fam.code(j));
+      for (const int v : values) {
+        EXPECT_TRUE(allowed.count(v)) << "degree " << degree << " pair (" << i
+                                      << "," << j << ") value " << v;
+      }
+    }
+  }
+}
+
+// Off-peak autocorrelation obeys the same three-valued bound.
+TEST_P(GoldCrossCorrelationTest, AutocorrelationSidelobesBounded) {
+  const unsigned degree = GetParam();
+  const GoldFamily fam(degree);
+  const int t = static_cast<int>(GoldFamily::t_value(degree));
+  for (std::size_t k = 2; k < 6; ++k) {
+    EXPECT_LE(peak_cross_correlation(fam.code(k), fam.code(k)), t);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, GoldCrossCorrelationTest,
+                         ::testing::Values(5u, 6u, 7u));
+
+TEST(GoldFamily, PeakCrossCorrelationWellBelowAutopeak) {
+  const GoldFamily fam(5);
+  const auto a = fam.code(2);
+  const auto b = fam.code(7);
+  EXPECT_LE(peak_cross_correlation(a, b), 9);
+  EXPECT_EQ(periodic_cross_correlation(a, a, 0), 31);
+}
+
+TEST(GoldFamily, FirstTwoCodesAreTheMSequences) {
+  const GoldFamily fam(5);
+  // Codes 0 and 1 have the ideal m-sequence autocorrelation (−1 off-peak).
+  for (const std::size_t k : {0u, 1u}) {
+    const auto acf = periodic_cross_correlation_all(fam.code(k), fam.code(k));
+    for (std::size_t tau = 1; tau < acf.size(); ++tau) EXPECT_EQ(acf[tau], -1);
+  }
+}
+
+TEST(GoldFamily, CodesCarryNames) {
+  const GoldFamily fam(5);
+  EXPECT_EQ(fam.code(0).name(), "gold5#0");
+  EXPECT_EQ(fam.code(4).name(), "gold5#4");
+}
+
+}  // namespace
+}  // namespace cbma::pn

@@ -1,0 +1,82 @@
+#include "pn/lfsr.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "pn/msequence.h"
+
+namespace cbma::pn {
+namespace {
+
+TEST(Lfsr, RejectsBadConstruction) {
+  EXPECT_THROW(Lfsr(0, 0x1), std::invalid_argument);            // degree 0
+  EXPECT_THROW(Lfsr(64, 0x1), std::invalid_argument);           // too wide
+  EXPECT_THROW(Lfsr(4, 0x0), std::invalid_argument);            // no taps
+  EXPECT_THROW(Lfsr(4, 0x1, 0), std::invalid_argument);         // zero state
+  EXPECT_THROW(Lfsr(4, 0x1, 0x10), std::invalid_argument);      // state too wide
+  EXPECT_THROW(Lfsr(4, 0x10), std::invalid_argument);           // taps too wide
+}
+
+TEST(Lfsr, OutputsAreBinary) {
+  Lfsr reg(5, 0x5);
+  for (int i = 0; i < 100; ++i) {
+    const auto b = reg.step();
+    EXPECT_TRUE(b == 0 || b == 1);
+  }
+}
+
+TEST(Lfsr, NeverReachesZeroState) {
+  Lfsr reg(5, 0x5);
+  for (int i = 0; i < 200; ++i) {
+    reg.step();
+    EXPECT_NE(reg.state(), 0u);
+  }
+}
+
+TEST(Lfsr, RunMatchesRepeatedStep) {
+  Lfsr a(6, 0x3), b(6, 0x3);
+  const auto bits = a.run(64);
+  for (const auto bit : bits) EXPECT_EQ(bit, b.step());
+}
+
+class PrimitivePolynomialTest : public ::testing::TestWithParam<unsigned> {};
+
+// Every tabulated primitive polynomial must generate a maximal-length
+// sequence: period exactly 2^degree − 1.
+TEST_P(PrimitivePolynomialTest, HasMaximalPeriod) {
+  const unsigned degree = GetParam();
+  Lfsr reg(degree, primitive_tap_mask(degree));
+  EXPECT_EQ(reg.period(), (std::uint64_t{1} << degree) - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDegrees, PrimitivePolynomialTest,
+                         ::testing::Values(3u, 4u, 5u, 6u, 7u, 8u, 9u, 10u));
+
+class PreferredPairTest : public ::testing::TestWithParam<unsigned> {};
+
+// Both members of every tabulated preferred pair must themselves be
+// primitive (maximal period).
+TEST_P(PreferredPairTest, BothMembersMaximal) {
+  const unsigned degree = GetParam();
+  const auto [a, b] = preferred_pair(degree);
+  EXPECT_EQ(Lfsr(degree, a).period(), (std::uint64_t{1} << degree) - 1);
+  EXPECT_EQ(Lfsr(degree, b).period(), (std::uint64_t{1} << degree) - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDegrees, PreferredPairTest,
+                         ::testing::Values(5u, 6u, 7u, 9u, 10u));
+
+TEST(Lfsr, NonPrimitiveTapsGiveShorterPeriod) {
+  // x^4 + x^3 + x^2 + x + 1 is irreducible but has order 5, not 15.
+  Lfsr reg(4, 0b1111);
+  EXPECT_EQ(reg.period(), 5u);
+}
+
+TEST(Lfsr, PeriodIndependentOfStartState) {
+  const auto mask = primitive_tap_mask(5);
+  EXPECT_EQ(Lfsr(5, mask, 1).period(), Lfsr(5, mask, 0x1F).period());
+}
+
+}  // namespace
+}  // namespace cbma::pn

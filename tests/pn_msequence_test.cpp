@@ -1,0 +1,101 @@
+#include "pn/msequence.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <stdexcept>
+
+#include "pn/correlation.h"
+
+namespace cbma::pn {
+namespace {
+
+TEST(MSequence, LengthIsFullPeriod) {
+  for (const unsigned degree : {3u, 5u, 7u, 10u}) {
+    const auto seq = msequence(degree, primitive_tap_mask(degree));
+    EXPECT_EQ(seq.size(), (std::size_t{1} << degree) - 1);
+  }
+}
+
+TEST(MSequence, UntabulatedDegreeThrows) {
+  EXPECT_THROW(primitive_tap_mask(11), std::invalid_argument);
+  EXPECT_THROW(primitive_tap_mask(2), std::invalid_argument);
+  EXPECT_THROW(preferred_pair(8), std::invalid_argument);  // no pair for n ≡ 0 mod 4
+}
+
+class MSequencePropertyTest : public ::testing::TestWithParam<unsigned> {};
+
+// m-sequences are balanced: exactly 2^(n−1) ones and 2^(n−1)−1 zeros.
+TEST_P(MSequencePropertyTest, Balance) {
+  const unsigned degree = GetParam();
+  const auto seq = msequence(degree, primitive_tap_mask(degree));
+  const auto ones = std::accumulate(seq.begin(), seq.end(), std::size_t{0});
+  EXPECT_EQ(ones, std::size_t{1} << (degree - 1));
+}
+
+// Two-valued autocorrelation: peak L at shift 0, exactly −1 elsewhere.
+TEST_P(MSequencePropertyTest, IdealAutocorrelation) {
+  const unsigned degree = GetParam();
+  const auto code = msequence_code(degree);
+  const auto acf = periodic_cross_correlation_all(code, code);
+  EXPECT_EQ(acf[0], static_cast<int>(code.length()));
+  for (std::size_t tau = 1; tau < code.length(); ++tau) {
+    EXPECT_EQ(acf[tau], -1) << "shift " << tau;
+  }
+}
+
+// Shift-and-add property: an m-sequence XORed with a shift of itself is
+// another shift of the same sequence (tested via its ideal autocorrelation
+// against the original: must equal −1 or L).
+TEST_P(MSequencePropertyTest, ShiftAndAdd) {
+  const unsigned degree = GetParam();
+  const auto seq = msequence(degree, primitive_tap_mask(degree));
+  const std::size_t len = seq.size();
+  std::vector<std::uint8_t> sum(len);
+  const std::size_t shift = 3 % len;
+  for (std::size_t i = 0; i < len; ++i) sum[i] = seq[i] ^ seq[(i + shift) % len];
+  // The sum must be a cyclic shift of seq: correlate at every lag; one lag
+  // must match perfectly.
+  const PnCode a(sum), b(seq);
+  bool found_perfect = false;
+  for (std::size_t tau = 0; tau < len; ++tau) {
+    if (periodic_cross_correlation(a, b, tau) == static_cast<int>(len)) {
+      found_perfect = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(found_perfect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, MSequencePropertyTest,
+                         ::testing::Values(3u, 4u, 5u, 6u, 7u, 8u, 9u, 10u));
+
+TEST(MSequence, NamedCode) {
+  const auto code = msequence_code(5);
+  EXPECT_EQ(code.name(), "m5");
+  EXPECT_EQ(code.length(), 31u);
+}
+
+TEST(MSequence, DifferentSeedsAreShifts) {
+  const auto a = msequence(5, primitive_tap_mask(5), 1);
+  const auto b = msequence(5, primitive_tap_mask(5), 7);
+  // Same cycle, different phase: b must be a cyclic shift of a.
+  bool is_shift = false;
+  for (std::size_t tau = 0; tau < a.size(); ++tau) {
+    bool match = true;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (a[(i + tau) % a.size()] != b[i]) {
+        match = false;
+        break;
+      }
+    }
+    if (match) {
+      is_shift = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(is_shift);
+}
+
+}  // namespace
+}  // namespace cbma::pn

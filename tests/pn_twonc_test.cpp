@@ -1,0 +1,119 @@
+#include "pn/twonc.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+#include "pn/correlation.h"
+#include "pn/gold.h"
+
+namespace cbma::pn {
+namespace {
+
+TEST(TwoNCFamily, LengthIsPowerOfTwoAboveTwoN) {
+  EXPECT_EQ(TwoNCFamily(10).code_length(), 32u);  // 2·10=20 → 32
+  EXPECT_EQ(TwoNCFamily(2).code_length(), 4u);
+  EXPECT_EQ(TwoNCFamily(5).code_length(), 16u);
+  EXPECT_EQ(TwoNCFamily(16).code_length(), 32u);
+}
+
+TEST(TwoNCFamily, MinLengthHonoured) {
+  EXPECT_EQ(TwoNCFamily(2, 31).code_length(), 32u);
+  EXPECT_EQ(TwoNCFamily(3, 100).code_length(), 128u);
+}
+
+TEST(TwoNCFamily, RejectsBadRequests) {
+  EXPECT_THROW(TwoNCFamily(0), std::invalid_argument);
+  const TwoNCFamily fam(4);
+  EXPECT_THROW(fam.code(4), std::invalid_argument);
+  EXPECT_THROW(fam.codes(5), std::invalid_argument);
+}
+
+TEST(TwoNCFamily, CodesAreDistinct) {
+  const TwoNCFamily fam(10);
+  std::set<std::vector<std::uint8_t>> seen;
+  for (std::size_t k = 0; k < 10; ++k) seen.insert(fam.code(k).chips());
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+// The defining property the paper attributes to 2NC: better orthogonality
+// than Gold. Aligned (periodic, shift-0) cross-correlation is exactly zero
+// for every pair.
+TEST(TwoNCFamily, AlignedCrossCorrelationIsZero) {
+  const TwoNCFamily fam(10);
+  for (std::size_t i = 0; i < 10; ++i) {
+    for (std::size_t j = i + 1; j < 10; ++j) {
+      EXPECT_EQ(periodic_cross_correlation(fam.code(i), fam.code(j), 0), 0)
+          << "pair " << i << "," << j;
+    }
+  }
+}
+
+// No pair of codes may be cyclic shifts of one another — otherwise the
+// asynchronous sliding detector aliases users.
+TEST(TwoNCFamily, NoPairIsACyclicShift) {
+  const TwoNCFamily fam(10);
+  const int L = static_cast<int>(fam.code_length());
+  for (std::size_t i = 0; i < 10; ++i) {
+    for (std::size_t j = i + 1; j < 10; ++j) {
+      const auto values =
+          periodic_cross_correlation_all(fam.code(i), fam.code(j));
+      for (const int v : values) EXPECT_LT(std::abs(v), L);
+    }
+  }
+}
+
+// Shifted cross-correlations stay at pseudo-random level: comfortably below
+// the autocorrelation peak.
+TEST(TwoNCFamily, ShiftedCrossCorrelationBounded) {
+  const TwoNCFamily fam(10);
+  const int L = static_cast<int>(fam.code_length());
+  for (std::size_t i = 0; i < 10; ++i) {
+    for (std::size_t j = i + 1; j < 10; ++j) {
+      EXPECT_LE(peak_cross_correlation(fam.code(i), fam.code(j)), L / 2)
+          << "pair " << i << "," << j;
+    }
+  }
+}
+
+// Fig. 9(b) rationale quantified: aligned 2NC interference (0) beats Gold's
+// aligned worst case (t(n)).
+TEST(TwoNCFamily, AlignedOrthogonalityBeatsGold) {
+  const TwoNCFamily twonc(10, 31);
+  const GoldFamily gold(5);
+  int gold_worst = 0;
+  int twonc_worst = 0;
+  for (std::size_t i = 0; i < 10; ++i) {
+    for (std::size_t j = i + 1; j < 10; ++j) {
+      gold_worst = std::max(gold_worst,
+                            std::abs(periodic_cross_correlation(
+                                gold.code(i), gold.code(j), 0)));
+      twonc_worst = std::max(twonc_worst,
+                             std::abs(periodic_cross_correlation(
+                                 twonc.code(i), twonc.code(j), 0)));
+    }
+  }
+  EXPECT_EQ(twonc_worst, 0);
+  EXPECT_GT(gold_worst, 0);
+}
+
+TEST(TwoNCFamily, ScramblerMatchesLength) {
+  const TwoNCFamily fam(10);
+  EXPECT_EQ(fam.scrambler().size(), fam.code_length());
+}
+
+TEST(TwoNCFamily, CodesRoughlyBalanced) {
+  // Scrambled rows are pseudo-random: balance stays well below the
+  // degenerate all-ones/all-zeros extremes.
+  const TwoNCFamily fam(10);
+  for (std::size_t k = 0; k < 10; ++k) {
+    EXPECT_LE(std::abs(fam.code(k).balance()),
+              3 * static_cast<int>(fam.code_length()) / 8)
+        << "code " << k;
+  }
+}
+
+}  // namespace
+}  // namespace cbma::pn

@@ -1,0 +1,80 @@
+#include "rfsim/excitation.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace cbma::rfsim {
+namespace {
+
+TEST(ContinuousTone, EnvelopeIsAllOnes) {
+  ContinuousTone tone;
+  Rng rng(1);
+  std::vector<double> env(1000, -1.0);
+  tone.envelope(env, 1e6, rng);
+  for (const double v : env) EXPECT_DOUBLE_EQ(v, 1.0);
+  EXPECT_EQ(tone.name(), "tone");
+}
+
+TEST(OfdmExcitation, RejectsNonPositiveDurations) {
+  EXPECT_THROW(OfdmExcitation(0.0, 1e-3), std::invalid_argument);
+  EXPECT_THROW(OfdmExcitation(1e-3, -1.0), std::invalid_argument);
+}
+
+TEST(OfdmExcitation, DutyCycle) {
+  const OfdmExcitation ex(1e-3, 3e-3);
+  EXPECT_DOUBLE_EQ(ex.duty_cycle(), 0.25);
+}
+
+TEST(OfdmExcitation, EnvelopeIsBinary) {
+  const OfdmExcitation ex(200e-6, 600e-6);
+  Rng rng(2);
+  std::vector<double> env(5000, -1.0);
+  ex.envelope(env, 1e6, rng);
+  for (const double v : env) EXPECT_TRUE(v == 0.0 || v == 1.0);
+}
+
+TEST(OfdmExcitation, LongRunOccupancyMatchesDutyCycle) {
+  const OfdmExcitation ex(500e-6, 1500e-6);
+  Rng rng(3);
+  std::vector<double> env(400000);
+  ex.envelope(env, 1e6, rng);
+  double on = 0;
+  for (const double v : env) on += v;
+  EXPECT_NEAR(on / env.size(), ex.duty_cycle(), 0.05);
+}
+
+TEST(OfdmExcitation, HasBothBusyAndIdleRuns) {
+  const OfdmExcitation ex(200e-6, 200e-6);
+  Rng rng(4);
+  std::vector<double> env(20000);
+  ex.envelope(env, 1e6, rng);
+  bool has_on = false, has_off = false, has_transition = false;
+  for (std::size_t i = 1; i < env.size(); ++i) {
+    has_on |= env[i] == 1.0;
+    has_off |= env[i] == 0.0;
+    has_transition |= env[i] != env[i - 1];
+  }
+  EXPECT_TRUE(has_on);
+  EXPECT_TRUE(has_off);
+  EXPECT_TRUE(has_transition);
+}
+
+TEST(OfdmExcitation, RejectsBadSampleRate) {
+  const OfdmExcitation ex(1e-3, 1e-3);
+  Rng rng(5);
+  std::vector<double> env(10);
+  EXPECT_THROW(ex.envelope(env, 0.0, rng), std::invalid_argument);
+}
+
+TEST(OfdmExcitation, DifferentSeedsGiveDifferentPatterns) {
+  const OfdmExcitation ex(100e-6, 100e-6);
+  Rng a(6), b(7);
+  std::vector<double> ea(5000), eb(5000);
+  ex.envelope(ea, 1e6, a);
+  ex.envelope(eb, 1e6, b);
+  EXPECT_NE(ea, eb);
+}
+
+}  // namespace
+}  // namespace cbma::rfsim

@@ -1,0 +1,116 @@
+#include "rfsim/friis.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/units.h"
+
+namespace cbma::rfsim {
+namespace {
+
+TEST(LinkBudget, Wavelength) {
+  LinkBudget b;
+  b.carrier_hz = 2.0e9;
+  EXPECT_NEAR(b.wavelength(), 0.15, 0.001);
+}
+
+TEST(LinkBudget, MatchesClosedForm) {
+  LinkBudget b;
+  const double d1 = 0.5, d2 = 1.0;
+  const double four_pi = 4.0 * units::kPi;
+  const double lambda = b.wavelength();
+  const double want = (b.tx_power_w * b.tx_gain / (four_pi * d1 * d1)) *
+                      (lambda * lambda * b.tag_gain * b.tag_gain / four_pi) *
+                      (b.delta_gamma * b.delta_gamma / 4.0) * b.alpha *
+                      (1.0 / (four_pi * d2 * d2)) *
+                      (lambda * lambda * b.rx_gain / four_pi);
+  EXPECT_NEAR(b.received_power(d1, d2), want, want * 1e-12);
+}
+
+TEST(LinkBudget, InverseSquarePerHop) {
+  LinkBudget b;
+  // Doubling either hop distance costs exactly 6 dB (Eq. 1 has d² per hop).
+  const double base = b.received_power(0.5, 1.0);
+  EXPECT_NEAR(units::to_db(base / b.received_power(1.0, 1.0)), 6.02, 0.01);
+  EXPECT_NEAR(units::to_db(base / b.received_power(0.5, 2.0)), 6.02, 0.01);
+}
+
+TEST(LinkBudget, SymmetricInHops) {
+  LinkBudget b;
+  EXPECT_DOUBLE_EQ(b.received_power(0.5, 2.0), b.received_power(2.0, 0.5));
+}
+
+TEST(LinkBudget, ScalesWithTxPower) {
+  LinkBudget lo, hi;
+  lo.tx_power_w = 0.01;
+  hi.tx_power_w = 0.1;
+  EXPECT_NEAR(hi.received_power(1, 1) / lo.received_power(1, 1), 10.0, 1e-9);
+}
+
+TEST(LinkBudget, ScalesWithDeltaGammaSquared) {
+  LinkBudget full, half;
+  full.delta_gamma = 1.0;
+  half.delta_gamma = 0.5;
+  EXPECT_NEAR(full.received_power(1, 1) / half.received_power(1, 1), 4.0, 1e-9);
+}
+
+TEST(LinkBudget, RejectsNonPositiveDistance) {
+  LinkBudget b;
+  EXPECT_THROW(b.received_power(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(b.received_power(1.0, -1.0), std::invalid_argument);
+}
+
+TEST(LinkBudget, AmplitudeIsSqrtPower) {
+  LinkBudget b;
+  EXPECT_NEAR(b.received_amplitude(0.7, 1.3),
+              std::sqrt(b.received_power(0.7, 1.3)), 1e-15);
+}
+
+TEST(LinkBudget, DeploymentOverload) {
+  LinkBudget b;
+  auto dep = Deployment::paper_frame();
+  dep.add_tag({0.0, 1.0});
+  EXPECT_DOUBLE_EQ(b.received_power(dep, 0),
+                   b.received_power(dep.es_to_tag(0), dep.tag_to_rx(0)));
+}
+
+TEST(SignalStrengthField, GridShapeAndOrdering) {
+  LinkBudget b;
+  const auto field =
+      signal_strength_field(b, {-0.5, 0}, {0.5, 0}, -2, 2, -3, 3, 9, 13);
+  EXPECT_EQ(field.nx, 9u);
+  EXPECT_EQ(field.ny, 13u);
+  EXPECT_EQ(field.dbm.size(), 9u * 13u);
+}
+
+TEST(SignalStrengthField, StrongestNearEndpoints) {
+  // Fig. 5 shape: strength peaks near the ES/RX axis and decays outward.
+  LinkBudget b;
+  const auto field =
+      signal_strength_field(b, {-0.5, 0}, {0.5, 0}, -2, 2, -3, 3, 41, 61);
+  // Centre row (y = 0) near x = ±0.5 must beat the far corner.
+  const auto centre = field.at(20, 30);      // (0, 0)
+  const auto corner = field.at(0, 0);        // (−2, −3)
+  EXPECT_GT(centre, corner + 10.0);          // ≥10 dB hotter in the middle
+}
+
+TEST(SignalStrengthField, RejectsDegenerateGrid) {
+  LinkBudget b;
+  EXPECT_THROW(signal_strength_field(b, {0, 0}, {1, 0}, 0, 1, 0, 1, 1, 5),
+               std::invalid_argument);
+  EXPECT_THROW(signal_strength_field(b, {0, 0}, {1, 0}, 1, 0, 0, 1, 5, 5),
+               std::invalid_argument);
+}
+
+TEST(SignalStrengthField, FiniteEvenAtEndpointSingularities) {
+  // Grid points that coincide with ES/RX are clamped, not infinite.
+  LinkBudget b;
+  const auto field =
+      signal_strength_field(b, {0, 0}, {1, 0}, 0, 1, 0, 0.5, 3, 3);
+  for (const double v : field.dbm) EXPECT_TRUE(std::isfinite(v));
+}
+
+}  // namespace
+}  // namespace cbma::rfsim

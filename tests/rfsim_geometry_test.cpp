@@ -1,0 +1,98 @@
+#include "rfsim/geometry.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cbma::rfsim {
+namespace {
+
+TEST(Geometry, Distance) {
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance({-1, -1}, {-1, -1}), 0.0);
+}
+
+TEST(Room, Contains) {
+  const Room room{4.0, 6.0};
+  EXPECT_TRUE(room.contains({0, 0}));
+  EXPECT_TRUE(room.contains({2.0, 3.0}));   // boundary inclusive
+  EXPECT_FALSE(room.contains({2.1, 0}));
+  EXPECT_FALSE(room.contains({0, -3.1}));
+}
+
+TEST(Room, RandomPointsInside) {
+  const Room room{4.0, 6.0};
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_TRUE(room.contains(room.random_point(rng)));
+  }
+}
+
+TEST(Deployment, PaperFrame) {
+  const auto dep = Deployment::paper_frame();
+  EXPECT_DOUBLE_EQ(dep.excitation_source().x, -0.5);
+  EXPECT_DOUBLE_EQ(dep.excitation_source().y, 0.0);
+  EXPECT_DOUBLE_EQ(dep.receiver().x, 0.5);
+}
+
+TEST(Deployment, HopDistances) {
+  auto dep = Deployment::paper_frame();
+  dep.add_tag({0.0, 0.0});
+  EXPECT_DOUBLE_EQ(dep.es_to_tag(0), 0.5);  // d1
+  EXPECT_DOUBLE_EQ(dep.tag_to_rx(0), 0.5);  // d2
+  dep.add_tag({0.0, 1.0});
+  EXPECT_NEAR(dep.tag_to_tag(0, 1), 1.0, 1e-12);
+}
+
+TEST(Deployment, TagIndexValidation) {
+  auto dep = Deployment::paper_frame();
+  EXPECT_THROW(dep.tag(0), std::invalid_argument);
+  dep.add_tag({0, 0});
+  EXPECT_NO_THROW(dep.tag(0));
+  EXPECT_THROW(dep.set_tag(1, {1, 1}), std::invalid_argument);
+}
+
+TEST(Deployment, SetAndClearTags) {
+  auto dep = Deployment::paper_frame();
+  dep.add_tag({0, 0});
+  dep.set_tag(0, {1.0, 2.0});
+  EXPECT_DOUBLE_EQ(dep.tag(0).x, 1.0);
+  dep.clear_tags();
+  EXPECT_EQ(dep.tag_count(), 0u);
+}
+
+TEST(Deployment, RandomPlacementHonoursSeparation) {
+  auto dep = Deployment::paper_frame();
+  const Room room{4.0, 6.0};
+  Rng rng(7);
+  dep.place_random_tags(20, room, rng, 0.3, 0.2);
+  ASSERT_EQ(dep.tag_count(), 20u);
+  for (std::size_t i = 0; i < 20; ++i) {
+    for (std::size_t j = i + 1; j < 20; ++j) {
+      EXPECT_GE(dep.tag_to_tag(i, j), 0.3);
+    }
+    EXPECT_GE(dep.es_to_tag(i), 0.2);
+    EXPECT_GE(dep.tag_to_rx(i), 0.2);
+    EXPECT_TRUE(room.contains(dep.tag(i)));
+  }
+}
+
+TEST(Deployment, ImpossibleSeparationThrows) {
+  auto dep = Deployment::paper_frame();
+  const Room room{1.0, 1.0};
+  Rng rng(7);
+  // 100 tags with 0.5 m separation cannot fit a 1 m² room.
+  EXPECT_THROW(dep.place_random_tags(100, room, rng, 0.5), std::invalid_argument);
+}
+
+TEST(Deployment, RandomPlacementAppends) {
+  auto dep = Deployment::paper_frame();
+  dep.add_tag({0, 0});
+  Rng rng(11);
+  dep.place_random_tags(3, Room{4, 6}, rng);
+  EXPECT_EQ(dep.tag_count(), 4u);
+}
+
+}  // namespace
+}  // namespace cbma::rfsim

@@ -1,0 +1,136 @@
+#include "rfsim/impedance.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/units.h"
+
+namespace cbma::rfsim {
+namespace {
+
+constexpr double kF = 2.0e9;
+
+TEST(Impedance, CapacitorReactanceNegative) {
+  const auto z = series_rlc_impedance(0.0, 0.0, 3e-12, kF);
+  EXPECT_DOUBLE_EQ(z.real(), 0.0);
+  EXPECT_LT(z.imag(), 0.0);
+  // X_C = 1/(ωC) ≈ 26.5 Ω at 2 GHz / 3 pF.
+  EXPECT_NEAR(-z.imag(), 1.0 / (2 * units::kPi * kF * 3e-12), 1e-9);
+}
+
+TEST(Impedance, InductorReactancePositive) {
+  const auto z = series_rlc_impedance(0.0, 2e-9, 0.0, kF);
+  EXPECT_NEAR(z.imag(), 2 * units::kPi * kF * 2e-9, 1e-9);
+}
+
+TEST(Impedance, SeriesResistancePassesThrough) {
+  const auto z = series_rlc_impedance(8.0, 0.0, 0.0, kF);
+  EXPECT_DOUBLE_EQ(z.real(), 8.0);
+  EXPECT_DOUBLE_EQ(z.imag(), 0.0);
+}
+
+TEST(Impedance, RejectsBadInputs) {
+  EXPECT_THROW(series_rlc_impedance(-1.0, 0, 0, kF), std::invalid_argument);
+  EXPECT_THROW(series_rlc_impedance(0, 0, 0, 0.0), std::invalid_argument);
+}
+
+TEST(ReflectionCoefficient, MatchedLoadIsZero) {
+  EXPECT_NEAR(std::abs(reflection_coefficient({50.0, 0.0})), 0.0, 1e-12);
+}
+
+TEST(ReflectionCoefficient, ShortIsMinusOne) {
+  const auto g = reflection_coefficient({0.0, 0.0});
+  EXPECT_NEAR(g.real(), -1.0, 1e-12);
+  EXPECT_NEAR(g.imag(), 0.0, 1e-12);
+}
+
+TEST(ReflectionCoefficient, OpenIsPlusOne) {
+  const auto g = open_circuit_gamma();
+  EXPECT_DOUBLE_EQ(g.real(), 1.0);
+  EXPECT_DOUBLE_EQ(g.imag(), 0.0);
+}
+
+TEST(ReflectionCoefficient, PureReactanceHasUnitMagnitude) {
+  // Lossless terminations reflect all power.
+  for (const double x : {-80.0, -26.5, 25.1, 100.0}) {
+    EXPECT_NEAR(std::abs(reflection_coefficient({0.0, x})), 1.0, 1e-12);
+  }
+}
+
+TEST(ReflectionCoefficient, SeriesLossReducesMagnitude) {
+  const auto lossless = reflection_coefficient(series_rlc_impedance(0, 0, 1e-12, kF));
+  const auto lossy = reflection_coefficient(series_rlc_impedance(8, 0, 1e-12, kF));
+  EXPECT_LT(std::abs(lossy), std::abs(lossless));
+}
+
+TEST(ReflectionCoefficient, RejectsNonPositiveReference) {
+  EXPECT_THROW(reflection_coefficient({50, 0}, 0.0), std::invalid_argument);
+}
+
+TEST(ReflectionStateBank, FourPaperStates) {
+  const auto bank = ReflectionStateBank::paper_bank();
+  ASSERT_EQ(bank.size(), 4u);
+  EXPECT_EQ(bank.state(0).name, "2nH");
+  EXPECT_EQ(bank.state(1).name, "3pF");
+  EXPECT_EQ(bank.state(2).name, "1pF");
+  EXPECT_EQ(bank.state(3).name, "open");
+  EXPECT_EQ(bank.strongest_level(), 3u);
+}
+
+TEST(ReflectionStateBank, AmplitudeFactorsMonotoneIncreasing) {
+  const auto bank = ReflectionStateBank::paper_bank();
+  for (std::size_t i = 1; i < bank.size(); ++i) {
+    EXPECT_GT(bank.amplitude_factor(i), bank.amplitude_factor(i - 1));
+  }
+  EXPECT_NEAR(bank.amplitude_factor(3), 1.0, 1e-12);
+}
+
+TEST(ReflectionStateBank, CalibratedPowerLevels) {
+  const auto bank = ReflectionStateBank::paper_bank();
+  EXPECT_NEAR(bank.power_db(0), -11.0, 1e-9);
+  EXPECT_NEAR(bank.power_db(1), -7.0, 1e-9);
+  EXPECT_NEAR(bank.power_db(2), -3.0, 1e-9);
+  EXPECT_NEAR(bank.power_db(3), 0.0, 1e-9);
+}
+
+TEST(ReflectionStateBank, GammasPhysicallyPlausible) {
+  const auto bank = ReflectionStateBank::paper_bank();
+  for (std::size_t i = 0; i < bank.size(); ++i) {
+    EXPECT_LE(std::abs(bank.state(i).gamma), 1.0 + 1e-12) << bank.state(i).name;
+    EXPECT_GT(std::abs(bank.state(i).gamma), 0.5) << bank.state(i).name;
+  }
+}
+
+TEST(ReflectionStateBank, UniformBankSpacing) {
+  const auto bank = ReflectionStateBank::uniform_bank(5, 12.0);
+  ASSERT_EQ(bank.size(), 5u);
+  EXPECT_NEAR(bank.power_db(0), -12.0, 1e-9);
+  EXPECT_NEAR(bank.power_db(2), -6.0, 1e-9);
+  EXPECT_NEAR(bank.power_db(4), 0.0, 1e-9);
+  for (std::size_t i = 1; i < bank.size(); ++i) {
+    EXPECT_GT(bank.amplitude_factor(i), bank.amplitude_factor(i - 1));
+  }
+}
+
+TEST(ReflectionStateBank, UniformBankSingleLevel) {
+  const auto bank = ReflectionStateBank::uniform_bank(1, 11.0);
+  EXPECT_EQ(bank.size(), 1u);
+  EXPECT_NEAR(bank.power_db(0), 0.0, 1e-9);
+  EXPECT_EQ(bank.strongest_level(), 0u);
+}
+
+TEST(ReflectionStateBank, UniformBankRejectsBadArgs) {
+  EXPECT_THROW(ReflectionStateBank::uniform_bank(0, 11.0), std::invalid_argument);
+  EXPECT_THROW(ReflectionStateBank::uniform_bank(4, -1.0), std::invalid_argument);
+}
+
+TEST(ReflectionStateBank, LevelOutOfRangeThrows) {
+  const auto bank = ReflectionStateBank::paper_bank();
+  EXPECT_THROW(bank.state(4), std::invalid_argument);
+  EXPECT_THROW(bank.amplitude_factor(4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cbma::rfsim

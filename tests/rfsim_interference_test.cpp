@@ -1,0 +1,112 @@
+#include "rfsim/interference.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/stats.h"
+
+namespace cbma::rfsim {
+namespace {
+
+double window_power(const std::vector<std::complex<double>>& iq) {
+  double p = 0.0;
+  for (const auto& s : iq) p += std::norm(s);
+  return p / static_cast<double>(iq.size());
+}
+
+TEST(WifiInterferer, RejectsBadConfig) {
+  EXPECT_THROW(WifiInterferer(-1.0), std::invalid_argument);
+  EXPECT_THROW(WifiInterferer(1.0, 0.0, 1e-3), std::invalid_argument);
+  EXPECT_THROW(WifiInterferer(1.0, 1e-3, 0.0), std::invalid_argument);
+}
+
+TEST(WifiInterferer, OccupancyFromDurations) {
+  const WifiInterferer wifi(1.0, 500e-6, 1500e-6);
+  EXPECT_DOUBLE_EQ(wifi.occupancy(), 0.25);
+  EXPECT_EQ(wifi.name(), "wifi");
+}
+
+TEST(WifiInterferer, ZeroPowerAddsNothing) {
+  const WifiInterferer wifi(0.0);
+  Rng rng(1);
+  std::vector<std::complex<double>> iq(1000, {0.0, 0.0});
+  wifi.add_to(iq, 1e6, rng);
+  EXPECT_DOUBLE_EQ(window_power(iq), 0.0);
+}
+
+TEST(WifiInterferer, AveragePowerTracksOccupancy) {
+  const double power = 2.0;
+  const WifiInterferer wifi(power, 500e-6, 1500e-6);
+  Rng rng(2);
+  std::vector<std::complex<double>> iq(400000, {0.0, 0.0});
+  wifi.add_to(iq, 1e6, rng);
+  // E[power] = burst power × occupancy.
+  EXPECT_NEAR(window_power(iq), power * wifi.occupancy(), power * 0.06);
+}
+
+TEST(WifiInterferer, BurstsAreIntermittent) {
+  const WifiInterferer wifi(1.0, 200e-6, 600e-6);
+  Rng rng(3);
+  std::vector<std::complex<double>> iq(50000, {0.0, 0.0});
+  wifi.add_to(iq, 1e6, rng);
+  std::size_t silent = 0;
+  for (const auto& s : iq) {
+    if (std::norm(s) == 0.0) ++silent;
+  }
+  // The CSMA channel must be idle a large fraction of the time.
+  EXPECT_GT(silent, iq.size() / 2);
+  EXPECT_LT(silent, iq.size());
+}
+
+TEST(BluetoothInterferer, RejectsBadConfig) {
+  EXPECT_THROW(BluetoothInterferer(-1.0), std::invalid_argument);
+  EXPECT_THROW(BluetoothInterferer(1.0, 80), std::invalid_argument);
+  EXPECT_THROW(BluetoothInterferer(1.0, 4, 0.0), std::invalid_argument);
+}
+
+TEST(BluetoothInterferer, OccupancyIsChannelFraction) {
+  const BluetoothInterferer bt(1.0, 4);
+  EXPECT_NEAR(bt.occupancy(), 4.0 / 79.0, 1e-12);
+  EXPECT_EQ(bt.name(), "bluetooth");
+}
+
+TEST(BluetoothInterferer, DwellGranularity) {
+  // Energy must arrive in whole 625 µs dwells: at 1 MS/s a dwell is 625
+  // samples; scan for the boundaries.
+  const BluetoothInterferer bt(1.0, 79, 625e-6);  // always in-band
+  Rng rng(4);
+  std::vector<std::complex<double>> iq(6250, {0.0, 0.0});
+  bt.add_to(iq, 1e6, rng);
+  // With 79/79 overlap every dwell is hit: no silent samples.
+  std::size_t silent = 0;
+  for (const auto& s : iq) {
+    if (std::norm(s) == 0.0) ++silent;
+  }
+  EXPECT_EQ(silent, 0u);
+}
+
+TEST(BluetoothInterferer, RareHitsWhenFewChannelsOverlap) {
+  const BluetoothInterferer bt(1.0, 4);
+  Rng rng(5);
+  std::vector<std::complex<double>> iq(625 * 200, {0.0, 0.0});
+  bt.add_to(iq, 1e6, rng);
+  // Count hit dwells.
+  std::size_t hit_dwells = 0;
+  for (std::size_t d = 0; d < 200; ++d) {
+    double p = 0.0;
+    for (std::size_t i = 0; i < 625; ++i) p += std::norm(iq[d * 625 + i]);
+    if (p > 0.0) ++hit_dwells;
+  }
+  EXPECT_NEAR(static_cast<double>(hit_dwells) / 200.0, 4.0 / 79.0, 0.06);
+}
+
+TEST(Interferers, RejectBadSampleRate) {
+  Rng rng(6);
+  std::vector<std::complex<double>> iq(10);
+  EXPECT_THROW(WifiInterferer(1.0).add_to(iq, 0.0, rng), std::invalid_argument);
+  EXPECT_THROW(BluetoothInterferer(1.0).add_to(iq, -1.0, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cbma::rfsim

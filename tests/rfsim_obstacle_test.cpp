@@ -1,0 +1,95 @@
+#include "rfsim/obstacle.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/units.h"
+
+namespace cbma::rfsim {
+namespace {
+
+TEST(SegmentsIntersect, ProperCrossing) {
+  EXPECT_TRUE(segments_intersect({0, 0}, {2, 2}, {0, 2}, {2, 0}));
+  EXPECT_TRUE(segments_intersect({-1, 0}, {1, 0}, {0, -1}, {0, 1}));
+}
+
+TEST(SegmentsIntersect, DisjointSegments) {
+  EXPECT_FALSE(segments_intersect({0, 0}, {1, 0}, {0, 1}, {1, 1}));
+  EXPECT_FALSE(segments_intersect({0, 0}, {1, 1}, {2, 2}, {3, 3}));
+}
+
+TEST(SegmentsIntersect, TouchingEndpointCounts) {
+  EXPECT_TRUE(segments_intersect({0, 0}, {1, 1}, {1, 1}, {2, 0}));
+}
+
+TEST(SegmentsIntersect, CollinearOverlap) {
+  EXPECT_TRUE(segments_intersect({0, 0}, {2, 0}, {1, 0}, {3, 0}));
+  EXPECT_FALSE(segments_intersect({0, 0}, {1, 0}, {2, 0}, {3, 0}));
+}
+
+TEST(SegmentsIntersect, ParallelNear) {
+  EXPECT_FALSE(segments_intersect({0, 0}, {2, 0}, {0, 0.01}, {2, 0.01}));
+}
+
+TEST(ObstacleMap, RejectsNegativeLoss) {
+  ObstacleMap map;
+  EXPECT_THROW(map.add({{0, 0}, {1, 0}, -3.0}), std::invalid_argument);
+  EXPECT_THROW(ObstacleMap({{{0, 0}, {1, 0}, -1.0}}), std::invalid_argument);
+}
+
+TEST(ObstacleMap, EmptyMapIsTransparent) {
+  const ObstacleMap map;
+  EXPECT_DOUBLE_EQ(map.path_loss_db({0, 0}, {5, 5}), 0.0);
+  LinkBudget budget;
+  auto dep = Deployment::paper_frame();
+  dep.add_tag({0.0, 1.0});
+  EXPECT_DOUBLE_EQ(map.received_power(budget, dep, 0),
+                   budget.received_power(dep, 0));
+}
+
+TEST(ObstacleMap, CrossedWallAttenuates) {
+  // A wall between the origin-area and (0, 2).
+  ObstacleMap map({{{-1.0, 1.0}, {1.0, 1.0}, 10.0}});
+  EXPECT_DOUBLE_EQ(map.path_loss_db({0, 0}, {0, 2}), 10.0);
+  EXPECT_DOUBLE_EQ(map.path_loss_db({0, 0}, {0, 0.5}), 0.0);   // below the wall
+  EXPECT_DOUBLE_EQ(map.path_loss_db({0, 1.5}, {0, 2}), 0.0);   // above the wall
+}
+
+TEST(ObstacleMap, LossesAccumulatePerCrossing) {
+  ObstacleMap map({{{-1, 1}, {1, 1}, 10.0}, {{-1, 2}, {1, 2}, 7.0}});
+  EXPECT_DOUBLE_EQ(map.path_loss_db({0, 0}, {0, 3}), 17.0);
+}
+
+TEST(ObstacleMap, BothHopsAttenuated) {
+  // Wall between ES and the tag AND between the tag and RX.
+  LinkBudget budget;
+  auto dep = Deployment::paper_frame();  // ES(-0.5,0), RX(0.5,0)
+  dep.add_tag({0.0, 1.0});
+  // Vertical wall at x = -0.25 crossing the ES→tag path; another at 0.25.
+  ObstacleMap map({{{-0.25, -1.0}, {-0.25, 2.0}, 6.0},
+                   {{0.25, -1.0}, {0.25, 2.0}, 6.0}});
+  const double clear = budget.received_power(dep, 0);
+  const double shadowed = map.received_power(budget, dep, 0);
+  EXPECT_NEAR(units::to_db(clear / shadowed), 12.0, 1e-9);
+}
+
+TEST(ObstacleMap, AmplitudeIsSqrtPower) {
+  LinkBudget budget;
+  auto dep = Deployment::paper_frame();
+  dep.add_tag({0.0, 1.5});
+  ObstacleMap map({{{-1, 0.5}, {1, 0.5}, 8.0}});
+  EXPECT_NEAR(map.received_amplitude(budget, dep, 0) *
+                  map.received_amplitude(budget, dep, 0),
+              map.received_power(budget, dep, 0), 1e-18);
+}
+
+TEST(ObstacleMap, IndexValidation) {
+  ObstacleMap map({{{0, 0}, {1, 0}, 3.0}});
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_NO_THROW(map.obstacle(0));
+  EXPECT_THROW(map.obstacle(1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cbma::rfsim

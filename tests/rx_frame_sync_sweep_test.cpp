@@ -1,0 +1,126 @@
+// Parameterized frame-synchronizer sweeps: threshold, window and SNR
+// behaviour of the energy comparator across its configuration space.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "rx/frame_sync.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace cbma::rx {
+namespace {
+
+std::vector<double> noisy_step(std::size_t n, std::size_t edge, double snr_db,
+                               cbma::Rng& rng) {
+  // Unit-power noise floor; the frame raises the amplitude by √SNR.
+  const double amp = std::sqrt(units::from_db(snr_db));
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double noise = std::hypot(rng.gaussian(0.0, std::sqrt(0.5)),
+                                    rng.gaussian(0.0, std::sqrt(0.5)));
+    v[i] = (i >= edge) ? std::hypot(amp, noise) : noise;
+  }
+  return v;
+}
+
+class SyncSnrSweep : public ::testing::TestWithParam<double> {};
+
+// Above the comparator's threshold the edge must be found reliably; the
+// detection latency is bounded by the double head window.
+TEST_P(SyncSnrSweep, DetectsEdgeAboveThreshold) {
+  const double snr_db = GetParam();
+  FrameSyncConfig cfg;
+  const FrameSynchronizer sync(cfg);
+  cbma::Rng rng(static_cast<std::uint64_t>(snr_db * 10 + 1000));
+  int found = 0;
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto sig = noisy_step(800, 400, snr_db, rng);
+    const auto hit = sync.detect(sig);
+    if (hit && *hit >= 400 - 2 * cfg.head_average && *hit <= 410) ++found;
+  }
+  EXPECT_GE(found, 23) << "snr " << snr_db;
+}
+
+INSTANTIATE_TEST_SUITE_P(StrongSnrs, SyncSnrSweep,
+                         ::testing::Values(6.0, 9.0, 12.0, 20.0));
+
+class SyncWindowSweep : public ::testing::TestWithParam<std::size_t> {};
+
+// Any reasonable baseline window must find a clean edge.
+TEST_P(SyncWindowSweep, WindowSizeInsensitiveOnCleanEdge) {
+  FrameSyncConfig cfg;
+  cfg.window = GetParam();
+  const FrameSynchronizer sync(cfg);
+  std::vector<double> sig(cfg.window + 400, 0.01);
+  for (std::size_t i = cfg.window + 100; i < sig.size(); ++i) sig[i] = 1.0;
+  const auto hit = sync.detect(sig);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_NEAR(static_cast<double>(*hit), static_cast<double>(cfg.window + 100),
+              2.0 * static_cast<double>(cfg.head_average));
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, SyncWindowSweep,
+                         ::testing::Values(std::size_t{32}, std::size_t{64},
+                                           std::size_t{128}, std::size_t{256}));
+
+TEST(SyncSpikes, IsolatedSpikeDoesNotTrigger) {
+  // The double-head comparator's whole point: a one-sample spike of huge
+  // power must not fire it.
+  FrameSyncConfig cfg;
+  const FrameSynchronizer sync(cfg);
+  std::vector<double> sig(600, 1.0);
+  sig[300] = 100.0;
+  EXPECT_FALSE(sync.detect(sig).has_value());
+}
+
+TEST(SyncSpikes, SeparatedSpikesDoNotTrigger) {
+  // Spikes farther apart than the two head windows can never co-occupy
+  // them, so no amplitude triggers the comparator.
+  FrameSyncConfig cfg;
+  cfg.head_average = 16;
+  const FrameSynchronizer sync(cfg);
+  std::vector<double> sig(600, 1.0);
+  sig[300] = 1000.0;
+  sig[400] = 1000.0;
+  sig[500] = 1000.0;
+  EXPECT_FALSE(sync.detect(sig).has_value());
+}
+
+TEST(SyncSpikes, SustainedRiseTriggers) {
+  FrameSyncConfig cfg;
+  cfg.head_average = 16;
+  const FrameSynchronizer sync(cfg);
+  std::vector<double> sig(600, 1.0);
+  for (std::size_t i = 300; i < 600; ++i) sig[i] = 3.0;
+  const auto hit = sync.detect(sig);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_GE(*hit, 300u - 2 * cfg.head_average);
+  EXPECT_LE(*hit, 301u);
+}
+
+class SyncThresholdSweep : public ::testing::TestWithParam<double> {};
+
+// The comparator fires exactly when the power step exceeds its threshold.
+TEST_P(SyncThresholdSweep, ThresholdSemantics) {
+  const double th_db = GetParam();
+  FrameSyncConfig cfg;
+  cfg.threshold_db = th_db;
+  const FrameSynchronizer sync(cfg);
+  const double just_below = units::amplitude_from_db(th_db - 0.3);
+  const double just_above = units::amplitude_from_db(th_db + 0.3);
+  std::vector<double> below(600, 1.0), above(600, 1.0);
+  for (std::size_t i = 300; i < 600; ++i) {
+    below[i] = just_below;
+    above[i] = just_above;
+  }
+  EXPECT_FALSE(sync.detect(below).has_value()) << th_db;
+  EXPECT_TRUE(sync.detect(above).has_value()) << th_db;
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, SyncThresholdSweep,
+                         ::testing::Values(1.0, 3.0, 6.0, 10.0));
+
+}  // namespace
+}  // namespace cbma::rx

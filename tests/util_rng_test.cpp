@@ -1,0 +1,136 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/stats.h"
+#include "util/units.h"
+
+namespace cbma {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ReportsSeed) {
+  Rng r(1234);
+  EXPECT_EQ(r.seed(), 1234u);
+}
+
+TEST(Rng, UniformWithinBounds) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform(-2.5, 3.5);
+    EXPECT_GE(v, -2.5);
+    EXPECT_LT(v, 3.5);
+  }
+}
+
+TEST(Rng, UniformRejectsInvertedBounds) {
+  Rng r(7);
+  EXPECT_THROW(r.uniform(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng r(9);
+  std::set<int> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(r.uniform_int(0, 5));
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 5);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng r(11);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(r.gaussian(3.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 3.0, 0.1);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, GaussianRejectsNegativeStddev) {
+  Rng r(11);
+  EXPECT_THROW(r.gaussian(0.0, -1.0), std::invalid_argument);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng r(13);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += r.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, BernoulliRejectsOutOfRange) {
+  Rng r(13);
+  EXPECT_THROW(r.bernoulli(1.5), std::invalid_argument);
+  EXPECT_THROW(r.bernoulli(-0.1), std::invalid_argument);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(17);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(r.exponential(5.0));
+  EXPECT_NEAR(stats.mean(), 5.0, 0.25);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveMean) {
+  Rng r(17);
+  EXPECT_THROW(r.exponential(0.0), std::invalid_argument);
+}
+
+TEST(Rng, PhaseWithinCircle) {
+  Rng r(19);
+  for (int i = 0; i < 1000; ++i) {
+    const double p = r.phase();
+    EXPECT_GE(p, 0.0);
+    EXPECT_LT(p, 2.0 * units::kPi);
+  }
+}
+
+TEST(Rng, ForkedStreamsIndependent) {
+  Rng parent(23);
+  Rng child1 = parent.fork();
+  Rng child2 = parent.fork();
+  // Children differ from each other.
+  int equal = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (child1.uniform() == child2.uniform()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng a(31), b(31);
+  Rng ca = a.fork();
+  Rng cb = b.fork();
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(ca.uniform(), cb.uniform());
+  }
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng r(37);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  r.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+}  // namespace
+}  // namespace cbma

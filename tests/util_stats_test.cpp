@@ -1,0 +1,123 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace cbma {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(4.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n−1 denominator: Σ(x−5)² = 32, 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, TracksMinMaxThroughNegatives) {
+  RunningStats s;
+  s.add(-3.0);
+  s.add(10.0);
+  s.add(-7.5);
+  EXPECT_DOUBLE_EQ(s.min(), -7.5);
+  EXPECT_DOUBLE_EQ(s.max(), 10.0);
+}
+
+TEST(EmpiricalCdf, RejectsEmpty) {
+  EXPECT_THROW(EmpiricalCdf({}), std::invalid_argument);
+}
+
+TEST(EmpiricalCdf, StepFunction) {
+  EmpiricalCdf cdf({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.at(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.at(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.at(100.0), 1.0);
+}
+
+TEST(EmpiricalCdf, QuantilesAndMedian) {
+  EmpiricalCdf cdf({5.0, 1.0, 3.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(cdf.median(), 3.0);
+}
+
+TEST(EmpiricalCdf, QuantileRejectsOutOfRange) {
+  EmpiricalCdf cdf({1.0});
+  EXPECT_THROW(cdf.quantile(1.5), std::invalid_argument);
+  EXPECT_THROW(cdf.quantile(-0.1), std::invalid_argument);
+}
+
+TEST(EmpiricalCdf, CurveIsMonotone) {
+  EmpiricalCdf cdf({0.0, 0.1, 0.1, 0.4, 0.9});
+  const auto curve = cdf.curve(11);
+  ASSERT_EQ(curve.size(), 11u);
+  EXPECT_DOUBLE_EQ(curve.front().first, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().first, 0.9);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].second, curve[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+}
+
+TEST(EmpiricalCdf, CurveRejectsDegenerate) {
+  EmpiricalCdf cdf({1.0, 2.0});
+  EXPECT_THROW(cdf.curve(1), std::invalid_argument);
+}
+
+TEST(WilsonInterval, CentredOnEstimate) {
+  const auto iv = wilson_interval(50, 100);
+  EXPECT_DOUBLE_EQ(iv.estimate, 0.5);
+  EXPECT_LT(iv.lo, 0.5);
+  EXPECT_GT(iv.hi, 0.5);
+  EXPECT_NEAR(iv.hi - iv.lo, 2 * 1.96 * 0.05, 0.02);
+}
+
+TEST(WilsonInterval, ZeroSuccessesHasPositiveUpper) {
+  const auto iv = wilson_interval(0, 1000);
+  EXPECT_DOUBLE_EQ(iv.estimate, 0.0);
+  EXPECT_DOUBLE_EQ(iv.lo, 0.0);
+  EXPECT_GT(iv.hi, 0.0);
+  EXPECT_LT(iv.hi, 0.01);
+}
+
+TEST(WilsonInterval, FullSuccessesHasUpperOne) {
+  const auto iv = wilson_interval(1000, 1000);
+  EXPECT_DOUBLE_EQ(iv.estimate, 1.0);
+  EXPECT_DOUBLE_EQ(iv.hi, 1.0);
+  EXPECT_GT(iv.lo, 0.99);
+}
+
+TEST(WilsonInterval, RejectsBadInputs) {
+  EXPECT_THROW(wilson_interval(1, 0), std::invalid_argument);
+  EXPECT_THROW(wilson_interval(5, 4), std::invalid_argument);
+}
+
+TEST(MeanOf, HandlesEmptyAndValues) {
+  EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean_of({2.0, 4.0}), 3.0);
+}
+
+}  // namespace
+}  // namespace cbma

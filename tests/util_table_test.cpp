@@ -1,0 +1,56 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace cbma {
+namespace {
+
+TEST(Table, RejectsEmptyHeaders) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), std::invalid_argument);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), std::invalid_argument);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "2"});
+  const auto out = t.render();
+  EXPECT_NE(out.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer | 2     |"), std::string::npos);
+  // header separator present
+  EXPECT_NE(out.find("|--------|-------|"), std::string::npos);
+}
+
+TEST(Table, CountsRows) {
+  Table t({"h"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"r"});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Table, NumFormatsFixedPrecision) {
+  EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::num(2.0, 3), "2.000");
+  EXPECT_EQ(Table::num(-0.5, 1), "-0.5");
+}
+
+TEST(Table, PercentFormats) {
+  EXPECT_EQ(Table::percent(0.1234, 2), "12.34%");
+  EXPECT_EQ(Table::percent(1.0, 0), "100%");
+}
+
+TEST(Table, RenderEmptyBodyStillHasHeader) {
+  Table t({"only"});
+  const auto out = t.render();
+  EXPECT_NE(out.find("| only |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cbma

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_impedance.dir/ablation_impedance.cpp.o"
+  "CMakeFiles/ablation_impedance.dir/ablation_impedance.cpp.o.d"
+  "ablation_impedance"
+  "ablation_impedance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_impedance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

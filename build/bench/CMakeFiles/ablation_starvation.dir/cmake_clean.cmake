@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_starvation.dir/ablation_starvation.cpp.o"
+  "CMakeFiles/ablation_starvation.dir/ablation_starvation.cpp.o.d"
+  "ablation_starvation"
+  "ablation_starvation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_starvation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

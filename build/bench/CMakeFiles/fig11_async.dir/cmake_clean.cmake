@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_async.dir/fig11_async.cpp.o"
+  "CMakeFiles/fig11_async.dir/fig11_async.cpp.o.d"
+  "fig11_async"
+  "fig11_async.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_async.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_conditions.dir/fig12_conditions.cpp.o"
+  "CMakeFiles/fig12_conditions.dir/fig12_conditions.cpp.o.d"
+  "fig12_conditions"
+  "fig12_conditions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_conditions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_signal_strength.dir/fig5_signal_strength.cpp.o"
+  "CMakeFiles/fig5_signal_strength.dir/fig5_signal_strength.cpp.o.d"
+  "fig5_signal_strength"
+  "fig5_signal_strength.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_signal_strength.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_signal_strength.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8a_distance.dir/fig8a_distance.cpp.o"
+  "CMakeFiles/fig8a_distance.dir/fig8a_distance.cpp.o.d"
+  "fig8a_distance"
+  "fig8a_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8a_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

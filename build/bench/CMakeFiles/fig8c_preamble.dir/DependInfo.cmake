@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig8c_preamble.cpp" "bench/CMakeFiles/fig8c_preamble.dir/fig8c_preamble.cpp.o" "gcc" "bench/CMakeFiles/fig8c_preamble.dir/fig8c_preamble.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cbma_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cbma_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cbma_rx.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cbma_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cbma_pn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cbma_rfsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cbma_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8c_preamble.dir/fig8c_preamble.cpp.o"
+  "CMakeFiles/fig8c_preamble.dir/fig8c_preamble.cpp.o.d"
+  "fig8c_preamble"
+  "fig8c_preamble.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8c_preamble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9a_bitrate.dir/fig9a_bitrate.cpp.o"
+  "CMakeFiles/fig9a_bitrate.dir/fig9a_bitrate.cpp.o.d"
+  "fig9a_bitrate"
+  "fig9a_bitrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9a_bitrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9b_pn_codes.dir/fig9b_pn_codes.cpp.o"
+  "CMakeFiles/fig9b_pn_codes.dir/fig9b_pn_codes.cpp.o.d"
+  "fig9b_pn_codes"
+  "fig9b_pn_codes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9b_pn_codes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9c_power_control.dir/fig9c_power_control.cpp.o"
+  "CMakeFiles/fig9c_power_control.dir/fig9c_power_control.cpp.o.d"
+  "fig9c_power_control"
+  "fig9c_power_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9c_power_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_power_difference.dir/table2_power_difference.cpp.o"
+  "CMakeFiles/table2_power_difference.dir/table2_power_difference.cpp.o.d"
+  "table2_power_difference"
+  "table2_power_difference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_power_difference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

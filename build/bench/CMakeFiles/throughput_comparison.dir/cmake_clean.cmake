@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/throughput_comparison.dir/throughput_comparison.cpp.o"
+  "CMakeFiles/throughput_comparison.dir/throughput_comparison.cpp.o.d"
+  "throughput_comparison"
+  "throughput_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/throughput_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/user_detection.dir/user_detection.cpp.o"
+  "CMakeFiles/user_detection.dir/user_detection.cpp.o.d"
+  "user_detection"
+  "user_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/user_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

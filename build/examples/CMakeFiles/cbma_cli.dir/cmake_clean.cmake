@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbma_cli.dir/cbma_cli.cpp.o"
+  "CMakeFiles/cbma_cli.dir/cbma_cli.cpp.o.d"
+  "cbma_cli"
+  "cbma_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbma_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dense_deployment.dir/dense_deployment.cpp.o"
+  "CMakeFiles/dense_deployment.dir/dense_deployment.cpp.o.d"
+  "dense_deployment"
+  "dense_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dense_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/config.cpp" "src/CMakeFiles/cbma_core.dir/core/config.cpp.o" "gcc" "src/CMakeFiles/cbma_core.dir/core/config.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/CMakeFiles/cbma_core.dir/core/experiment.cpp.o" "gcc" "src/CMakeFiles/cbma_core.dir/core/experiment.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/CMakeFiles/cbma_core.dir/core/metrics.cpp.o" "gcc" "src/CMakeFiles/cbma_core.dir/core/metrics.cpp.o.d"
+  "/root/repo/src/core/session.cpp" "src/CMakeFiles/cbma_core.dir/core/session.cpp.o" "gcc" "src/CMakeFiles/cbma_core.dir/core/session.cpp.o.d"
+  "/root/repo/src/core/system.cpp" "src/CMakeFiles/cbma_core.dir/core/system.cpp.o" "gcc" "src/CMakeFiles/cbma_core.dir/core/system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cbma_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cbma_rx.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cbma_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cbma_pn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cbma_rfsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cbma_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

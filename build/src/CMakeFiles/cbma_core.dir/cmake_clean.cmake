@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbma_core.dir/core/config.cpp.o"
+  "CMakeFiles/cbma_core.dir/core/config.cpp.o.d"
+  "CMakeFiles/cbma_core.dir/core/experiment.cpp.o"
+  "CMakeFiles/cbma_core.dir/core/experiment.cpp.o.d"
+  "CMakeFiles/cbma_core.dir/core/metrics.cpp.o"
+  "CMakeFiles/cbma_core.dir/core/metrics.cpp.o.d"
+  "CMakeFiles/cbma_core.dir/core/session.cpp.o"
+  "CMakeFiles/cbma_core.dir/core/session.cpp.o.d"
+  "CMakeFiles/cbma_core.dir/core/system.cpp.o"
+  "CMakeFiles/cbma_core.dir/core/system.cpp.o.d"
+  "libcbma_core.a"
+  "libcbma_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbma_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mac/arq.cpp" "src/CMakeFiles/cbma_mac.dir/mac/arq.cpp.o" "gcc" "src/CMakeFiles/cbma_mac.dir/mac/arq.cpp.o.d"
+  "/root/repo/src/mac/fsa.cpp" "src/CMakeFiles/cbma_mac.dir/mac/fsa.cpp.o" "gcc" "src/CMakeFiles/cbma_mac.dir/mac/fsa.cpp.o.d"
+  "/root/repo/src/mac/node_selection.cpp" "src/CMakeFiles/cbma_mac.dir/mac/node_selection.cpp.o" "gcc" "src/CMakeFiles/cbma_mac.dir/mac/node_selection.cpp.o.d"
+  "/root/repo/src/mac/power_control.cpp" "src/CMakeFiles/cbma_mac.dir/mac/power_control.cpp.o" "gcc" "src/CMakeFiles/cbma_mac.dir/mac/power_control.cpp.o.d"
+  "/root/repo/src/mac/single_tag.cpp" "src/CMakeFiles/cbma_mac.dir/mac/single_tag.cpp.o" "gcc" "src/CMakeFiles/cbma_mac.dir/mac/single_tag.cpp.o.d"
+  "/root/repo/src/mac/throughput.cpp" "src/CMakeFiles/cbma_mac.dir/mac/throughput.cpp.o" "gcc" "src/CMakeFiles/cbma_mac.dir/mac/throughput.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cbma_rx.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cbma_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cbma_pn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cbma_rfsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cbma_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

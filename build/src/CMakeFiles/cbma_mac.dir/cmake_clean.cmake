@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbma_mac.dir/mac/arq.cpp.o"
+  "CMakeFiles/cbma_mac.dir/mac/arq.cpp.o.d"
+  "CMakeFiles/cbma_mac.dir/mac/fsa.cpp.o"
+  "CMakeFiles/cbma_mac.dir/mac/fsa.cpp.o.d"
+  "CMakeFiles/cbma_mac.dir/mac/node_selection.cpp.o"
+  "CMakeFiles/cbma_mac.dir/mac/node_selection.cpp.o.d"
+  "CMakeFiles/cbma_mac.dir/mac/power_control.cpp.o"
+  "CMakeFiles/cbma_mac.dir/mac/power_control.cpp.o.d"
+  "CMakeFiles/cbma_mac.dir/mac/single_tag.cpp.o"
+  "CMakeFiles/cbma_mac.dir/mac/single_tag.cpp.o.d"
+  "CMakeFiles/cbma_mac.dir/mac/throughput.cpp.o"
+  "CMakeFiles/cbma_mac.dir/mac/throughput.cpp.o.d"
+  "libcbma_mac.a"
+  "libcbma_mac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbma_mac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

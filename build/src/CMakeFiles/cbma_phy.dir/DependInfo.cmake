@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy/crc16.cpp" "src/CMakeFiles/cbma_phy.dir/phy/crc16.cpp.o" "gcc" "src/CMakeFiles/cbma_phy.dir/phy/crc16.cpp.o.d"
+  "/root/repo/src/phy/energy.cpp" "src/CMakeFiles/cbma_phy.dir/phy/energy.cpp.o" "gcc" "src/CMakeFiles/cbma_phy.dir/phy/energy.cpp.o.d"
+  "/root/repo/src/phy/frame.cpp" "src/CMakeFiles/cbma_phy.dir/phy/frame.cpp.o" "gcc" "src/CMakeFiles/cbma_phy.dir/phy/frame.cpp.o.d"
+  "/root/repo/src/phy/modulator.cpp" "src/CMakeFiles/cbma_phy.dir/phy/modulator.cpp.o" "gcc" "src/CMakeFiles/cbma_phy.dir/phy/modulator.cpp.o.d"
+  "/root/repo/src/phy/spreader.cpp" "src/CMakeFiles/cbma_phy.dir/phy/spreader.cpp.o" "gcc" "src/CMakeFiles/cbma_phy.dir/phy/spreader.cpp.o.d"
+  "/root/repo/src/phy/tag.cpp" "src/CMakeFiles/cbma_phy.dir/phy/tag.cpp.o" "gcc" "src/CMakeFiles/cbma_phy.dir/phy/tag.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cbma_pn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cbma_rfsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cbma_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

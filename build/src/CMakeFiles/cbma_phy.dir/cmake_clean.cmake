@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbma_phy.dir/phy/crc16.cpp.o"
+  "CMakeFiles/cbma_phy.dir/phy/crc16.cpp.o.d"
+  "CMakeFiles/cbma_phy.dir/phy/energy.cpp.o"
+  "CMakeFiles/cbma_phy.dir/phy/energy.cpp.o.d"
+  "CMakeFiles/cbma_phy.dir/phy/frame.cpp.o"
+  "CMakeFiles/cbma_phy.dir/phy/frame.cpp.o.d"
+  "CMakeFiles/cbma_phy.dir/phy/modulator.cpp.o"
+  "CMakeFiles/cbma_phy.dir/phy/modulator.cpp.o.d"
+  "CMakeFiles/cbma_phy.dir/phy/spreader.cpp.o"
+  "CMakeFiles/cbma_phy.dir/phy/spreader.cpp.o.d"
+  "CMakeFiles/cbma_phy.dir/phy/tag.cpp.o"
+  "CMakeFiles/cbma_phy.dir/phy/tag.cpp.o.d"
+  "libcbma_phy.a"
+  "libcbma_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbma_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

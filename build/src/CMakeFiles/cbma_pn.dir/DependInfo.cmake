@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pn/code.cpp" "src/CMakeFiles/cbma_pn.dir/pn/code.cpp.o" "gcc" "src/CMakeFiles/cbma_pn.dir/pn/code.cpp.o.d"
+  "/root/repo/src/pn/correlation.cpp" "src/CMakeFiles/cbma_pn.dir/pn/correlation.cpp.o" "gcc" "src/CMakeFiles/cbma_pn.dir/pn/correlation.cpp.o.d"
+  "/root/repo/src/pn/gold.cpp" "src/CMakeFiles/cbma_pn.dir/pn/gold.cpp.o" "gcc" "src/CMakeFiles/cbma_pn.dir/pn/gold.cpp.o.d"
+  "/root/repo/src/pn/lfsr.cpp" "src/CMakeFiles/cbma_pn.dir/pn/lfsr.cpp.o" "gcc" "src/CMakeFiles/cbma_pn.dir/pn/lfsr.cpp.o.d"
+  "/root/repo/src/pn/msequence.cpp" "src/CMakeFiles/cbma_pn.dir/pn/msequence.cpp.o" "gcc" "src/CMakeFiles/cbma_pn.dir/pn/msequence.cpp.o.d"
+  "/root/repo/src/pn/twonc.cpp" "src/CMakeFiles/cbma_pn.dir/pn/twonc.cpp.o" "gcc" "src/CMakeFiles/cbma_pn.dir/pn/twonc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cbma_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

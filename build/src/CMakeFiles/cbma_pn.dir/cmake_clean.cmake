@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbma_pn.dir/pn/code.cpp.o"
+  "CMakeFiles/cbma_pn.dir/pn/code.cpp.o.d"
+  "CMakeFiles/cbma_pn.dir/pn/correlation.cpp.o"
+  "CMakeFiles/cbma_pn.dir/pn/correlation.cpp.o.d"
+  "CMakeFiles/cbma_pn.dir/pn/gold.cpp.o"
+  "CMakeFiles/cbma_pn.dir/pn/gold.cpp.o.d"
+  "CMakeFiles/cbma_pn.dir/pn/lfsr.cpp.o"
+  "CMakeFiles/cbma_pn.dir/pn/lfsr.cpp.o.d"
+  "CMakeFiles/cbma_pn.dir/pn/msequence.cpp.o"
+  "CMakeFiles/cbma_pn.dir/pn/msequence.cpp.o.d"
+  "CMakeFiles/cbma_pn.dir/pn/twonc.cpp.o"
+  "CMakeFiles/cbma_pn.dir/pn/twonc.cpp.o.d"
+  "libcbma_pn.a"
+  "libcbma_pn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbma_pn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cbma_pn.
+# This may be replaced when dependencies are built.

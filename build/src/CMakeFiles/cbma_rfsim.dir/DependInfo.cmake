@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rfsim/channel.cpp" "src/CMakeFiles/cbma_rfsim.dir/rfsim/channel.cpp.o" "gcc" "src/CMakeFiles/cbma_rfsim.dir/rfsim/channel.cpp.o.d"
+  "/root/repo/src/rfsim/excitation.cpp" "src/CMakeFiles/cbma_rfsim.dir/rfsim/excitation.cpp.o" "gcc" "src/CMakeFiles/cbma_rfsim.dir/rfsim/excitation.cpp.o.d"
+  "/root/repo/src/rfsim/friis.cpp" "src/CMakeFiles/cbma_rfsim.dir/rfsim/friis.cpp.o" "gcc" "src/CMakeFiles/cbma_rfsim.dir/rfsim/friis.cpp.o.d"
+  "/root/repo/src/rfsim/geometry.cpp" "src/CMakeFiles/cbma_rfsim.dir/rfsim/geometry.cpp.o" "gcc" "src/CMakeFiles/cbma_rfsim.dir/rfsim/geometry.cpp.o.d"
+  "/root/repo/src/rfsim/impedance.cpp" "src/CMakeFiles/cbma_rfsim.dir/rfsim/impedance.cpp.o" "gcc" "src/CMakeFiles/cbma_rfsim.dir/rfsim/impedance.cpp.o.d"
+  "/root/repo/src/rfsim/interference.cpp" "src/CMakeFiles/cbma_rfsim.dir/rfsim/interference.cpp.o" "gcc" "src/CMakeFiles/cbma_rfsim.dir/rfsim/interference.cpp.o.d"
+  "/root/repo/src/rfsim/noise.cpp" "src/CMakeFiles/cbma_rfsim.dir/rfsim/noise.cpp.o" "gcc" "src/CMakeFiles/cbma_rfsim.dir/rfsim/noise.cpp.o.d"
+  "/root/repo/src/rfsim/obstacle.cpp" "src/CMakeFiles/cbma_rfsim.dir/rfsim/obstacle.cpp.o" "gcc" "src/CMakeFiles/cbma_rfsim.dir/rfsim/obstacle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cbma_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbma_rfsim.dir/rfsim/channel.cpp.o"
+  "CMakeFiles/cbma_rfsim.dir/rfsim/channel.cpp.o.d"
+  "CMakeFiles/cbma_rfsim.dir/rfsim/excitation.cpp.o"
+  "CMakeFiles/cbma_rfsim.dir/rfsim/excitation.cpp.o.d"
+  "CMakeFiles/cbma_rfsim.dir/rfsim/friis.cpp.o"
+  "CMakeFiles/cbma_rfsim.dir/rfsim/friis.cpp.o.d"
+  "CMakeFiles/cbma_rfsim.dir/rfsim/geometry.cpp.o"
+  "CMakeFiles/cbma_rfsim.dir/rfsim/geometry.cpp.o.d"
+  "CMakeFiles/cbma_rfsim.dir/rfsim/impedance.cpp.o"
+  "CMakeFiles/cbma_rfsim.dir/rfsim/impedance.cpp.o.d"
+  "CMakeFiles/cbma_rfsim.dir/rfsim/interference.cpp.o"
+  "CMakeFiles/cbma_rfsim.dir/rfsim/interference.cpp.o.d"
+  "CMakeFiles/cbma_rfsim.dir/rfsim/noise.cpp.o"
+  "CMakeFiles/cbma_rfsim.dir/rfsim/noise.cpp.o.d"
+  "CMakeFiles/cbma_rfsim.dir/rfsim/obstacle.cpp.o"
+  "CMakeFiles/cbma_rfsim.dir/rfsim/obstacle.cpp.o.d"
+  "libcbma_rfsim.a"
+  "libcbma_rfsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbma_rfsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcbma_rfsim.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cbma_rfsim.
+# This may be replaced when dependencies are built.

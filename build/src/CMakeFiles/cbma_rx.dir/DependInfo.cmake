@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rx/decoder.cpp" "src/CMakeFiles/cbma_rx.dir/rx/decoder.cpp.o" "gcc" "src/CMakeFiles/cbma_rx.dir/rx/decoder.cpp.o.d"
+  "/root/repo/src/rx/frame_sync.cpp" "src/CMakeFiles/cbma_rx.dir/rx/frame_sync.cpp.o" "gcc" "src/CMakeFiles/cbma_rx.dir/rx/frame_sync.cpp.o.d"
+  "/root/repo/src/rx/receiver.cpp" "src/CMakeFiles/cbma_rx.dir/rx/receiver.cpp.o" "gcc" "src/CMakeFiles/cbma_rx.dir/rx/receiver.cpp.o.d"
+  "/root/repo/src/rx/user_detect.cpp" "src/CMakeFiles/cbma_rx.dir/rx/user_detect.cpp.o" "gcc" "src/CMakeFiles/cbma_rx.dir/rx/user_detect.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cbma_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cbma_pn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cbma_rfsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cbma_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbma_rx.dir/rx/decoder.cpp.o"
+  "CMakeFiles/cbma_rx.dir/rx/decoder.cpp.o.d"
+  "CMakeFiles/cbma_rx.dir/rx/frame_sync.cpp.o"
+  "CMakeFiles/cbma_rx.dir/rx/frame_sync.cpp.o.d"
+  "CMakeFiles/cbma_rx.dir/rx/receiver.cpp.o"
+  "CMakeFiles/cbma_rx.dir/rx/receiver.cpp.o.d"
+  "CMakeFiles/cbma_rx.dir/rx/user_detect.cpp.o"
+  "CMakeFiles/cbma_rx.dir/rx/user_detect.cpp.o.d"
+  "libcbma_rx.a"
+  "libcbma_rx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbma_rx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

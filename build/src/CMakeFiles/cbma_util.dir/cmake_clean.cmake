@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbma_util.dir/util/rng.cpp.o"
+  "CMakeFiles/cbma_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/cbma_util.dir/util/stats.cpp.o"
+  "CMakeFiles/cbma_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/cbma_util.dir/util/table.cpp.o"
+  "CMakeFiles/cbma_util.dir/util/table.cpp.o.d"
+  "libcbma_util.a"
+  "libcbma_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbma_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

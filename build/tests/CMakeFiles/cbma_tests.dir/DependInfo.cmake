@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_config_test.cpp" "tests/CMakeFiles/cbma_tests.dir/core_config_test.cpp.o" "gcc" "tests/CMakeFiles/cbma_tests.dir/core_config_test.cpp.o.d"
+  "/root/repo/tests/core_experiment_test.cpp" "tests/CMakeFiles/cbma_tests.dir/core_experiment_test.cpp.o" "gcc" "tests/CMakeFiles/cbma_tests.dir/core_experiment_test.cpp.o.d"
+  "/root/repo/tests/core_metrics_test.cpp" "tests/CMakeFiles/cbma_tests.dir/core_metrics_test.cpp.o" "gcc" "tests/CMakeFiles/cbma_tests.dir/core_metrics_test.cpp.o.d"
+  "/root/repo/tests/core_session_test.cpp" "tests/CMakeFiles/cbma_tests.dir/core_session_test.cpp.o" "gcc" "tests/CMakeFiles/cbma_tests.dir/core_session_test.cpp.o.d"
+  "/root/repo/tests/core_system_test.cpp" "tests/CMakeFiles/cbma_tests.dir/core_system_test.cpp.o" "gcc" "tests/CMakeFiles/cbma_tests.dir/core_system_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/cbma_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/cbma_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/mac_arq_test.cpp" "tests/CMakeFiles/cbma_tests.dir/mac_arq_test.cpp.o" "gcc" "tests/CMakeFiles/cbma_tests.dir/mac_arq_test.cpp.o.d"
+  "/root/repo/tests/mac_fsa_test.cpp" "tests/CMakeFiles/cbma_tests.dir/mac_fsa_test.cpp.o" "gcc" "tests/CMakeFiles/cbma_tests.dir/mac_fsa_test.cpp.o.d"
+  "/root/repo/tests/mac_fuzz_test.cpp" "tests/CMakeFiles/cbma_tests.dir/mac_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/cbma_tests.dir/mac_fuzz_test.cpp.o.d"
+  "/root/repo/tests/mac_node_selection_test.cpp" "tests/CMakeFiles/cbma_tests.dir/mac_node_selection_test.cpp.o" "gcc" "tests/CMakeFiles/cbma_tests.dir/mac_node_selection_test.cpp.o.d"
+  "/root/repo/tests/mac_power_control_test.cpp" "tests/CMakeFiles/cbma_tests.dir/mac_power_control_test.cpp.o" "gcc" "tests/CMakeFiles/cbma_tests.dir/mac_power_control_test.cpp.o.d"
+  "/root/repo/tests/mac_throughput_test.cpp" "tests/CMakeFiles/cbma_tests.dir/mac_throughput_test.cpp.o" "gcc" "tests/CMakeFiles/cbma_tests.dir/mac_throughput_test.cpp.o.d"
+  "/root/repo/tests/phy_crc_test.cpp" "tests/CMakeFiles/cbma_tests.dir/phy_crc_test.cpp.o" "gcc" "tests/CMakeFiles/cbma_tests.dir/phy_crc_test.cpp.o.d"
+  "/root/repo/tests/phy_energy_test.cpp" "tests/CMakeFiles/cbma_tests.dir/phy_energy_test.cpp.o" "gcc" "tests/CMakeFiles/cbma_tests.dir/phy_energy_test.cpp.o.d"
+  "/root/repo/tests/phy_frame_test.cpp" "tests/CMakeFiles/cbma_tests.dir/phy_frame_test.cpp.o" "gcc" "tests/CMakeFiles/cbma_tests.dir/phy_frame_test.cpp.o.d"
+  "/root/repo/tests/phy_modulator_test.cpp" "tests/CMakeFiles/cbma_tests.dir/phy_modulator_test.cpp.o" "gcc" "tests/CMakeFiles/cbma_tests.dir/phy_modulator_test.cpp.o.d"
+  "/root/repo/tests/phy_spreader_test.cpp" "tests/CMakeFiles/cbma_tests.dir/phy_spreader_test.cpp.o" "gcc" "tests/CMakeFiles/cbma_tests.dir/phy_spreader_test.cpp.o.d"
+  "/root/repo/tests/phy_ssb_test.cpp" "tests/CMakeFiles/cbma_tests.dir/phy_ssb_test.cpp.o" "gcc" "tests/CMakeFiles/cbma_tests.dir/phy_ssb_test.cpp.o.d"
+  "/root/repo/tests/phy_tag_test.cpp" "tests/CMakeFiles/cbma_tests.dir/phy_tag_test.cpp.o" "gcc" "tests/CMakeFiles/cbma_tests.dir/phy_tag_test.cpp.o.d"
+  "/root/repo/tests/pn_code_test.cpp" "tests/CMakeFiles/cbma_tests.dir/pn_code_test.cpp.o" "gcc" "tests/CMakeFiles/cbma_tests.dir/pn_code_test.cpp.o.d"
+  "/root/repo/tests/pn_correlation_test.cpp" "tests/CMakeFiles/cbma_tests.dir/pn_correlation_test.cpp.o" "gcc" "tests/CMakeFiles/cbma_tests.dir/pn_correlation_test.cpp.o.d"
+  "/root/repo/tests/pn_family_properties_test.cpp" "tests/CMakeFiles/cbma_tests.dir/pn_family_properties_test.cpp.o" "gcc" "tests/CMakeFiles/cbma_tests.dir/pn_family_properties_test.cpp.o.d"
+  "/root/repo/tests/pn_gold_test.cpp" "tests/CMakeFiles/cbma_tests.dir/pn_gold_test.cpp.o" "gcc" "tests/CMakeFiles/cbma_tests.dir/pn_gold_test.cpp.o.d"
+  "/root/repo/tests/pn_lfsr_test.cpp" "tests/CMakeFiles/cbma_tests.dir/pn_lfsr_test.cpp.o" "gcc" "tests/CMakeFiles/cbma_tests.dir/pn_lfsr_test.cpp.o.d"
+  "/root/repo/tests/pn_msequence_test.cpp" "tests/CMakeFiles/cbma_tests.dir/pn_msequence_test.cpp.o" "gcc" "tests/CMakeFiles/cbma_tests.dir/pn_msequence_test.cpp.o.d"
+  "/root/repo/tests/pn_twonc_test.cpp" "tests/CMakeFiles/cbma_tests.dir/pn_twonc_test.cpp.o" "gcc" "tests/CMakeFiles/cbma_tests.dir/pn_twonc_test.cpp.o.d"
+  "/root/repo/tests/rfsim_channel_test.cpp" "tests/CMakeFiles/cbma_tests.dir/rfsim_channel_test.cpp.o" "gcc" "tests/CMakeFiles/cbma_tests.dir/rfsim_channel_test.cpp.o.d"
+  "/root/repo/tests/rfsim_excitation_test.cpp" "tests/CMakeFiles/cbma_tests.dir/rfsim_excitation_test.cpp.o" "gcc" "tests/CMakeFiles/cbma_tests.dir/rfsim_excitation_test.cpp.o.d"
+  "/root/repo/tests/rfsim_friis_test.cpp" "tests/CMakeFiles/cbma_tests.dir/rfsim_friis_test.cpp.o" "gcc" "tests/CMakeFiles/cbma_tests.dir/rfsim_friis_test.cpp.o.d"
+  "/root/repo/tests/rfsim_geometry_test.cpp" "tests/CMakeFiles/cbma_tests.dir/rfsim_geometry_test.cpp.o" "gcc" "tests/CMakeFiles/cbma_tests.dir/rfsim_geometry_test.cpp.o.d"
+  "/root/repo/tests/rfsim_impedance_test.cpp" "tests/CMakeFiles/cbma_tests.dir/rfsim_impedance_test.cpp.o" "gcc" "tests/CMakeFiles/cbma_tests.dir/rfsim_impedance_test.cpp.o.d"
+  "/root/repo/tests/rfsim_interference_test.cpp" "tests/CMakeFiles/cbma_tests.dir/rfsim_interference_test.cpp.o" "gcc" "tests/CMakeFiles/cbma_tests.dir/rfsim_interference_test.cpp.o.d"
+  "/root/repo/tests/rfsim_noise_test.cpp" "tests/CMakeFiles/cbma_tests.dir/rfsim_noise_test.cpp.o" "gcc" "tests/CMakeFiles/cbma_tests.dir/rfsim_noise_test.cpp.o.d"
+  "/root/repo/tests/rfsim_obstacle_test.cpp" "tests/CMakeFiles/cbma_tests.dir/rfsim_obstacle_test.cpp.o" "gcc" "tests/CMakeFiles/cbma_tests.dir/rfsim_obstacle_test.cpp.o.d"
+  "/root/repo/tests/rx_cfo_sweep_test.cpp" "tests/CMakeFiles/cbma_tests.dir/rx_cfo_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/cbma_tests.dir/rx_cfo_sweep_test.cpp.o.d"
+  "/root/repo/tests/rx_decoder_test.cpp" "tests/CMakeFiles/cbma_tests.dir/rx_decoder_test.cpp.o" "gcc" "tests/CMakeFiles/cbma_tests.dir/rx_decoder_test.cpp.o.d"
+  "/root/repo/tests/rx_frame_sync_sweep_test.cpp" "tests/CMakeFiles/cbma_tests.dir/rx_frame_sync_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/cbma_tests.dir/rx_frame_sync_sweep_test.cpp.o.d"
+  "/root/repo/tests/rx_frame_sync_test.cpp" "tests/CMakeFiles/cbma_tests.dir/rx_frame_sync_test.cpp.o" "gcc" "tests/CMakeFiles/cbma_tests.dir/rx_frame_sync_test.cpp.o.d"
+  "/root/repo/tests/rx_receiver_test.cpp" "tests/CMakeFiles/cbma_tests.dir/rx_receiver_test.cpp.o" "gcc" "tests/CMakeFiles/cbma_tests.dir/rx_receiver_test.cpp.o.d"
+  "/root/repo/tests/rx_sic_test.cpp" "tests/CMakeFiles/cbma_tests.dir/rx_sic_test.cpp.o" "gcc" "tests/CMakeFiles/cbma_tests.dir/rx_sic_test.cpp.o.d"
+  "/root/repo/tests/rx_user_detect_test.cpp" "tests/CMakeFiles/cbma_tests.dir/rx_user_detect_test.cpp.o" "gcc" "tests/CMakeFiles/cbma_tests.dir/rx_user_detect_test.cpp.o.d"
+  "/root/repo/tests/util_rng_test.cpp" "tests/CMakeFiles/cbma_tests.dir/util_rng_test.cpp.o" "gcc" "tests/CMakeFiles/cbma_tests.dir/util_rng_test.cpp.o.d"
+  "/root/repo/tests/util_stats_test.cpp" "tests/CMakeFiles/cbma_tests.dir/util_stats_test.cpp.o" "gcc" "tests/CMakeFiles/cbma_tests.dir/util_stats_test.cpp.o.d"
+  "/root/repo/tests/util_table_test.cpp" "tests/CMakeFiles/cbma_tests.dir/util_table_test.cpp.o" "gcc" "tests/CMakeFiles/cbma_tests.dir/util_table_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cbma_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cbma_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cbma_rx.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cbma_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cbma_pn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cbma_rfsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cbma_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,8 +1,18 @@
 // Micro-benchmarks (google-benchmark) of the hot kernels: spreading,
-// sliding complex correlation, channel synthesis, frame decode, and a full
-// end-to-end collided round. These bound the simulator's packets/second
-// and document where the cycles go.
+// sliding complex correlation, channel synthesis, frame decode, and the
+// full end-to-end collided round on both the legacy (allocating) and the
+// batched (scratch-reusing) transmit paths. These bound the simulator's
+// packets/second and document where the cycles go.
+//
+// Besides the console table, the run writes BENCH_kernels.json (google
+// benchmark's JSON schema) next to the working directory so tooling and CI
+// can track the ns/packet counters without scraping stdout. Pass
+// --benchmark_out=... to redirect it.
 #include <benchmark/benchmark.h>
+
+#include <fstream>
+#include <iostream>
+#include <string>
 
 #include "core/system.h"
 #include "phy/spreader.h"
@@ -14,14 +24,26 @@ namespace {
 
 using namespace cbma;
 
+/// Attach a "ns_per_packet" counter: wall nanoseconds per processed item,
+/// the figure DESIGN.md §7 quotes (items = packets for the end-to-end
+/// benches, chips/lags for the kernels).
+void set_rate_counters(benchmark::State& state, std::int64_t items_per_iter) {
+  state.counters["ns_per_packet"] = benchmark::Counter(
+      static_cast<double>(items_per_iter) * 1e-9,
+      benchmark::Counter::kIsIterationInvariantRate | benchmark::Counter::kInvert);
+}
+
 void BM_Spread(benchmark::State& state) {
   const auto code = pn::make_code_set(pn::CodeFamily::kTwoNC, 10, 20)[0];
   std::vector<std::uint8_t> bits(static_cast<std::size_t>(state.range(0)));
   for (std::size_t i = 0; i < bits.size(); ++i) bits[i] = i & 1;
+  std::vector<std::uint8_t> out;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(phy::spread(bits, code));
+    phy::spread_into(bits, code, out);
+    benchmark::DoNotOptimize(out.data());
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
+  set_rate_counters(state, 1);
 }
 BENCHMARK(BM_Spread)->Arg(112)->Arg(1024);
 
@@ -46,6 +68,25 @@ void BM_SlidingComplexPeak(benchmark::State& state) {
 }
 BENCHMARK(BM_SlidingComplexPeak)->Arg(64)->Arg(256);
 
+/// The split-kernel variant the receiver actually runs: the window is
+/// deinterleaved once outside the timed region (as process_iq does per
+/// packet), and the peak search streams the contiguous re/im arrays.
+void BM_SlidingComplexPeakSplit(benchmark::State& state) {
+  Rng rng(1);
+  const auto code = pn::make_code_set(pn::CodeFamily::kTwoNC, 10, 20)[0];
+  const auto tmpl = pn::mean_removed_template(code, 4);
+  std::vector<std::complex<double>> signal(8192);
+  for (auto& s : signal) s = {rng.gaussian(), rng.gaussian()};
+  std::vector<double> re, im;
+  pn::split_iq(signal, re, im);
+  const auto lags = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pn::sliding_complex_peak(re, im, tmpl, 0, lags));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SlidingComplexPeakSplit)->Arg(64)->Arg(256);
+
 void BM_ChannelSynthesis(benchmark::State& state) {
   Rng rng(2);
   rfsim::ChannelConfig cc;
@@ -65,8 +106,38 @@ void BM_ChannelSynthesis(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(chips.size()) *
                           state.range(0));
+  set_rate_counters(state, 1);
 }
 BENCHMARK(BM_ChannelSynthesis)->Arg(2)->Arg(10);
+
+/// Channel synthesis into caller-owned buffers — the batched pipeline's
+/// zero-allocation path (window, envelope and waveform capacity all reused).
+void BM_ChannelSynthesisScratch(benchmark::State& state) {
+  Rng rng(2);
+  rfsim::ChannelConfig cc;
+  cc.samples_per_chip = 4;
+  cc.chip_rate_hz = 32e6;
+  cc.noise_power_w = 1e-9;
+  const rfsim::Channel channel(cc);
+  const std::vector<std::uint8_t> chips(3584, 1);
+  std::vector<rfsim::TagTransmission> txs(static_cast<std::size_t>(state.range(0)));
+  for (auto& tx : txs) {
+    tx.chips = chips;
+    tx.amplitude = 1e-6;
+    tx.delay_chips = 8.0;
+  }
+  const rfsim::ContinuousTone tone;
+  rfsim::ChannelScratch scratch;
+  std::vector<std::complex<double>> iq;
+  for (auto _ : state) {
+    channel.receive_into(txs, tone, {}, rng, scratch, iq);
+    benchmark::DoNotOptimize(iq.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(chips.size()) *
+                          state.range(0));
+  set_rate_counters(state, 1);
+}
+BENCHMARK(BM_ChannelSynthesisScratch)->Arg(2)->Arg(10);
 
 void BM_DecodeFrame(benchmark::State& state) {
   Rng rng(3);
@@ -92,6 +163,8 @@ void BM_DecodeFrame(benchmark::State& state) {
 }
 BENCHMARK(BM_DecodeFrame);
 
+/// Legacy entry point: transmit_round() allocates a fresh TransmitScratch
+/// per packet. Kept as the before/after reference for the batched path.
 void BM_EndToEndRound(benchmark::State& state) {
   core::SystemConfig cfg;
   cfg.max_tags = static_cast<std::size_t>(state.range(0));
@@ -105,9 +178,54 @@ void BM_EndToEndRound(benchmark::State& state) {
     benchmark::DoNotOptimize(sys.transmit_round(rng));
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
+  set_rate_counters(state, 1);
 }
 BENCHMARK(BM_EndToEndRound)->Arg(2)->Arg(5)->Arg(10);
 
+/// The batched pipeline: transmit(options, rng, scratch) with one scratch
+/// reused across packets — what run_packets and the experiment sweeps run.
+/// ns_per_packet here is the repo's headline per-packet figure.
+void BM_EndToEndBatched(benchmark::State& state) {
+  core::SystemConfig cfg;
+  cfg.max_tags = static_cast<std::size_t>(state.range(0));
+  auto dep = rfsim::Deployment::paper_frame();
+  for (int k = 0; k < state.range(0); ++k) {
+    dep.add_tag({0.1 * k, 0.6});
+  }
+  const core::CbmaSystem sys(cfg, dep);
+  Rng rng(4);
+  const core::TransmitOptions options;
+  core::TransmitScratch scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sys.transmit(options, rng, scratch));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  set_rate_counters(state, 1);
+}
+BENCHMARK(BM_EndToEndBatched)->Arg(2)->Arg(5)->Arg(10);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: always emit machine-readable results alongside the console
+// table by defaulting --benchmark_out to BENCH_kernels.json (an explicit
+// --benchmark_out on the command line wins). Every other google-benchmark
+// flag passes through untouched.
+int main(int argc, char** argv) {
+  bool has_out_flag = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out", 0) == 0) has_out_flag = true;
+  }
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_kernels.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out_flag) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -4,15 +4,12 @@
 // its printed configuration.
 #pragma once
 
-#include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <functional>
 #include <string>
-#include <thread>
-#include <vector>
 
 #include "core/config.h"
+#include "util/parallel.h"
 
 namespace cbma::bench {
 
@@ -36,38 +33,14 @@ inline std::uint64_t base_seed() {
   return 20190707;  // ICDCS 2019
 }
 
-/// Deterministic per-point seed: mixing the base seed with the point index
-/// keeps results independent of sweep parallelism.
+/// Deterministic per-point seed for this bench's base seed (thin alias over
+/// util::point_seed, which examples and tests share).
 inline std::uint64_t point_seed(std::size_t point_index) {
-  std::uint64_t x = base_seed() + 0x9E3779B97F4A7C15ull * (point_index + 1);
-  x ^= x >> 30;
-  x *= 0xBF58476D1CE4E5B9ull;
-  x ^= x >> 27;
-  return x;
+  return util::point_seed(base_seed(), point_index);
 }
 
-/// Run f(0..n-1) across hardware threads; f must only touch its own slot.
-inline void parallel_for(std::size_t n, const std::function<void(std::size_t)>& f) {
-  const std::size_t workers =
-      std::min<std::size_t>(std::max(1u, std::thread::hardware_concurrency()), n);
-  if (workers <= 1) {
-    for (std::size_t i = 0; i < n; ++i) f(i);
-    return;
-  }
-  std::atomic<std::size_t> next{0};
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (std::size_t w = 0; w < workers; ++w) {
-    pool.emplace_back([&] {
-      while (true) {
-        const std::size_t i = next.fetch_add(1);
-        if (i >= n) return;
-        f(i);
-      }
-    });
-  }
-  for (auto& t : pool) t.join();
-}
+/// Thin alias: the deterministic sweep runner now lives in util/parallel.h.
+using util::parallel_for;
 
 inline void print_header(const std::string& title, const std::string& paper_ref,
                          const core::SystemConfig& config) {

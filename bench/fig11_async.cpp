@@ -41,14 +41,17 @@ int main() {
     Rng rng(bench::point_seed(i));
     core::RoundStats stats(2);
     const std::vector<double> tag_delays{0.0, delays[i]};
+    std::vector<std::vector<std::uint8_t>> payloads(2);
+    core::TransmitOptions options;
+    options.payloads = payloads;
+    options.delay_chips = tag_delays;
+    core::TransmitScratch scratch;  // reused across the sweep point's packets
     for (std::size_t p = 0; p < n_packets; ++p) {
-      std::vector<std::vector<std::uint8_t>> payloads;
-      for (int k = 0; k < 2; ++k) {
-        std::vector<std::uint8_t> pl(cfg.payload_bytes);
+      for (auto& pl : payloads) {
+        pl.resize(cfg.payload_bytes);
         for (auto& b : pl) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
-        payloads.push_back(std::move(pl));
       }
-      const auto report = sys.transmit_round_with_delays(payloads, tag_delays, rng);
+      const auto report = sys.transmit(options, rng, scratch);
       stats.record(0, report.results[0].crc_ok);
       stats.record(1, report.results[1].crc_ok);
     }

@@ -39,6 +39,7 @@ int main() {
   bench::parallel_for(kChunks, [&](std::size_t chunk) {
     core::CbmaSystem sys(cfg, dep);
     Rng rng(bench::point_seed(chunk));
+    core::TransmitScratch scratch;  // reused across the shard's trials
     const std::size_t n = (n_trials + kChunks - 1) / kChunks;
     for (std::size_t i = 0; i < n; ++i) {
       // Random non-empty transmitting subset of the 10-tag group.
@@ -49,7 +50,9 @@ int main() {
           if (rng.bernoulli(0.5)) active.push_back(k);
         }
       }
-      const auto report = sys.transmit_round_subset(active, rng);
+      core::TransmitOptions options;
+      options.slots = active;
+      const auto report = sys.transmit(options, rng, scratch);
 
       bool exact = true;
       for (std::size_t k = 0; k < 10; ++k) {

@@ -30,14 +30,18 @@ int main() {
   }
 
   // 3. One collided transmission: every tag sends its own payload at the
-  //    same time in the same band.
+  //    same time in the same band. TransmitOptions can also pin per-tag
+  //    delays or restrict the transmitting subset; every field left empty
+  //    picks the randomized default.
   Rng rng(7);
   const std::vector<std::vector<std::uint8_t>> payloads{
       {'h', 'e', 'l', 'l', 'o'},
       {'w', 'o', 'r', 'l', 'd'},
       {'c', 'b', 'm', 'a', '!'},
   };
-  const auto report = system.transmit_round(payloads, rng);
+  core::TransmitOptions options;
+  options.payloads = payloads;
+  const auto report = system.transmit(options, rng);
 
   std::printf("\ncollided round: frame %sdetected\n",
               report.frame_start ? "" : "NOT ");

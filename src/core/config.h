@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "pn/code.h"
 #include "rfsim/channel.h"
@@ -68,6 +69,12 @@ struct SystemConfig {
   double symbol_time_s() const { return 1.0 / bitrate_bps; }
 
   std::string summary() const;  ///< one-line description for bench headers
+
+  /// Validate every knob and return a descriptive message per violation
+  /// (empty = valid). CbmaSystem's constructor runs this and reports all
+  /// problems at once, so a misconfigured sweep fails with the full list
+  /// instead of dying on the first CBMA_REQUIRE it happens to hit.
+  std::vector<std::string> validate() const;
 };
 
 }  // namespace cbma::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 #include "util/expect.h"
 #include "util/units.h"
@@ -14,10 +15,19 @@ namespace {
 // coefficient of sin(2πΔf t) is 4/π, split across the ±Δf sidebands → 2/π).
 constexpr double kSidebandAmplitudeFraction = 2.0 / units::kPi;
 
-std::vector<std::uint8_t> random_payload(std::size_t bytes, Rng& rng) {
-  std::vector<std::uint8_t> out(bytes);
+void random_payload_into(std::size_t bytes, Rng& rng,
+                         std::vector<std::uint8_t>& out) {
+  out.resize(bytes);
   for (auto& b : out) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
-  return out;
+}
+
+std::string join_errors(const std::vector<std::string>& errors) {
+  std::string msg = "invalid SystemConfig:";
+  for (const auto& e : errors) {
+    msg += "\n  - ";
+    msg += e;
+  }
+  return msg;
 }
 
 }  // namespace
@@ -30,7 +40,9 @@ CbmaSystem::CbmaSystem(SystemConfig config, rfsim::Deployment population)
                 : rfsim::ReflectionStateBank::uniform_bank(
                       config_.impedance_levels, config_.impedance_range_db)) {
   CBMA_REQUIRE(population_.tag_count() >= 1, "population must contain tags");
-  CBMA_REQUIRE(config_.max_tags >= 1, "max_tags must be positive");
+  if (const auto errors = config_.validate(); !errors.empty()) {
+    throw std::invalid_argument(join_errors(errors));
+  }
 
   budget_.tx_power_w = units::dbm_to_watts(config_.tx_power_dbm);
   budget_.tx_gain = budget_.tag_gain = budget_.rx_gain = config_.antenna_gain;
@@ -153,11 +165,96 @@ double CbmaSystem::predicted_power_dbm(std::size_t pop_index) const {
   return units::watts_to_dbm(budget_.received_power(population_, pop_index));
 }
 
+rx::RxReport CbmaSystem::transmit(const TransmitOptions& options, Rng& rng) const {
+  TransmitScratch scratch;
+  return transmit(options, rng, scratch);
+}
+
+rx::RxReport CbmaSystem::transmit(const TransmitOptions& options, Rng& rng,
+                                  TransmitScratch& scratch) const {
+  const bool whole_group = options.slots.empty();
+  const std::size_t n = whole_group ? group_.size() : options.slots.size();
+  if (!options.payloads.empty()) {
+    CBMA_REQUIRE(options.payloads.size() == n, "one payload per transmitting slot");
+  }
+  if (!options.delay_chips.empty()) {
+    CBMA_REQUIRE(options.delay_chips.size() == n, "one delay per transmitting slot");
+  }
+  for (const auto slot : options.slots) {
+    CBMA_REQUIRE(slot < group_.size(), "slot outside the active group");
+  }
+  const auto slot_of = [&](std::size_t k) {
+    return whole_group ? k : options.slots[k];
+  };
+
+  // RNG draw order is contractual: the legacy transmit_round_* entry points
+  // are shims over this function, and the determinism test pins their
+  // historical streams. Whole-group rounds draw payloads as a block, then
+  // delays as a block, then (phase, cfo) per slot; subset rounds draw
+  // payloads as a block, then (phase, delay, cfo) per slot.
+  scratch.chip_seqs.resize(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (options.payloads.empty()) {
+      random_payload_into(config_.payload_bytes, rng, scratch.payload);
+      slot_tags_[slot_of(k)].chip_sequence_into(scratch.payload,
+                                                scratch.frame_bits,
+                                                scratch.chip_seqs[k]);
+    } else {
+      slot_tags_[slot_of(k)].chip_sequence_into(options.payloads[k],
+                                                scratch.frame_bits,
+                                                scratch.chip_seqs[k]);
+    }
+  }
+
+  scratch.delays.resize(n);
+  if (whole_group) {
+    if (options.delay_chips.empty()) {
+      for (auto& d : scratch.delays) {
+        d = rng.uniform(0.0, config_.max_async_jitter_chips);
+      }
+    } else {
+      // Explicit delays replace the jitter draws entirely (the legacy
+      // with-delays path performed no delay draws).
+      for (std::size_t k = 0; k < n; ++k) scratch.delays[k] = options.delay_chips[k];
+    }
+  }
+
+  scratch.txs.clear();
+  scratch.txs.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    rfsim::TagTransmission tx;
+    tx.chips = scratch.chip_seqs[k];
+    tx.amplitude = tag_amplitude(group_[slot_of(k)]);
+    tx.phase = rng.phase();
+    double delay;
+    if (whole_group) {
+      delay = scratch.delays[k];
+    } else if (!options.delay_chips.empty()) {
+      delay = options.delay_chips[k];
+    } else {
+      delay = rng.uniform(0.0, config_.max_async_jitter_chips);
+    }
+    CBMA_REQUIRE(delay >= 0.0, "tag delays must be non-negative");
+    tx.delay_chips = config_.lead_in_chips + delay;
+    tx.freq_offset_hz = rng.uniform(-config_.cfo_max_hz, config_.cfo_max_hz);
+    scratch.txs.push_back(tx);
+  }
+
+  scratch.interferers.clear();
+  scratch.interferers.reserve(interferers_.size());
+  for (const auto& p : interferers_) scratch.interferers.push_back(p.get());
+
+  channel_->receive_into(scratch.txs, *excitation_, scratch.interferers, rng,
+                         scratch.channel, scratch.iq);
+  return receiver_->process_iq(scratch.iq, scratch.rx);
+}
+
 rx::RxReport CbmaSystem::transmit_round(
     std::span<const std::vector<std::uint8_t>> payloads, Rng& rng) const {
-  std::vector<double> delays(payloads.size());
-  for (auto& d : delays) d = rng.uniform(0.0, config_.max_async_jitter_chips);
-  return transmit_round_with_delays(payloads, delays, rng);
+  CBMA_REQUIRE(payloads.size() == group_.size(), "one payload per active tag");
+  TransmitOptions options;
+  options.payloads = payloads;
+  return transmit(options, rng);
 }
 
 rx::RxReport CbmaSystem::transmit_round_with_delays(
@@ -165,80 +262,32 @@ rx::RxReport CbmaSystem::transmit_round_with_delays(
     std::span<const double> delay_chips, Rng& rng) const {
   CBMA_REQUIRE(payloads.size() == group_.size(), "one payload per active tag");
   CBMA_REQUIRE(delay_chips.size() == group_.size(), "one delay per active tag");
-
-  std::vector<std::vector<std::uint8_t>> chip_seqs;
-  chip_seqs.reserve(group_.size());
-  std::vector<rfsim::TagTransmission> txs;
-  txs.reserve(group_.size());
-
-  for (std::size_t slot = 0; slot < group_.size(); ++slot) {
-    chip_seqs.push_back(slot_tags_[slot].chip_sequence(payloads[slot]));
-  }
-  for (std::size_t slot = 0; slot < group_.size(); ++slot) {
-    CBMA_REQUIRE(delay_chips[slot] >= 0.0, "tag delays must be non-negative");
-    rfsim::TagTransmission tx;
-    tx.chips = chip_seqs[slot];
-    tx.amplitude = tag_amplitude(group_[slot]);
-    tx.phase = rng.phase();
-    tx.delay_chips = config_.lead_in_chips + delay_chips[slot];
-    tx.freq_offset_hz = rng.uniform(-config_.cfo_max_hz, config_.cfo_max_hz);
-    txs.push_back(tx);
-  }
-
-  std::vector<const rfsim::Interferer*> itf;
-  itf.reserve(interferers_.size());
-  for (const auto& p : interferers_) itf.push_back(p.get());
-
-  const auto iq = channel_->receive(txs, *excitation_, itf, rng);
-  return receiver_->process_iq(iq);
+  TransmitOptions options;
+  options.payloads = payloads;
+  options.delay_chips = delay_chips;
+  return transmit(options, rng);
 }
 
 rx::RxReport CbmaSystem::transmit_round(Rng& rng) const {
-  std::vector<std::vector<std::uint8_t>> payloads;
-  payloads.reserve(group_.size());
-  for (std::size_t i = 0; i < group_.size(); ++i) {
-    payloads.push_back(random_payload(config_.payload_bytes, rng));
-  }
-  return transmit_round(payloads, rng);
+  return transmit(TransmitOptions{}, rng);
 }
 
 rx::RxReport CbmaSystem::transmit_round_subset(std::span<const std::size_t> slots,
                                                Rng& rng) const {
+  // The new API reads an empty slot list as "whole group transmits", so the
+  // historical contract of this shim stays an explicit requirement here.
   CBMA_REQUIRE(!slots.empty(), "at least one slot must transmit");
-
-  std::vector<std::vector<std::uint8_t>> chip_seqs;
-  chip_seqs.reserve(slots.size());
-  std::vector<rfsim::TagTransmission> txs;
-  txs.reserve(slots.size());
-
-  for (const auto slot : slots) {
-    CBMA_REQUIRE(slot < group_.size(), "slot outside the active group");
-    chip_seqs.push_back(
-        slot_tags_[slot].chip_sequence(random_payload(config_.payload_bytes, rng)));
-  }
-  for (std::size_t k = 0; k < slots.size(); ++k) {
-    rfsim::TagTransmission tx;
-    tx.chips = chip_seqs[k];
-    tx.amplitude = tag_amplitude(group_[slots[k]]);
-    tx.phase = rng.phase();
-    tx.delay_chips =
-        config_.lead_in_chips + rng.uniform(0.0, config_.max_async_jitter_chips);
-    tx.freq_offset_hz = rng.uniform(-config_.cfo_max_hz, config_.cfo_max_hz);
-    txs.push_back(tx);
-  }
-
-  std::vector<const rfsim::Interferer*> itf;
-  itf.reserve(interferers_.size());
-  for (const auto& p : interferers_) itf.push_back(p.get());
-
-  const auto iq = channel_->receive(txs, *excitation_, itf, rng);
-  return receiver_->process_iq(iq);
+  TransmitOptions options;
+  options.slots = slots;
+  return transmit(options, rng);
 }
 
 RoundStats CbmaSystem::run_packets(std::size_t n_packets, Rng& rng) const {
   RoundStats stats(group_.size());
+  TransmitScratch scratch;
+  const TransmitOptions options;
   for (std::size_t p = 0; p < n_packets; ++p) {
-    const auto report = transmit_round(rng);
+    const auto report = transmit(options, rng, scratch);
     for (std::size_t slot = 0; slot < group_.size(); ++slot) {
       stats.record(slot, report.results[slot].crc_ok);
     }

@@ -38,6 +38,38 @@ struct PowerControlOutcome {
   double final_fer = 1.0;
 };
 
+/// Everything one collided transmission can vary, gathered behind a single
+/// entry point. Every field is optional; an empty span selects the
+/// randomized default, so `transmit({}, rng)` is the common random round.
+struct TransmitOptions {
+  /// One payload per transmitting slot. Empty: random payloads of
+  /// config().payload_bytes are drawn per slot.
+  std::span<const std::vector<std::uint8_t>> payloads{};
+  /// Per-slot start offsets in chips, added to the configured lead-in.
+  /// Empty: uniform jitter in [0, max_async_jitter_chips] is drawn per slot.
+  std::span<const double> delay_chips{};
+  /// Slot indices (into the active group) that transmit this round. Empty:
+  /// the whole active group transmits. The receiver always probes every
+  /// group code regardless (the §VII-B2 user-detection experiment).
+  std::span<const std::size_t> slots{};
+};
+
+/// Reusable buffers for the whole transmit pipeline — chip expansion,
+/// channel synthesis and the receiver's split-window stages. Sized on the
+/// first packet of a group and reused, so a batched sweep runs the entire
+/// per-packet path with zero steady-state allocation.
+struct TransmitScratch {
+  std::vector<std::vector<std::uint8_t>> chip_seqs;  ///< per-slot spread frames
+  std::vector<std::uint8_t> frame_bits;              ///< framing intermediate
+  std::vector<std::uint8_t> payload;                 ///< random-payload buffer
+  std::vector<double> delays;                        ///< per-slot delay draws
+  std::vector<rfsim::TagTransmission> txs;
+  std::vector<const rfsim::Interferer*> interferers;
+  rfsim::ChannelScratch channel;
+  std::vector<std::complex<double>> iq;
+  rx::RxScratch rx;
+};
+
 class CbmaSystem {
  public:
   CbmaSystem(SystemConfig config, rfsim::Deployment population);
@@ -80,27 +112,42 @@ class CbmaSystem {
   const rfsim::LinkBudget& link_budget() const { return budget_; }
 
   // --- transmission ---
-  /// One collided transmission: every active tag sends one frame with the
-  /// given payload (payloads.size() == group size).
+  /// One collided transmission, fully described by `options` (payloads,
+  /// delays and the transmitting subset all optional — see TransmitOptions).
+  /// This is the single transmit entry point; the transmit_round_* overloads
+  /// below are thin shims over it.
+  rx::RxReport transmit(const TransmitOptions& options, Rng& rng) const;
+
+  /// transmit() with caller-owned scratch — the zero-allocation batched
+  /// path. Reusing one TransmitScratch across packets keeps every buffer of
+  /// the pipeline (chips, window, split re/im, residuals) warm.
+  rx::RxReport transmit(const TransmitOptions& options, Rng& rng,
+                        TransmitScratch& scratch) const;
+
+  /// Deprecated shim for transmit(): every active tag sends one frame with
+  /// the given payload (payloads.size() == group size).
   rx::RxReport transmit_round(std::span<const std::vector<std::uint8_t>> payloads,
                               Rng& rng) const;
-  /// Same with random payloads.
+  /// Deprecated shim for transmit(): random payloads.
   rx::RxReport transmit_round(Rng& rng) const;
 
-  /// Transmission with explicit per-tag start offsets (chips, added to the
-  /// configured lead-in) instead of random jitter — the Fig. 11
-  /// asynchronization study drives this directly.
+  /// Deprecated shim for transmit(): explicit per-tag start offsets (chips,
+  /// added to the configured lead-in) instead of random jitter — the
+  /// Fig. 11 asynchronization study drives this directly.
   rx::RxReport transmit_round_with_delays(
       std::span<const std::vector<std::uint8_t>> payloads,
       std::span<const double> delay_chips, Rng& rng) const;
 
-  /// Only a subset of the active group transmits this round (slot indices
-  /// into the active group); the receiver still probes every group code —
-  /// the §VII-B2 user-detection experiment.
+  /// Deprecated shim for transmit(): only a subset of the active group
+  /// transmits this round (slot indices into the active group); the
+  /// receiver still probes every group code — the §VII-B2 user-detection
+  /// experiment. Requires a non-empty subset (the new API reads an empty
+  /// slot list as "whole group").
   rx::RxReport transmit_round_subset(std::span<const std::size_t> slots,
                                      Rng& rng) const;
 
-  /// `n_packets` collided transmissions with random payloads.
+  /// `n_packets` collided transmissions with random payloads, batched over
+  /// one TransmitScratch so the sweep allocates only on the first packet.
   RoundStats run_packets(std::size_t n_packets, Rng& rng) const;
 
   /// Algorithm 1: rounds of `packets_per_round` packets, stepping the
@@ -116,9 +163,6 @@ class CbmaSystem {
   const rx::Receiver& receiver() const { return *receiver_; }
 
  private:
-  rfsim::TagTransmission make_transmission(
-      std::size_t slot, std::span<const std::uint8_t> chips, double delay_chips,
-      double phase) const;
   double tag_amplitude(std::size_t pop_index) const;
 
   SystemConfig config_;

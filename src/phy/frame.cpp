@@ -33,20 +33,38 @@ std::vector<std::uint8_t> bits_to_bytes(std::span<const std::uint8_t> bits) {
 
 std::vector<std::uint8_t> frame_bits(std::span<const std::uint8_t> payload,
                                      std::uint8_t tag_id, std::size_t preamble_bits) {
-  CBMA_REQUIRE(payload.size() <= kMaxPayloadBytes, "payload exceeds 126 bytes");
-  std::vector<std::uint8_t> body;
-  body.reserve(2 + payload.size() + 2);
-  body.push_back(static_cast<std::uint8_t>(payload.size()));
-  body.push_back(tag_id);
-  body.insert(body.end(), payload.begin(), payload.end());
-  const std::uint16_t crc = crc16(std::span<const std::uint8_t>(body.data(), body.size()));
-  body.push_back(static_cast<std::uint8_t>(crc >> 8));
-  body.push_back(static_cast<std::uint8_t>(crc & 0xFF));
-
-  std::vector<std::uint8_t> bits = alternating_preamble(preamble_bits);
-  const auto body_bits = bytes_to_bits(body);
-  bits.insert(bits.end(), body_bits.begin(), body_bits.end());
+  std::vector<std::uint8_t> bits;
+  frame_bits_into(payload, tag_id, preamble_bits, bits);
   return bits;
+}
+
+void frame_bits_into(std::span<const std::uint8_t> payload, std::uint8_t tag_id,
+                     std::size_t preamble_bits, std::vector<std::uint8_t>& out) {
+  CBMA_REQUIRE(payload.size() <= kMaxPayloadBytes, "payload exceeds 126 bytes");
+  CBMA_REQUIRE(preamble_bits >= 1, "preamble must have at least one bit");
+  const std::size_t body_bytes = 2 + payload.size() + 2;
+  out.resize(preamble_bits + 8 * body_bytes);
+  for (std::size_t i = 0; i < preamble_bits; ++i) out[i] = (i % 2 == 0) ? 1 : 0;
+
+  // Serialize length | id | payload | CRC directly as MSB-first bits while
+  // streaming the CRC, so no intermediate body buffer is built.
+  const std::uint8_t head[2] = {static_cast<std::uint8_t>(payload.size()), tag_id};
+  const auto append_byte = [&](std::uint8_t b, std::size_t byte_index) {
+    std::uint8_t* dst = out.data() + preamble_bits + 8 * byte_index;
+    for (int k = 7; k >= 0; --k) *dst++ = static_cast<std::uint8_t>((b >> k) & 1);
+  };
+  std::uint16_t crc = kCrc16Init;
+  std::size_t byte_index = 0;
+  for (const auto b : head) {
+    append_byte(b, byte_index++);
+    crc = crc16_update(crc, b);
+  }
+  for (const auto b : payload) {
+    append_byte(b, byte_index++);
+    crc = crc16_update(crc, b);
+  }
+  append_byte(static_cast<std::uint8_t>(crc >> 8), byte_index++);
+  append_byte(static_cast<std::uint8_t>(crc & 0xFF), byte_index++);
 }
 
 std::size_t frame_bit_count(std::size_t payload_bytes, std::size_t preamble_bits) {

@@ -38,6 +38,11 @@ std::vector<std::uint8_t> frame_bits(std::span<const std::uint8_t> payload,
                                      std::uint8_t tag_id,
                                      std::size_t preamble_bits = kDefaultPreambleBits);
 
+/// frame_bits into a caller-owned buffer (resized; capacity is reused), so
+/// the per-packet hot path does not allocate.
+void frame_bits_into(std::span<const std::uint8_t> payload, std::uint8_t tag_id,
+                     std::size_t preamble_bits, std::vector<std::uint8_t>& out);
+
 /// Number of bits a frame with this payload occupies.
 std::size_t frame_bit_count(std::size_t payload_bytes,
                             std::size_t preamble_bits = kDefaultPreambleBits);

@@ -1,22 +1,31 @@
 #include "phy/spreader.h"
 
+#include <cstring>
+
 #include "util/expect.h"
 
 namespace cbma::phy {
 
 std::vector<std::uint8_t> spread(std::span<const std::uint8_t> bits,
                                  const pn::PnCode& code) {
-  CBMA_REQUIRE(!code.empty(), "spreading requires a code");
-  const auto& chips = code.chips();
   std::vector<std::uint8_t> out;
-  out.reserve(bits.size() * chips.size());
+  spread_into(bits, code, out);
+  return out;
+}
+
+void spread_into(std::span<const std::uint8_t> bits, const pn::PnCode& code,
+                 std::vector<std::uint8_t>& out) {
+  CBMA_REQUIRE(!code.empty(), "spreading requires a code");
+  const auto& one = code.chips();
+  const auto& zero = code.negated_chips();
+  const std::size_t len = one.size();
+  out.resize(bits.size() * len);
+  std::uint8_t* dst = out.data();
   for (const auto bit : bits) {
     CBMA_REQUIRE(bit == 0 || bit == 1, "bits must be binary");
-    for (const auto c : chips) {
-      out.push_back(bit ? c : static_cast<std::uint8_t>(c ^ 1));
-    }
+    std::memcpy(dst, (bit ? one : zero).data(), len);
+    dst += len;
   }
-  return out;
 }
 
 std::vector<std::uint8_t> despread_hard(std::span<const std::uint8_t> chips,

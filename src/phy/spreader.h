@@ -16,6 +16,12 @@ namespace cbma::phy {
 std::vector<std::uint8_t> spread(std::span<const std::uint8_t> bits,
                                  const pn::PnCode& code);
 
+/// Spread into a caller-owned buffer (resized; capacity is reused). Each bit
+/// is a straight copy of the code's cached '1'/'0' waveform — no per-chip
+/// branch and no allocation, the per-packet hot path.
+void spread_into(std::span<const std::uint8_t> bits, const pn::PnCode& code,
+                 std::vector<std::uint8_t>& out);
+
 /// Hard-decision despread of an on/off chip sequence (inverse of `spread`
 /// on a clean channel): majority vote of chip agreement per bit period.
 std::vector<std::uint8_t> despread_hard(std::span<const std::uint8_t> chips,

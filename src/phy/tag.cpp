@@ -9,17 +9,22 @@ Tag::Tag(TagConfig config) : config_(std::move(config)) {
   CBMA_REQUIRE(!config_.code.empty(), "tag needs a PN code");
   CBMA_REQUIRE(config_.preamble_bits >= 1, "preamble must be at least one bit");
   CBMA_REQUIRE(config_.impedance_levels >= 1, "tag needs at least one impedance level");
+  preamble_chips_ = spread(alternating_preamble(config_.preamble_bits), config_.code);
 }
 
 std::vector<std::uint8_t> Tag::chip_sequence(std::span<const std::uint8_t> payload) const {
-  const auto bits = frame_bits(payload, static_cast<std::uint8_t>(config_.id),
-                               config_.preamble_bits);
-  return spread(bits, config_.code);
+  std::vector<std::uint8_t> bits;
+  std::vector<std::uint8_t> out;
+  chip_sequence_into(payload, bits, out);
+  return out;
 }
 
-std::vector<std::uint8_t> Tag::preamble_chips() const {
-  const auto bits = alternating_preamble(config_.preamble_bits);
-  return spread(bits, config_.code);
+void Tag::chip_sequence_into(std::span<const std::uint8_t> payload,
+                             std::vector<std::uint8_t>& bits_scratch,
+                             std::vector<std::uint8_t>& out) const {
+  frame_bits_into(payload, static_cast<std::uint8_t>(config_.id),
+                  config_.preamble_bits, bits_scratch);
+  spread_into(bits_scratch, config_.code, out);
 }
 
 void Tag::set_impedance_level(std::size_t level) {

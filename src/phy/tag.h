@@ -32,9 +32,18 @@ class Tag {
   /// tag's code (every '1' chip reflects, every '0' chip absorbs).
   std::vector<std::uint8_t> chip_sequence(std::span<const std::uint8_t> payload) const;
 
+  /// chip_sequence into caller-owned buffers (`bits_scratch` holds the
+  /// intermediate frame bits, `out` the spread chips; both are resized and
+  /// their capacity reused) — the zero-allocation per-packet path. Spreading
+  /// copies the code's cached per-bit waveforms instead of regenerating
+  /// them chip by chip.
+  void chip_sequence_into(std::span<const std::uint8_t> payload,
+                          std::vector<std::uint8_t>& bits_scratch,
+                          std::vector<std::uint8_t>& out) const;
+
   /// Chip sequence of just the spread preamble — the receiver's user
-  /// detection template.
-  std::vector<std::uint8_t> preamble_chips() const;
+  /// detection template. Cached at construction.
+  const std::vector<std::uint8_t>& preamble_chips() const { return preamble_chips_; }
 
   /// Current impedance level, 0-based (0 = strongest backscatter).
   std::size_t impedance_level() const { return impedance_level_; }
@@ -48,6 +57,7 @@ class Tag {
  private:
   TagConfig config_;
   std::size_t impedance_level_ = 0;
+  std::vector<std::uint8_t> preamble_chips_;  ///< spread preamble waveform cache
 };
 
 }  // namespace cbma::phy

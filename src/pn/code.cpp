@@ -10,18 +10,12 @@ PnCode::PnCode(std::vector<std::uint8_t> chips, std::string name)
     : chips_(std::move(chips)), name_(std::move(name)) {
   CBMA_REQUIRE(!chips_.empty(), "PN code must be non-empty");
   bipolar_.reserve(chips_.size());
+  negated_.reserve(chips_.size());
   for (const auto c : chips_) {
     CBMA_REQUIRE(c == 0 || c == 1, "PN chips must be binary");
     bipolar_.push_back(c ? 1.0 : -1.0);
+    negated_.push_back(static_cast<std::uint8_t>(c ^ 1));
   }
-}
-
-std::vector<std::uint8_t> PnCode::chips_for_bit(bool bit) const {
-  std::vector<std::uint8_t> out(chips_);
-  if (!bit) {
-    for (auto& c : out) c ^= 1;
-  }
-  return out;
 }
 
 int PnCode::balance() const {

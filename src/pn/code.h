@@ -26,8 +26,15 @@ class PnCode {
   /// ±1 representation (chip 1 → +1, chip 0 → −1).
   const std::vector<double>& bipolar() const { return bipolar_; }
 
+  /// Bitwise negation of the chips — the '0'-bit waveform of footnote 2.
+  /// Cached at construction so per-frame spreading is a table copy.
+  const std::vector<std::uint8_t>& negated_chips() const { return negated_; }
+
   /// Chip sequence for a data bit: the code for '1', its negation for '0'.
-  std::vector<std::uint8_t> chips_for_bit(bool bit) const;
+  /// Returns a reference to the cached waveform (no per-call allocation).
+  const std::vector<std::uint8_t>& chips_for_bit(bool bit) const {
+    return bit ? chips_ : negated_;
+  }
 
   /// Number of '1' chips minus number of '0' chips (balance metric).
   int balance() const;
@@ -36,6 +43,7 @@ class PnCode {
 
  private:
   std::vector<std::uint8_t> chips_;
+  std::vector<std::uint8_t> negated_;
   std::vector<double> bipolar_;
   std::string name_;
 };

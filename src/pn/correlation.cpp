@@ -166,6 +166,223 @@ ComplexCorrelationPeak sliding_complex_peak(
   return best;
 }
 
+void split_iq(std::span<const std::complex<double>> iq, std::vector<double>& re,
+              std::vector<double>& im) {
+  re.resize(iq.size());
+  im.resize(iq.size());
+  for (std::size_t i = 0; i < iq.size(); ++i) {
+    re[i] = iq[i].real();
+    im[i] = iq[i].imag();
+  }
+}
+
+std::complex<double> complex_correlate_at(std::span<const double> re,
+                                          std::span<const double> im,
+                                          std::span<const double> tmpl,
+                                          std::size_t offset) {
+  if (offset + tmpl.size() > re.size()) return {0.0, 0.0};
+  double acc_re = 0.0;
+  double acc_im = 0.0;
+  const double* r = re.data() + offset;
+  const double* i = im.data() + offset;
+  for (std::size_t k = 0; k < tmpl.size(); ++k) {
+    acc_re += r[k] * tmpl[k];
+    acc_im += i[k] * tmpl[k];
+  }
+  return {acc_re, acc_im};
+}
+
+ComplexCorrelationPeak sliding_complex_peak(std::span<const double> re,
+                                            std::span<const double> im,
+                                            std::span<const double> tmpl,
+                                            std::size_t search_begin,
+                                            std::size_t search_end) {
+  CBMA_REQUIRE(re.size() == im.size(), "split window components disagree");
+  CBMA_REQUIRE(search_begin <= search_end, "search window inverted");
+  ComplexCorrelationPeak best;
+  best.value = -1.0;
+  const std::size_t n = tmpl.size();
+  if (n == 0 || re.size() < n) return ComplexCorrelationPeak{};
+  const std::size_t end = std::min({search_end, re.size() - n + 1});
+  if (search_begin >= end) return ComplexCorrelationPeak{};
+
+  double t_norm2 = 0.0;
+  double t_sum = 0.0;
+  for (const double v : tmpl) {
+    t_norm2 += v * v;
+    t_sum += v;
+  }
+  const double inv_n = 1.0 / static_cast<double>(n);
+
+  // Running window sums shared across lags; only the dot product is
+  // recomputed per lag.
+  double s_sum_re = 0.0;
+  double s_sum_im = 0.0;
+  double s_sumsq = 0.0;
+  for (std::size_t i = search_begin; i < search_begin + n; ++i) {
+    s_sum_re += re[i];
+    s_sum_im += im[i];
+    s_sumsq += re[i] * re[i] + im[i] * im[i];
+  }
+
+  for (std::size_t off = search_begin; off < end; ++off) {
+    double dot_re = 0.0;
+    double dot_im = 0.0;
+    const double* r = re.data() + off;
+    const double* i = im.data() + off;
+    for (std::size_t k = 0; k < n; ++k) {
+      dot_re += r[k] * tmpl[k];
+      dot_im += i[k] * tmpl[k];
+    }
+    // Mean-removed forms: dot_c = dot − mean·Σtmpl, ‖window−mean‖².
+    const double mean_re = s_sum_re * inv_n;
+    const double mean_im = s_sum_im * inv_n;
+    const double dc_re = dot_re - mean_re * t_sum;
+    const double dc_im = dot_im - mean_im * t_sum;
+    const double s_norm2 =
+        s_sumsq - (s_sum_re * s_sum_re + s_sum_im * s_sum_im) * inv_n;
+    const double denom2 = s_norm2 * t_norm2;
+    const double v =
+        denom2 > 0.0 ? std::sqrt((dc_re * dc_re + dc_im * dc_im) / denom2) : 0.0;
+    if (v > best.value) {
+      best.value = v;
+      best.offset = off;
+    }
+    if (off + n < re.size()) {
+      s_sum_re += re[off + n] - re[off];
+      s_sum_im += im[off + n] - im[off];
+      s_sumsq += re[off + n] * re[off + n] + im[off + n] * im[off + n] -
+                 re[off] * re[off] - im[off] * im[off];
+    }
+  }
+  if (best.value < 0.0) return ComplexCorrelationPeak{};
+  const auto peak_corr = complex_correlate_at(re, im, tmpl, best.offset);
+  best.phase = std::atan2(peak_corr.imag(), peak_corr.real());
+  return best;
+}
+
+void fold_chip_sums(std::span<const double> x, std::size_t samples_per_chip,
+                    std::vector<double>& out) {
+  CBMA_REQUIRE(samples_per_chip >= 1, "samples_per_chip must be positive");
+  if (x.size() < samples_per_chip) {
+    out.clear();
+    return;
+  }
+  out.resize(x.size() - samples_per_chip + 1);
+  refold_chip_sums(x, samples_per_chip, 0, out.size(), out);
+}
+
+void refold_chip_sums(std::span<const double> x, std::size_t samples_per_chip,
+                      std::size_t begin, std::size_t end, std::vector<double>& out) {
+  // Direct per-entry sums (not a running window) so refolding a subrange
+  // reproduces exactly what a full fold computes — no accumulated drift.
+  end = std::min(end, out.size());
+  for (std::size_t i = begin; i < end; ++i) {
+    double s = x[i];
+    for (std::size_t j = 1; j < samples_per_chip; ++j) s += x[i + j];
+    out[i] = s;
+  }
+}
+
+std::complex<double> complex_correlate_folded_at(std::span<const double> fold_re,
+                                                 std::span<const double> fold_im,
+                                                 std::span<const double> chip_tmpl,
+                                                 std::size_t samples_per_chip,
+                                                 std::size_t offset) {
+  const std::size_t n_chips = chip_tmpl.size();
+  if (n_chips == 0) return {0.0, 0.0};
+  const std::size_t last = offset + (n_chips - 1) * samples_per_chip;
+  if (last >= fold_re.size()) return {0.0, 0.0};
+  double acc_re = 0.0;
+  double acc_im = 0.0;
+  const double* fr = fold_re.data() + offset;
+  const double* fi = fold_im.data() + offset;
+  for (std::size_t c = 0; c < n_chips; ++c) {
+    const std::size_t x = c * samples_per_chip;
+    acc_re += fr[x] * chip_tmpl[c];
+    acc_im += fi[x] * chip_tmpl[c];
+  }
+  return {acc_re, acc_im};
+}
+
+ComplexCorrelationPeak sliding_complex_peak_folded(
+    std::span<const double> re, std::span<const double> im,
+    std::span<const double> fold_re, std::span<const double> fold_im,
+    std::span<const double> chip_tmpl, std::size_t samples_per_chip,
+    std::size_t search_begin, std::size_t search_end) {
+  CBMA_REQUIRE(re.size() == im.size(), "split window components disagree");
+  CBMA_REQUIRE(search_begin <= search_end, "search window inverted");
+  ComplexCorrelationPeak best;
+  best.value = -1.0;
+  const std::size_t n_chips = chip_tmpl.size();
+  const std::size_t n = n_chips * samples_per_chip;
+  if (n == 0 || re.size() < n) return ComplexCorrelationPeak{};
+  const std::size_t end = std::min({search_end, re.size() - n + 1});
+  if (search_begin >= end) return ComplexCorrelationPeak{};
+  CBMA_ASSERT(fold_re.size() == re.size() - samples_per_chip + 1 &&
+              fold_im.size() == fold_re.size());
+
+  // Sample-level template norms from the chip template: each chip value
+  // repeats samples_per_chip times.
+  double t_chip_norm2 = 0.0;
+  double t_chip_sum = 0.0;
+  for (const double v : chip_tmpl) {
+    t_chip_norm2 += v * v;
+    t_chip_sum += v;
+  }
+  const double spc = static_cast<double>(samples_per_chip);
+  const double t_norm2 = spc * t_chip_norm2;
+  const double t_sum = spc * t_chip_sum;
+  const double inv_n = 1.0 / static_cast<double>(n);
+
+  // Running window sums shared across lags (identical to the unfolded
+  // sliding peak); only the dot product runs on the folded layout.
+  double s_sum_re = 0.0;
+  double s_sum_im = 0.0;
+  double s_sumsq = 0.0;
+  for (std::size_t i = search_begin; i < search_begin + n; ++i) {
+    s_sum_re += re[i];
+    s_sum_im += im[i];
+    s_sumsq += re[i] * re[i] + im[i] * im[i];
+  }
+
+  for (std::size_t off = search_begin; off < end; ++off) {
+    double dot_re = 0.0;
+    double dot_im = 0.0;
+    const double* fr = fold_re.data() + off;
+    const double* fi = fold_im.data() + off;
+    for (std::size_t c = 0; c < n_chips; ++c) {
+      const std::size_t x = c * samples_per_chip;
+      dot_re += fr[x] * chip_tmpl[c];
+      dot_im += fi[x] * chip_tmpl[c];
+    }
+    const double mean_re = s_sum_re * inv_n;
+    const double mean_im = s_sum_im * inv_n;
+    const double dc_re = dot_re - mean_re * t_sum;
+    const double dc_im = dot_im - mean_im * t_sum;
+    const double s_norm2 =
+        s_sumsq - (s_sum_re * s_sum_re + s_sum_im * s_sum_im) * inv_n;
+    const double denom2 = s_norm2 * t_norm2;
+    const double v =
+        denom2 > 0.0 ? std::sqrt((dc_re * dc_re + dc_im * dc_im) / denom2) : 0.0;
+    if (v > best.value) {
+      best.value = v;
+      best.offset = off;
+    }
+    if (off + n < re.size()) {
+      s_sum_re += re[off + n] - re[off];
+      s_sum_im += im[off + n] - im[off];
+      s_sumsq += re[off + n] * re[off + n] + im[off + n] * im[off + n] -
+                 re[off] * re[off] - im[off] * im[off];
+    }
+  }
+  if (best.value < 0.0) return ComplexCorrelationPeak{};
+  const auto peak_corr = complex_correlate_folded_at(fold_re, fold_im, chip_tmpl,
+                                                     samples_per_chip, best.offset);
+  best.phase = std::atan2(peak_corr.imag(), peak_corr.real());
+  return best;
+}
+
 CorrelationPeak sliding_peak(std::span<const double> signal,
                              std::span<const double> tmpl,
                              std::size_t search_begin, std::size_t search_end) {

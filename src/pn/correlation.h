@@ -84,4 +84,67 @@ ComplexCorrelationPeak sliding_complex_peak(
     std::span<const std::complex<double>> signal, std::span<const double> tmpl,
     std::size_t search_begin, std::size_t search_end);
 
+// --- split real/imag kernels (hot receiver path) ---
+//
+// The receiver deinterleaves a window once into separate I and Q arrays and
+// runs every correlation on the split layout: each inner loop then streams
+// one contiguous double array per component instead of strided
+// std::complex pairs, which is what lets the compiler keep the
+// multiply-accumulate chains in vector registers.
+
+/// Deinterleave a complex window into separate re/im arrays (resized).
+void split_iq(std::span<const std::complex<double>> iq, std::vector<double>& re,
+              std::vector<double>& im);
+
+/// complex_correlate_at on a split window.
+std::complex<double> complex_correlate_at(std::span<const double> re,
+                                          std::span<const double> im,
+                                          std::span<const double> tmpl,
+                                          std::size_t offset);
+
+/// sliding_complex_peak on a split window.
+ComplexCorrelationPeak sliding_complex_peak(std::span<const double> re,
+                                            std::span<const double> im,
+                                            std::span<const double> tmpl,
+                                            std::size_t search_begin,
+                                            std::size_t search_end);
+
+// --- chip-folded kernels ---
+//
+// Every detection template is an upsampled chip sequence: `samples_per_chip`
+// consecutive template samples share one value. A sliding dot product
+// therefore factors through per-chip partial sums of the window,
+//   dot(off) = Σ_c tmpl_chip[c] · fold[off + c·spc],
+// where fold[x] = Σ_{j<spc} window[x+j]. Folding once per window (or per
+// SIC residual update) cuts each lag's work by spc×, which dominates the
+// user-detection search where many lags and many codes share one window.
+
+/// Per-chip partial sums of `x`: out[i] = x[i] + … + x[i+spc−1], resized to
+/// x.size() − spc + 1 (empty if x is shorter than one chip).
+void fold_chip_sums(std::span<const double> x, std::size_t samples_per_chip,
+                    std::vector<double>& out);
+
+/// Recompute fold entries [begin, end) after `x` changed in place (the SIC
+/// residual update). Bounds are clamped to the fold's size.
+void refold_chip_sums(std::span<const double> x, std::size_t samples_per_chip,
+                      std::size_t begin, std::size_t end, std::vector<double>& out);
+
+/// complex_correlate_at against a chip-level template using pre-folded
+/// per-chip window sums. Equals the sample-level dot up to FP rounding.
+std::complex<double> complex_correlate_folded_at(std::span<const double> fold_re,
+                                                 std::span<const double> fold_im,
+                                                 std::span<const double> chip_tmpl,
+                                                 std::size_t samples_per_chip,
+                                                 std::size_t offset);
+
+/// sliding_complex_peak driven by the folded dot product. `re`/`im` are the
+/// raw split window (for the normalization terms); `fold_re`/`fold_im` must
+/// be fold_chip_sums of them; `chip_tmpl` is the chip-level (not upsampled)
+/// mean-removed template.
+ComplexCorrelationPeak sliding_complex_peak_folded(
+    std::span<const double> re, std::span<const double> im,
+    std::span<const double> fold_re, std::span<const double> fold_im,
+    std::span<const double> chip_tmpl, std::size_t samples_per_chip,
+    std::size_t search_begin, std::size_t search_end);
+
 }  // namespace cbma::pn

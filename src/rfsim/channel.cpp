@@ -20,7 +20,7 @@ double Channel::sample_rate_hz() const {
 }
 
 void Channel::add_tag_path(std::vector<std::complex<double>>& iq,
-                           const TagTransmission& tag, double amplitude_scale,
+                           std::span<const double> waveform, double amplitude_scale,
                            double phase, double delay_chips, double freq_offset_hz,
                            std::span<const double> envelope) const {
   const auto spc = static_cast<double>(config_.samples_per_chip);
@@ -30,30 +30,65 @@ void Channel::add_tag_path(std::vector<std::complex<double>>& iq,
   // Per-sample oscillator rotation for the tag's residual frequency offset.
   const double dphi = 2.0 * units::kPi * freq_offset_hz / sample_rate_hz();
   const std::complex<double> rotator(std::cos(dphi), std::sin(dphi));
-  const std::size_t n_chip_samples = tag.chips.size() * config_.samples_per_chip;
+  const std::size_t n = waveform.size();
 
-  // chip value at integer sample index of the tag's own timeline
-  const auto chip_at = [&](std::ptrdiff_t s) -> double {
-    if (s < 0 || static_cast<std::size_t>(s) >= n_chip_samples) return 0.0;
-    return tag.chips[static_cast<std::size_t>(s) / config_.samples_per_chip] ? 1.0 : 0.0;
-  };
+  // The fractional part of the delay is constant over the burst, so the
+  // linear interpolation collapses to a fixed two-tap filter over the
+  // pre-expanded per-sample waveform: sample s blends expansion samples
+  // (s-first-1, s-first) with constant weights. No per-sample division,
+  // floor or branch on the chip index.
+  const auto first = static_cast<std::size_t>(std::floor(delay_samples));
+  const double frac0 = delay_samples - static_cast<double>(first);
+  const std::size_t last = std::min(iq.size(), first + n + 2);
 
-  const auto first = static_cast<std::size_t>(std::max(0.0, std::floor(delay_samples)));
-  const std::size_t last =
-      std::min(iq.size(), first + n_chip_samples + 2);  // +2 covers interpolation spill
-  for (std::size_t s = first; s < last; ++s) {
-    const double p = static_cast<double>(s) - delay_samples;
-    const auto i0 = static_cast<std::ptrdiff_t>(std::floor(p));
-    const double frac = p - static_cast<double>(i0);
-    const double v = chip_at(i0) * (1.0 - frac) + chip_at(i0 + 1) * frac;
-    if (v != 0.0) iq[s] += gain * (v * envelope[s]);
-    gain *= rotator;
+  // The naive oscillator update gain *= rotator is a serial dependency at
+  // FP-multiply latency for every sample of the burst. Factor the rotation
+  // as rotator^(B·blk + j) = rot_block^blk · rot_table[j]: the per-sample
+  // multiplications become independent (pipelined), only one multiply per
+  // block stays serial, and absorbed ('0') chips skip the rotation math
+  // entirely.
+  constexpr std::size_t kBlock = 64;
+  std::complex<double> rot_table[kBlock];
+  std::complex<double> r{1.0, 0.0};
+  for (auto& entry : rot_table) {
+    entry = r;
+    r *= rotator;
+  }
+  const std::complex<double> rot_block = r;  // rotator^kBlock
+  std::complex<double> gain_block = gain;    // oscillator state at block start
+
+  if (frac0 == 0.0) {
+    for (std::size_t s = first, j = 0; s < last; ++s, ++j) {
+      if (j == kBlock) {
+        gain_block *= rot_block;
+        j = 0;
+      }
+      const std::size_t k = s - first;
+      const double v = k < n ? waveform[k] : 0.0;
+      if (v != 0.0) iq[s] += (gain_block * rot_table[j]) * (v * envelope[s]);
+    }
+  } else {
+    const double w_prev = frac0;
+    const double w_cur = 1.0 - frac0;
+    for (std::size_t s = first, j = 0; s < last; ++s, ++j) {
+      if (j == kBlock) {
+        gain_block *= rot_block;
+        j = 0;
+      }
+      const std::size_t k = s - first;
+      const double prev = (k >= 1 && k - 1 < n) ? waveform[k - 1] : 0.0;
+      const double cur = k < n ? waveform[k] : 0.0;
+      const double v = prev * w_prev + cur * w_cur;
+      if (v != 0.0) iq[s] += (gain_block * rot_table[j]) * (v * envelope[s]);
+    }
   }
 }
 
-std::vector<std::complex<double>> Channel::receive(
-    std::span<const TagTransmission> tags, const ExcitationSource& excitation,
-    std::span<const Interferer* const> interferers, Rng& rng) const {
+void Channel::receive_into(std::span<const TagTransmission> tags,
+                           const ExcitationSource& excitation,
+                           std::span<const Interferer* const> interferers, Rng& rng,
+                           ChannelScratch& scratch,
+                           std::vector<std::complex<double>>& iq) const {
   // Window length: the latest-ending tag burst plus the tail pad.
   double latest_end_chips = 0.0;
   for (const auto& t : tags) {
@@ -64,16 +99,24 @@ std::vector<std::complex<double>> Channel::receive(
   const auto n_samples = static_cast<std::size_t>(
       std::ceil((latest_end_chips + config_.tail_pad_chips) *
                 static_cast<double>(config_.samples_per_chip)));
-  std::vector<std::complex<double>> iq(n_samples, {0.0, 0.0});
-  if (n_samples == 0) return iq;
+  iq.assign(n_samples, {0.0, 0.0});
+  if (n_samples == 0) return;
 
-  std::vector<double> envelope(n_samples, 1.0);
-  excitation.envelope(envelope, sample_rate_hz(), rng);
+  scratch.envelope.assign(n_samples, 1.0);
+  excitation.envelope(scratch.envelope, sample_rate_hz(), rng);
 
   for (const auto& tag : tags) {
-    // Line-of-sight path.
-    add_tag_path(iq, tag, tag.amplitude, tag.phase, tag.delay_chips,
-                 tag.freq_offset_hz, envelope);
+    // Expand the chip sequence to per-sample 0/1 values once per tag; the
+    // line-of-sight path and every multipath echo reuse the expansion.
+    scratch.waveform.resize(tag.chips.size() * config_.samples_per_chip);
+    double* w = scratch.waveform.data();
+    for (const auto c : tag.chips) {
+      const double v = c ? 1.0 : 0.0;
+      for (std::size_t s = 0; s < config_.samples_per_chip; ++s) *w++ = v;
+    }
+
+    add_tag_path(iq, scratch.waveform, tag.amplitude, tag.phase, tag.delay_chips,
+                 tag.freq_offset_hz, scratch.envelope);
     if (config_.multipath.enabled) {
       const double mean_echo_amp =
           units::amplitude_from_db(config_.multipath.relative_power_db);
@@ -81,8 +124,8 @@ std::vector<std::complex<double>> Channel::receive(
         // Rayleigh echo amplitude with the configured mean power.
         const double a = std::abs(rng.gaussian(0.0, mean_echo_amp)) * tag.amplitude;
         const double extra = rng.uniform(0.0, config_.multipath.max_excess_delay_chips);
-        add_tag_path(iq, tag, a, rng.phase(), tag.delay_chips + extra,
-                     tag.freq_offset_hz, envelope);
+        add_tag_path(iq, scratch.waveform, a, rng.phase(), tag.delay_chips + extra,
+                     tag.freq_offset_hz, scratch.envelope);
       }
     }
   }
@@ -93,6 +136,14 @@ std::vector<std::complex<double>> Channel::receive(
   }
 
   AwgnSource(config_.noise_power_w).add_to(iq, rng);
+}
+
+std::vector<std::complex<double>> Channel::receive(
+    std::span<const TagTransmission> tags, const ExcitationSource& excitation,
+    std::span<const Interferer* const> interferers, Rng& rng) const {
+  ChannelScratch scratch;
+  std::vector<std::complex<double>> iq;
+  receive_into(tags, excitation, interferers, rng, scratch, iq);
   return iq;
 }
 

@@ -52,6 +52,13 @@ struct ChannelConfig {
   MultipathConfig multipath;
 };
 
+/// Reusable synthesis buffers: sized once for a group's window length and
+/// reused across packets so the per-packet path performs no allocation.
+struct ChannelScratch {
+  std::vector<double> envelope;  ///< excitation amplitude envelope
+  std::vector<double> waveform;  ///< current tag's per-sample 0/1 expansion
+};
+
 class Channel {
  public:
   explicit Channel(ChannelConfig config);
@@ -70,14 +77,24 @@ class Channel {
   std::vector<std::complex<double>> receive(std::span<const TagTransmission> tags,
                                             Rng& rng) const;
 
+  /// receive() into caller-owned buffers: `iq` and the scratch vectors are
+  /// resized (capacity reused), so a sweep synthesizes thousands of windows
+  /// with zero steady-state allocation.
+  void receive_into(std::span<const TagTransmission> tags,
+                    const ExcitationSource& excitation,
+                    std::span<const Interferer* const> interferers, Rng& rng,
+                    ChannelScratch& scratch,
+                    std::vector<std::complex<double>>& iq) const;
+
   /// Magnitude envelope P(t) = √(I² + Q²) — the quantity the paper's
   /// receiver operates on (§V-B).
   static std::vector<double> magnitude(std::span<const std::complex<double>> iq);
 
  private:
-  void add_tag_path(std::vector<std::complex<double>>& iq, const TagTransmission& tag,
-                    double amplitude_scale, double phase, double delay_chips,
-                    double freq_offset_hz, std::span<const double> envelope) const;
+  void add_tag_path(std::vector<std::complex<double>>& iq,
+                    std::span<const double> waveform, double amplitude_scale,
+                    double phase, double delay_chips, double freq_offset_hz,
+                    std::span<const double> envelope) const;
 
   ChannelConfig config_;
 };

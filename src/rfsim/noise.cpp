@@ -17,7 +17,14 @@ std::complex<double> AwgnSource::sample(Rng& rng) const {
 
 void AwgnSource::add_to(std::vector<std::complex<double>>& iq, Rng& rng) const {
   if (power_ <= 0.0) return;
-  for (auto& s : iq) s += sample(rng);
+  // The noise fill touches every sample of every synthesized window; use
+  // the paired polar draw so each sample costs one engine word per
+  // dimension and the log/sqrt is shared by I and Q.
+  double a, b;
+  for (auto& s : iq) {
+    rng.gaussian_pair(a, b);
+    s += std::complex<double>(a * per_dim_sigma_, b * per_dim_sigma_);
+  }
 }
 
 }  // namespace cbma::rfsim

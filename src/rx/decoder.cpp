@@ -41,6 +41,13 @@ double Decoder::decode_bit_soft(std::span<const std::complex<double>> iq,
 
 DecodedFrame Decoder::decode(std::span<const std::complex<double>> iq,
                              std::size_t preamble_offset, double phase0) const {
+  std::vector<double> re, im;
+  pn::split_iq(iq, re, im);
+  return decode(re, im, preamble_offset, phase0);
+}
+
+DecodedFrame Decoder::decode(std::span<const double> re, std::span<const double> im,
+                             std::size_t preamble_offset, double phase0) const {
   DecodedFrame out;
   const std::size_t body_start = preamble_offset + preamble_bits_ * samples_per_bit_;
   double phase = phase0;
@@ -48,8 +55,8 @@ DecodedFrame Decoder::decode(std::span<const std::complex<double>> iq,
   const auto decode_bits = [&](std::size_t first_bit, std::size_t count) {
     for (std::size_t b = first_bit; b < first_bit + count; ++b) {
       const std::size_t off = body_start + b * samples_per_bit_;
-      if (off + samples_per_bit_ > iq.size()) return false;
-      const auto corr = pn::complex_correlate_at(iq, bit_template_, off);
+      if (off + samples_per_bit_ > re.size()) return false;
+      const auto corr = pn::complex_correlate_at(re, im, bit_template_, off);
       const double soft = corr.real() * std::cos(phase) + corr.imag() * std::sin(phase);
       out.soft.push_back(soft);
       const bool bit = soft > 0.0;
@@ -69,6 +76,8 @@ DecodedFrame Decoder::decode(std::span<const std::complex<double>> iq,
   std::size_t length = 0;
   for (std::size_t i = 0; i < 8; ++i) length = (length << 1) | out.bits[i];
   if (length > phy::kMaxPayloadBytes) return out;
+  out.bits.reserve(8 + 8 * (length + 3));
+  out.soft.reserve(8 + 8 * (length + 3));
   if (!decode_bits(8, 8 * (length + 3))) return out;
 
   out.frame = phy::parse_frame_body(out.bits);

@@ -50,6 +50,12 @@ class Decoder {
   DecodedFrame decode(std::span<const std::complex<double>> iq,
                       std::size_t preamble_offset, double phase0) const;
 
+  /// decode() on a window already deinterleaved into split re/im arrays —
+  /// the receiver's hot path (it splits the window once and every
+  /// per-code correlation streams contiguous doubles).
+  DecodedFrame decode(std::span<const double> re, std::span<const double> im,
+                      std::size_t preamble_offset, double phase0) const;
+
   std::size_t samples_per_bit() const { return samples_per_bit_; }
 
   double phase_gain() const { return phase_gain_; }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "pn/correlation.h"
 #include "util/expect.h"
 
 namespace cbma::rx {
@@ -36,13 +37,28 @@ const pn::PnCode& Receiver::code(std::size_t i) const {
 }
 
 RxReport Receiver::process_iq(std::span<const std::complex<double>> iq) const {
+  RxScratch scratch;
+  return process_iq(iq, scratch);
+}
+
+RxReport Receiver::process_iq(std::span<const std::complex<double>> iq,
+                              RxScratch& scratch) const {
   RxReport report;
   report.results.resize(codes_.size());
   for (std::size_t i = 0; i < codes_.size(); ++i) report.results[i].tag_index = i;
 
+  // Deinterleave the window once; every downstream stage (magnitude,
+  // detection, cancellation, decoding) works on the split arrays.
+  pn::split_iq(iq, scratch.re, scratch.im);
+  const std::span<const double> re = scratch.re;
+  const std::span<const double> im = scratch.im;
+
   // Frame synchronization operates on the energy envelope (§III-B).
-  std::vector<double> magnitude(iq.size());
-  for (std::size_t i = 0; i < iq.size(); ++i) magnitude[i] = std::abs(iq[i]);
+  scratch.magnitude.resize(iq.size());
+  std::span<double> magnitude = scratch.magnitude;
+  for (std::size_t i = 0; i < iq.size(); ++i) {
+    magnitude[i] = std::sqrt(re[i] * re[i] + im[i] * im[i]);
+  }
 
   // A noise spike can fire the energy comparator ahead of the true frame
   // and a partially-overlapping search window then locks onto a sidelobe;
@@ -56,7 +72,7 @@ RxReport Receiver::process_iq(std::span<const std::complex<double>> iq) const {
     if (!trigger) break;
     if (!report.frame_start) report.frame_start = trigger;
 
-    const auto detections = detector_.detect(iq, *trigger);
+    const auto detections = detector_.detect(re, im, *trigger, scratch.detect);
     RxReport candidate;
     candidate.frame_start = trigger;
     candidate.results.resize(codes_.size());
@@ -69,7 +85,7 @@ RxReport Receiver::process_iq(std::span<const std::complex<double>> iq) const {
       r.offset_samples = d.offset_samples;
 
       const auto decoded =
-          decoders_[d.tag_index].decode(iq, d.offset_samples, d.phase);
+          decoders_[d.tag_index].decode(re, im, d.offset_samples, d.phase);
       // The frame's identity must match the code that decoded it: a wrong
       // code at a lucky lag reproduces another tag's bits sign-consistently
       // (CRC included), so the in-frame tag id is the discriminator.

@@ -51,6 +51,16 @@ struct RxReport {
   std::size_t decoded_count() const { return ack.decoded_tags.size(); }
 };
 
+/// Reusable window-length buffers for the receiver pipeline: the split
+/// re/im copies of the window, the magnitude envelope and the detector's
+/// cancellation residual. Sized once and reused across packets.
+struct RxScratch {
+  std::vector<double> re;
+  std::vector<double> im;
+  std::vector<double> magnitude;
+  UserDetector::Scratch detect;
+};
+
 class Receiver {
  public:
   Receiver(ReceiverConfig config, std::vector<pn::PnCode> group_codes);
@@ -63,6 +73,12 @@ class Receiver {
   /// magnitude envelope P(t) = √(I²+Q²) (the paper's §V-B quantity);
   /// detection and decoding are coherent.
   RxReport process_iq(std::span<const std::complex<double>> iq) const;
+
+  /// Same pipeline with caller-owned scratch buffers — the zero-allocation
+  /// path a batched sweep drives. The window is deinterleaved once into
+  /// split re/im arrays; every downstream correlation streams them.
+  RxReport process_iq(std::span<const std::complex<double>> iq,
+                      RxScratch& scratch) const;
 
  private:
   ReceiverConfig config_;

@@ -44,8 +44,14 @@ UserDetector::UserDetector(UserDetectConfig config, std::span<const pn::PnCode> 
   CBMA_REQUIRE(config_.group_window_chips >= 0.0,
                "group window must be non-negative");
   templates_.reserve(codes.size());
+  chip_templates_.reserve(codes.size());
+  tmpl_norm2_.reserve(codes.size());
   for (const auto& code : codes) {
     templates_.push_back(preamble_template(code, preamble_bits, samples_per_chip));
+    chip_templates_.push_back(preamble_template(code, preamble_bits, 1));
+    double e = 0.0;
+    for (const double v : templates_.back()) e += v * v;
+    tmpl_norm2_.push_back(e);
   }
 }
 
@@ -63,17 +69,25 @@ DetectedUser UserDetector::probe(std::span<const std::complex<double>> iq,
 
 std::vector<DetectedUser> UserDetector::detect(std::span<const std::complex<double>> iq,
                                                std::size_t coarse_start) const {
-  // Successive detection with interference cancellation on a residual copy.
-  std::vector<std::complex<double>> residual(iq.begin(), iq.end());
-  std::vector<bool> taken(templates_.size(), false);
+  std::vector<double> re, im;
+  pn::split_iq(iq, re, im);
+  Scratch scratch;
+  return detect(re, im, coarse_start, scratch);
+}
 
-  // Precomputed template energies for the gain estimates.
-  std::vector<double> tmpl_norm2(templates_.size());
-  for (std::size_t i = 0; i < templates_.size(); ++i) {
-    double e = 0.0;
-    for (const double v : templates_[i]) e += v * v;
-    tmpl_norm2[i] = e;
-  }
+std::vector<DetectedUser> UserDetector::detect(std::span<const double> re,
+                                               std::span<const double> im,
+                                               std::size_t coarse_start,
+                                               Scratch& scratch) const {
+  CBMA_REQUIRE(re.size() == im.size(), "split window components disagree");
+  // Successive detection with interference cancellation on a residual copy.
+  scratch.residual_re.assign(re.begin(), re.end());
+  scratch.residual_im.assign(im.begin(), im.end());
+  pn::fold_chip_sums(scratch.residual_re, samples_per_chip_, scratch.fold_re);
+  pn::fold_chip_sums(scratch.residual_im, samples_per_chip_, scratch.fold_im);
+  std::span<const double> res_re = scratch.residual_re;
+  std::span<const double> res_im = scratch.residual_im;
+  std::vector<bool> taken(templates_.size(), false);
 
   const auto spc = static_cast<double>(samples_per_chip_);
   const auto group_span =
@@ -99,7 +113,9 @@ std::vector<DetectedUser> UserDetector::detect(std::span<const std::complex<doub
     DetectedUser best;
     for (std::size_t i = 0; i < templates_.size(); ++i) {
       if (taken[i]) continue;
-      const auto peak = pn::sliding_complex_peak(residual, templates_[i], begin, end);
+      const auto peak = pn::sliding_complex_peak_folded(
+          res_re, res_im, scratch.fold_re, scratch.fold_im, chip_templates_[i],
+          samples_per_chip_, begin, end);
       if (peak.value > best.correlation) {
         best = DetectedUser{i, peak.offset, peak.value, peak.phase};
       }
@@ -117,13 +133,28 @@ std::vector<DetectedUser> UserDetector::detect(std::span<const std::complex<doub
     // Cancel the detected user's preamble contribution: the complex gain is
     // the least-squares fit of the template at the detected offset.
     const auto& tmpl = templates_[best.tag_index];
-    const auto corr = pn::complex_correlate_at(residual, tmpl, best.offset_samples);
-    const std::complex<double> gain = corr / tmpl_norm2[best.tag_index];
+    const auto corr = pn::complex_correlate_folded_at(
+        scratch.fold_re, scratch.fold_im, chip_templates_[best.tag_index],
+        samples_per_chip_, best.offset_samples);
+    const double gain_re = corr.real() / tmpl_norm2_[best.tag_index];
+    const double gain_im = corr.imag() / tmpl_norm2_[best.tag_index];
+    std::size_t cancel_end = best.offset_samples;
     for (std::size_t k = 0; k < tmpl.size(); ++k) {
       const std::size_t s = best.offset_samples + k;
-      if (s >= residual.size()) break;
-      residual[s] -= gain * tmpl[k];
+      if (s >= scratch.residual_re.size()) break;
+      scratch.residual_re[s] -= gain_re * tmpl[k];
+      scratch.residual_im[s] -= gain_im * tmpl[k];
+      cancel_end = s + 1;
     }
+    // The residual changed over [offset, cancel_end): refresh the folded
+    // sums whose chip window overlaps that span.
+    const std::size_t refold_begin = best.offset_samples >= samples_per_chip_ - 1
+                                         ? best.offset_samples - (samples_per_chip_ - 1)
+                                         : 0;
+    pn::refold_chip_sums(scratch.residual_re, samples_per_chip_, refold_begin,
+                         cancel_end, scratch.fold_re);
+    pn::refold_chip_sums(scratch.residual_im, samples_per_chip_, refold_begin,
+                         cancel_end, scratch.fold_im);
   }
   return out;
 }

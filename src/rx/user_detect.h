@@ -59,6 +59,16 @@ struct DetectedUser {
 
 class UserDetector {
  public:
+  /// Reusable successive-cancellation buffers (the residual copy of the
+  /// window and its per-chip folded sums); sized once per window length and
+  /// reused across packets.
+  struct Scratch {
+    std::vector<double> residual_re;
+    std::vector<double> residual_im;
+    std::vector<double> fold_re;  ///< pn::fold_chip_sums of residual_re
+    std::vector<double> fold_im;  ///< pn::fold_chip_sums of residual_im
+  };
+
   /// `codes`: the group's PN codes (receiver knows all of them);
   /// `preamble_bits` and `samples_per_chip` must match the tags' config.
   UserDetector(UserDetectConfig config, std::span<const pn::PnCode> codes,
@@ -72,6 +82,12 @@ class UserDetector {
   std::vector<DetectedUser> detect(std::span<const std::complex<double>> iq,
                                    std::size_t coarse_start) const;
 
+  /// detect() on a window already deinterleaved into split re/im arrays,
+  /// with caller-owned cancellation buffers — the zero-allocation hot path.
+  std::vector<DetectedUser> detect(std::span<const double> re,
+                                   std::span<const double> im,
+                                   std::size_t coarse_start, Scratch& scratch) const;
+
   /// Peak correlation (offset + phase) for one specific code, with no
   /// thresholding — used by tests and calibration.
   DetectedUser probe(std::span<const std::complex<double>> iq,
@@ -81,6 +97,11 @@ class UserDetector {
   UserDetectConfig config_;
   std::size_t samples_per_chip_;
   std::vector<std::vector<double>> templates_;  ///< per-bit mean-removed preambles
+  /// Chip-level (not upsampled) counterparts of templates_ — the sliding
+  /// search runs on these against per-chip folded window sums, cutting each
+  /// lag's dot product by samples_per_chip×.
+  std::vector<std::vector<double>> chip_templates_;
+  std::vector<double> tmpl_norm2_;              ///< template energies (gain fits)
 };
 
 }  // namespace cbma::rx

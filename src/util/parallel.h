@@ -1,0 +1,49 @@
+// Deterministic sweep machinery shared by benches, examples and tests:
+// a work-stealing parallel_for over hardware threads plus the per-point
+// seed mixer that keeps Monte-Carlo results independent of how the sweep
+// is parallelized. Promoted from bench/common.h so every consumer of the
+// library can run paper-scale sweeps the same way.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace cbma::util {
+
+/// Deterministic per-point seed: mixing the base seed with the point index
+/// (splitmix64 finalizer) keeps results independent of sweep parallelism.
+inline std::uint64_t point_seed(std::uint64_t base_seed, std::size_t point_index) {
+  std::uint64_t x = base_seed + 0x9E3779B97F4A7C15ull * (point_index + 1);
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  return x;
+}
+
+/// Run f(0..n-1) across hardware threads; f must only touch its own slot.
+inline void parallel_for(std::size_t n, const std::function<void(std::size_t)>& f) {
+  const std::size_t workers =
+      std::min<std::size_t>(std::max(1u, std::thread::hardware_concurrency()), n);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) f(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      while (true) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= n) return;
+        f(i);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+}
+
+}  // namespace cbma::util

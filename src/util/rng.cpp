@@ -1,6 +1,7 @@
 #include "util/rng.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/expect.h"
 #include "util/units.h"
@@ -23,6 +24,20 @@ double Rng::gaussian(double mean, double stddev) {
   CBMA_REQUIRE(stddev >= 0.0, "negative stddev");
   std::normal_distribution<double> d(mean, stddev);
   return d(engine_);
+}
+
+void Rng::gaussian_pair(double& a, double& b) {
+  double u, v, s;
+  do {
+    // 53-bit mantissa directly from the engine word: [0,1) without the
+    // generate_canonical machinery.
+    u = 2.0 * (static_cast<double>(engine_() >> 11) * 0x1.0p-53) - 1.0;
+    v = 2.0 * (static_cast<double>(engine_() >> 11) * 0x1.0p-53) - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double m = std::sqrt(-2.0 * std::log(s) / s);
+  a = u * m;
+  b = v * m;
 }
 
 bool Rng::bernoulli(double p) {

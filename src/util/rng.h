@@ -29,6 +29,12 @@ class Rng {
   /// Standard normal draw scaled by `stddev` around `mean`.
   double gaussian(double mean = 0.0, double stddev = 1.0);
 
+  /// Two independent standard-normal draws via the Marsaglia polar method
+  /// on raw engine words. Same distribution as gaussian(), half the engine
+  /// draws and one log/sqrt per pair — the AWGN fill uses this on every
+  /// sample of every synthesized window.
+  void gaussian_pair(double& a, double& b);
+
   /// Bernoulli trial with success probability p.
   bool bernoulli(double p);
 

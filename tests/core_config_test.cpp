@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <string_view>
+#include <vector>
+
 #include "util/units.h"
 
 namespace cbma::core {
@@ -76,6 +80,71 @@ TEST(SystemConfig, InvalidMaxTagsThrows) {
   SystemConfig cfg;
   cfg.max_tags = 0;
   EXPECT_THROW(cfg.code_length(), std::invalid_argument);
+}
+
+bool mentions(const std::vector<std::string>& errors, std::string_view needle) {
+  for (const auto& e : errors) {
+    if (e.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+TEST(SystemConfigValidate, DefaultsAreValid) {
+  const SystemConfig cfg;
+  EXPECT_TRUE(cfg.validate().empty());
+}
+
+TEST(SystemConfigValidate, ReportsEveryProblemAtOnce) {
+  SystemConfig cfg;
+  cfg.max_tags = 0;
+  cfg.samples_per_chip = 0;
+  cfg.alpha = 1.5;
+  cfg.phase_tracking_gain = 2.0;
+  const auto errors = cfg.validate();
+  EXPECT_EQ(errors.size(), 4u);
+  EXPECT_TRUE(mentions(errors, "max_tags"));
+  EXPECT_TRUE(mentions(errors, "samples_per_chip"));
+  EXPECT_TRUE(mentions(errors, "alpha"));
+  EXPECT_TRUE(mentions(errors, "phase_tracking_gain"));
+}
+
+TEST(SystemConfigValidate, GoldCapacityIsDescriptive) {
+  SystemConfig cfg;
+  cfg.code_family = pn::CodeFamily::kGold;
+  cfg.max_tags = 2000;  // beyond degree 10's 1025 codes
+  const auto errors = cfg.validate();
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors[0].find("max_tags=2000"), std::string::npos);
+  EXPECT_NE(errors[0].find("1025 codes"), std::string::npos);
+}
+
+TEST(SystemConfigValidate, PayloadLimitNamesTheBound) {
+  SystemConfig cfg;
+  cfg.payload_bytes = 500;
+  const auto errors = cfg.validate();
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors[0].find("payload_bytes=500"), std::string::npos);
+}
+
+TEST(SystemConfigValidate, ImpedanceLevelBankChecked) {
+  SystemConfig cfg;
+  cfg.impedance_levels = 4;
+  cfg.initial_impedance_level = 7;
+  EXPECT_TRUE(mentions(cfg.validate(), "initial_impedance_level=7"));
+  cfg.initial_impedance_level = SystemConfig::kStrongestImpedance;
+  EXPECT_TRUE(cfg.validate().empty());
+}
+
+TEST(SystemConfigValidate, ReceiverThresholdsChecked) {
+  SystemConfig cfg;
+  cfg.detect.threshold = 1.0;  // must be strictly below 1
+  cfg.detect.relative_threshold = -0.1;
+  cfg.sync.min_baseline = 0.0;
+  const auto errors = cfg.validate();
+  EXPECT_EQ(errors.size(), 3u);
+  EXPECT_TRUE(mentions(errors, "detect.threshold"));
+  EXPECT_TRUE(mentions(errors, "detect.relative_threshold"));
+  EXPECT_TRUE(mentions(errors, "sync.min_baseline"));
 }
 
 }  // namespace

@@ -29,6 +29,21 @@ TEST(CbmaSystem, RejectsBadConstruction) {
   EXPECT_THROW(CbmaSystem(cfg, close_pair()), std::invalid_argument);
 }
 
+TEST(CbmaSystem, ConstructionErrorListsEveryProblem) {
+  SystemConfig cfg = fast_config();
+  cfg.samples_per_chip = 0;
+  cfg.phase_tracking_gain = -1.0;
+  try {
+    CbmaSystem sys(cfg, close_pair());
+    FAIL() << "construction should have thrown";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("invalid SystemConfig"), std::string::npos);
+    EXPECT_NE(what.find("samples_per_chip"), std::string::npos);
+    EXPECT_NE(what.find("phase_tracking_gain"), std::string::npos);
+  }
+}
+
 TEST(CbmaSystem, DefaultGroupIsWholePopulationUpToCap) {
   const CbmaSystem sys(fast_config(4), close_pair());
   EXPECT_EQ(sys.group_size(), 2u);

@@ -122,7 +122,7 @@ TEST(ArqEndToEnd, RetransmissionLiftsDelivery) {
   // Intermittent OFDM excitation makes single-shot delivery lossy in a
   // geometry-independent way (frames landing in a gap are lost).
   sys.set_excitation(std::make_unique<rfsim::OfdmExcitation>(400e-6, 250e-6));
-  Rng rng(5);
+  Rng rng(2);
 
   ArqConfig arq_cfg;
   arq_cfg.max_attempts = 4;

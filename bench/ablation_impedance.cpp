@@ -16,27 +16,32 @@ using namespace cbma;
 int main() {
   core::SystemConfig base;
   base.max_tags = 5;
-  bench::print_header("Ablation — impedance level granularity (Z_max)",
-                      "5-tag random groups; Algorithm 1 with 2..8 level banks",
-                      base);
 
-  const std::size_t level_counts[] = {2, 3, 4, 6, 8};
+  const std::vector<double> level_counts{2, 3, 4, 6, 8};
   const std::size_t groups = bench::trials(40);
   const std::size_t packets = 60;
 
-  std::vector<double> fer(std::size(level_counts) * groups);
-  std::vector<double> rounds_used(std::size(level_counts) * groups);
+  std::vector<double> group_axis(groups);
+  for (std::size_t g = 0; g < groups; ++g) group_axis[g] = static_cast<double>(g);
 
-  bench::parallel_for(std::size(level_counts) * groups, [&](std::size_t idx) {
-    const std::size_t li = idx / groups;
-    const std::size_t g = idx % groups;
+  const auto spec = bench::spec(
+      "ablation_impedance", "Ablation — impedance level granularity (Z_max)",
+      "5-tag random groups; Algorithm 1 with 2..8 level banks",
+      {core::Axis::numeric("levels", level_counts),
+       core::Axis::numeric("group", group_axis)},
+      groups);
+  core::RunRecorder recorder(spec, base);
+  recorder.print_header();
+
+  core::SweepRunner(spec).run([&](const core::SweepPoint& point) {
+    const std::size_t g = point.index(1);
     Rng rng(bench::point_seed(g + 1));  // same deployments across banks
 
     auto dep = rfsim::Deployment::paper_frame();
     dep.place_random_tags(5, rfsim::Room{2.0, 2.0}, rng, 0.10, 0.25);
 
     core::SystemConfig cfg = base;
-    cfg.impedance_levels = level_counts[li];
+    cfg.impedance_levels = static_cast<std::size_t>(point.value(0));
     core::CbmaSystem sys(cfg, dep);
     // Uncontrolled start: arbitrary levels.
     for (std::size_t i = 0; i < 5; ++i) {
@@ -45,31 +50,37 @@ int main() {
     }
     Rng r = rng.fork();
     const auto outcome = sys.run_power_control({}, 40, r);
-    fer[idx] = sys.run_packets(packets, r).frame_error_rate();
-    rounds_used[idx] = static_cast<double>(outcome.rounds);
+    recorder.record(point.flat(), "fer",
+                    sys.run_packets(packets, r).frame_error_rate());
+    recorder.record(point.flat(), "pc_rounds",
+                    static_cast<double>(outcome.rounds));
   });
 
   Table table({"levels (Z_max)", "step size", "mean FER after PC",
                "mean PC rounds"});
-  for (std::size_t li = 0; li < std::size(level_counts); ++li) {
+  for (std::size_t li = 0; li < level_counts.size(); ++li) {
     RunningStats f, r;
     for (std::size_t g = 0; g < groups; ++g) {
-      f.add(fer[li * groups + g]);
-      r.add(rounds_used[li * groups + g]);
+      f.add(recorder.metric(li * groups + g, "fer"));
+      r.add(recorder.metric(li * groups + g, "pc_rounds"));
     }
-    const double step = level_counts[li] == 1
-                            ? 0.0
-                            : 11.0 / static_cast<double>(level_counts[li] - 1);
-    table.add_row({std::to_string(level_counts[li]),
-                   Table::num(step, 1) + " dB", Table::percent(f.mean(), 2),
-                   Table::num(r.mean(), 1)});
+    const auto levels = static_cast<std::size_t>(level_counts[li]);
+    const double step =
+        levels == 1 ? 0.0 : 11.0 / static_cast<double>(levels - 1);
+    table.add_row({std::to_string(levels), Table::num(step, 1) + " dB",
+                   Table::percent(f.mean(), 2), Table::num(r.mean(), 1)});
   }
-  std::printf("%s\n", table.render().c_str());
+  recorder.print_table(table);
 
+  recorder.note(
+      "when failures are floor-driven (a tag stuck at a weak level), a "
+      "coarse bank jumps straight to full power and recovers fastest; finer "
+      "banks spend Algorithm 1 cycles at intermediate sub-floor levels. The "
+      "paper's 4 levels are the hardware-shaped middle ground.");
   std::printf("finding: when failures are floor-driven (a tag stuck at a weak\n"
               "level), a coarse bank jumps straight to full power and recovers\n"
               "fastest; finer banks spend Algorithm 1 cycles at intermediate\n"
               "sub-floor levels. The paper's 4 levels are the hardware-shaped\n"
               "middle ground (four terminations on one SPDT switch).\n");
-  return 0;
+  return recorder.finish();
 }

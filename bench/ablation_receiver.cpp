@@ -37,62 +37,76 @@ double run_variant(const core::SystemConfig& cfg, std::size_t n_packets,
 int main() {
   core::SystemConfig base;
   base.max_tags = 5;
-  bench::print_header("Ablation — receiver design choices",
-                      "5-tag equal-strength collision; FER per variant", base);
 
   const std::size_t n_packets = bench::trials(400);
 
   struct Variant {
     const char* name;
+    const char* slug;
     core::SystemConfig cfg;
   };
   std::vector<Variant> variants;
-  variants.push_back({"full receiver (reference)", base});
+  variants.push_back({"full receiver (reference)", "full", base});
   {
     core::SystemConfig c = base;
     c.detect.enable_sic = false;
-    variants.push_back({"no successive cancellation", c});
+    variants.push_back({"no successive cancellation", "no-sic", c});
   }
   {
     core::SystemConfig c = base;
     c.detect.group_window_chips = 48.0;  // effectively unconstrained
-    variants.push_back({"no group window (free search)", c});
+    variants.push_back({"no group window (free search)", "no-group-window", c});
   }
   {
     core::SystemConfig c = base;
     c.detect.enable_sic = false;
     c.detect.group_window_chips = 48.0;
-    variants.push_back({"neither (naive sliding detector)", c});
+    variants.push_back({"neither (naive sliding detector)", "neither", c});
   }
   {
     core::SystemConfig c = base;
     c.phase_tracking_gain = 0.0;
-    variants.push_back({"no phase tracking", c});
+    variants.push_back({"no phase tracking", "no-phase-tracking", c});
   }
   {
     core::SystemConfig c = base;
     c.phase_tracking_gain = 0.9;
-    variants.push_back({"aggressive phase tracking (0.9)", c});
+    variants.push_back({"aggressive phase tracking (0.9)", "aggressive-phase", c});
   }
   {
     core::SystemConfig c = base;
     c.sync.head_average = 2;  // near-single-sample comparator
-    variants.push_back({"short sync head (spiky trigger)", c});
+    variants.push_back({"short sync head (spiky trigger)", "short-sync-head", c});
   }
 
-  std::vector<double> fer(variants.size());
-  bench::parallel_for(variants.size(), [&](std::size_t i) {
-    fer[i] = run_variant(variants[i].cfg, n_packets, bench::point_seed(i));
+  std::vector<std::string> labels;
+  for (const auto& v : variants) labels.emplace_back(v.slug);
+  const auto spec = bench::spec(
+      "ablation_receiver", "Ablation — receiver design choices",
+      "5-tag equal-strength collision; FER per variant",
+      {core::Axis::categorical("variant", labels)}, n_packets);
+  core::RunRecorder recorder(spec, base);
+  recorder.print_header();
+
+  core::SweepRunner(spec).run([&](const core::SweepPoint& point) {
+    recorder.record(point.flat(), "fer",
+                    run_variant(variants[point.flat()].cfg, n_packets,
+                                point.seed()));
   });
 
+  const auto fer = [&](std::size_t i) { return recorder.metric(i, "fer"); };
   Table table({"receiver variant", "FER (5 tags)", "vs reference"});
   for (std::size_t i = 0; i < variants.size(); ++i) {
-    table.add_row({variants[i].name, Table::percent(fer[i], 2),
-                   i == 0 ? "-" : Table::num(fer[i] / std::max(fer[0], 1e-4), 1) + "x"});
+    table.add_row({variants[i].name, Table::percent(fer(i), 2),
+                   i == 0 ? "-" : Table::num(fer(i) / std::max(fer(0), 1e-4), 1) + "x"});
   }
-  std::printf("%s\n", table.render().c_str());
+  recorder.print_table(table);
 
   std::printf("cancellation + group window carry the multi-tag operating point: %s\n",
-              (fer[3] > fer[0] + 0.05) ? "HOLDS" : "VIOLATED");
-  return 0;
+              recorder.check(
+                  "cancellation + group window carry the multi-tag operating point",
+                  fer(3) > fer(0) + 0.05)
+                  ? "HOLDS"
+                  : "VIOLATED");
+  return recorder.finish();
 }

@@ -81,15 +81,34 @@ PolicyStats run_policy(bool rotate, std::size_t population, std::size_t rounds,
 int main() {
   core::SystemConfig header_cfg;
   header_cfg.max_tags = 5;
-  bench::print_header("Ablation — node-selection starvation (§VIII-D)",
-                      "20-tag population, groups of 5; pure §V-C vs epoch rotation",
-                      header_cfg);
 
   const std::size_t population = 20;
   const std::size_t rounds = bench::trials(40);
 
-  const auto pure = run_policy(false, population, rounds, bench::point_seed(0));
-  const auto rotated = run_policy(true, population, rounds, bench::point_seed(0));
+  const auto spec = bench::spec(
+      "ablation_starvation", "Ablation — node-selection starvation (§VIII-D)",
+      "20-tag population, groups of 5; pure §V-C vs epoch rotation",
+      {core::Axis::categorical("policy", {"pure", "epoch-rotation"})}, rounds);
+  core::RunRecorder recorder(spec, header_cfg);
+  recorder.print_header();
+
+  core::SweepRunner(spec).run([&](const core::SweepPoint& point) {
+    // Same seed for both arms: the comparison is paired on deployment and
+    // RNG stream, only the rotation policy differs.
+    const auto stats = run_policy(point.flat() == 1, population, rounds,
+                                  bench::point_seed(0));
+    recorder.record(point.flat(), "never_scheduled",
+                    static_cast<double>(stats.never_scheduled));
+    recorder.record(point.flat(), "jain_fairness", stats.jain);
+    recorder.record(point.flat(), "mean_fer", stats.mean_fer);
+  });
+
+  PolicyStats pure{static_cast<std::size_t>(recorder.metric(0, "never_scheduled")),
+                   recorder.metric(0, "jain_fairness"),
+                   recorder.metric(0, "mean_fer")};
+  PolicyStats rotated{
+      static_cast<std::size_t>(recorder.metric(1, "never_scheduled")),
+      recorder.metric(1, "jain_fairness"), recorder.metric(1, "mean_fer")};
 
   Table table({"policy", "tags never scheduled", "Jain fairness", "mean FER"});
   table.add_row({"pure §V-C (converged group persists)",
@@ -98,15 +117,19 @@ int main() {
   table.add_row({"epoch rotation (paper's suggestion)",
                  std::to_string(rotated.never_scheduled),
                  Table::num(rotated.jain, 2), Table::percent(rotated.mean_fer, 1)});
-  std::printf("%s\n", table.render().c_str());
+  recorder.print_table(table);
 
   std::printf("pure §V-C concentrates service (the starvation §VIII-D worries "
               "about): %s\n",
-              pure.never_scheduled > 0 ? "OBSERVED" : "not observed");
+              recorder.check("pure policy concentrates service",
+                             pure.never_scheduled > 0)
+                  ? "OBSERVED"
+                  : "not observed");
   std::printf("rotation spreads service across the population: %s "
               "(Jain %.2f -> %.2f, never-scheduled %zu -> %zu)\n",
-              (rotated.jain > pure.jain &&
-               rotated.never_scheduled < pure.never_scheduled)
+              recorder.check("rotation spreads service across the population",
+                             rotated.jain > pure.jain &&
+                                 rotated.never_scheduled < pure.never_scheduled)
                   ? "HOLDS"
                   : "VIOLATED",
               pure.jain, rotated.jain, pure.never_scheduled,
@@ -114,5 +137,5 @@ int main() {
   std::printf("fairness costs some error rate (re-adaptation overhead): "
               "%.1f%% vs %.1f%%\n",
               100.0 * rotated.mean_fer, 100.0 * pure.mean_fer);
-  return 0;
+  return recorder.finish();
 }

@@ -164,7 +164,10 @@ void BM_DecodeFrame(benchmark::State& state) {
 BENCHMARK(BM_DecodeFrame);
 
 /// Legacy entry point: transmit_round() allocates a fresh TransmitScratch
-/// per packet. Kept as the before/after reference for the batched path.
+/// per packet. Kept as the before/after reference for the batched path —
+/// benchmarking the deprecated shim is the point here.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 void BM_EndToEndRound(benchmark::State& state) {
   core::SystemConfig cfg;
   cfg.max_tags = static_cast<std::size_t>(state.range(0));
@@ -180,6 +183,7 @@ void BM_EndToEndRound(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
   set_rate_counters(state, 1);
 }
+#pragma GCC diagnostic pop
 BENCHMARK(BM_EndToEndRound)->Arg(2)->Arg(5)->Arg(10);
 
 /// The batched pipeline: transmit(options, rng, scratch) with one scratch

@@ -15,9 +15,6 @@ using namespace cbma;
 int main() {
   core::SystemConfig cfg;
   cfg.max_tags = 5;
-  bench::print_header("Fig. 10 — CDFs of error rate (5-tag deployments)",
-                      "§VII-C1 macro benchmark: none / PC / PC + node selection",
-                      cfg);
 
   core::SchemeRunConfig run;
   run.population = 20;
@@ -30,33 +27,52 @@ int main() {
   const std::size_t n_trials = bench::trials(50);
   const core::Scheme schemes[] = {core::Scheme::kBaseline, core::Scheme::kPowerControl,
                                   core::Scheme::kPowerControlAndSelection};
-  std::vector<std::vector<double>> samples(3, std::vector<double>(n_trials));
+  std::vector<double> trial_axis(n_trials);
+  for (std::size_t t = 0; t < n_trials; ++t) trial_axis[t] = static_cast<double>(t);
 
-  bench::parallel_for(3 * n_trials, [&](std::size_t idx) {
-    const std::size_t s = idx / n_trials;
-    const std::size_t t = idx % n_trials;
+  const auto spec = bench::spec(
+      "fig10_cdf", "Fig. 10 — CDFs of error rate (5-tag deployments)",
+      "§VII-C1 macro benchmark: none / PC / PC + node selection",
+      {core::Axis::categorical("scheme",
+                               {"none", "power-control", "power-control+selection"}),
+       core::Axis::numeric("trial", trial_axis)},
+      n_trials);
+  core::RunRecorder recorder(spec, cfg);
+  recorder.print_header();
+
+  core::SweepRunner(spec).run([&](const core::SweepPoint& point) {
     // Same deployment seed across schemes: paired comparison per trial.
-    samples[s][t] =
-        core::run_scheme_trial(cfg, run, schemes[s], bench::point_seed(t));
+    recorder.record(point.flat(), "error_rate",
+                    core::run_scheme_trial(cfg, run, schemes[point.index(0)],
+                                           bench::point_seed(point.index(1))));
   });
 
+  const auto samples_of = [&](std::size_t s) {
+    std::vector<double> out(n_trials);
+    for (std::size_t t = 0; t < n_trials; ++t) {
+      out[t] = recorder.metric(s * n_trials + t, "error_rate");
+    }
+    return out;
+  };
+  EmpiricalCdf none(samples_of(0)), pc(samples_of(1)), pcsel(samples_of(2));
+
   Table table({"error rate", "CDF none", "CDF power-control", "CDF PC+selection"});
-  EmpiricalCdf none(samples[0]), pc(samples[1]), pcsel(samples[2]);
   for (const double x : {0.0, 0.01, 0.02, 0.05, 0.10, 0.15, 0.20, 0.30, 0.40,
                          0.50, 0.70, 1.0}) {
     table.add_row({Table::percent(x, 0), Table::num(none.at(x), 2),
                    Table::num(pc.at(x), 2), Table::num(pcsel.at(x), 2)});
   }
-  std::printf("%s\n", table.render().c_str());
+  recorder.print_table(table);
 
   std::printf("median error: none %.3f, PC %.3f, PC+selection %.3f\n",
               none.median(), pc.median(), pcsel.median());
   std::printf("P(error < 5%%): none %.2f, PC %.2f (paper ~0.6), PC+selection %.2f\n",
               none.at(0.05), pc.at(0.05), pcsel.at(0.05));
   std::printf("ordering PC+selection >= PC >= none at the 5%% mark: %s\n",
-              (pcsel.at(0.05) + 1e-9 >= pc.at(0.05) &&
-               pc.at(0.05) + 1e-9 >= none.at(0.05))
+              recorder.check("ordering PC+selection >= PC >= none at 5% mark",
+                             pcsel.at(0.05) + 1e-9 >= pc.at(0.05) &&
+                                 pc.at(0.05) + 1e-9 >= none.at(0.05))
                   ? "HOLDS"
                   : "VIOLATED");
-  return 0;
+  return recorder.finish();
 }

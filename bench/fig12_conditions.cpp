@@ -34,9 +34,6 @@ rfsim::Deployment make_deployment(std::size_t n_tags) {
 int main() {
   core::SystemConfig cfg;
   cfg.max_tags = 3;
-  bench::print_header("Fig. 12 — packet reception under working conditions",
-                      "§VII-C3: none / WiFi / Bluetooth interference / OFDM excitation",
-                      cfg);
 
   const auto dep = make_deployment(3);
   // Interference power at the receiver: comparable to the backscatter
@@ -47,9 +44,18 @@ int main() {
   const char* condition_names[] = {"no interference", "WiFi interference",
                                    "Bluetooth interference", "OFDM excitation"};
   const std::size_t n_packets = bench::trials(400);
-  double prr[4] = {0, 0, 0, 0};
 
-  bench::parallel_for(4, [&](std::size_t c) {
+  const auto spec = bench::spec(
+      "fig12_conditions", "Fig. 12 — packet reception under working conditions",
+      "§VII-C3: none / WiFi / Bluetooth interference / OFDM excitation",
+      {core::Axis::categorical("condition",
+                               {"none", "wifi", "bluetooth", "ofdm-excitation"})},
+      n_packets);
+  core::RunRecorder recorder(spec, cfg);
+  recorder.print_header();
+
+  core::SweepRunner(spec).run([&](const core::SweepPoint& point) {
+    const std::size_t c = point.flat();
     core::CbmaSystem sys(cfg, dep);
     switch (c) {
       case 0:
@@ -65,23 +71,29 @@ int main() {
         sys.set_excitation(std::make_unique<rfsim::OfdmExcitation>(500e-6, 700e-6));
         break;
     }
-    Rng rng(bench::point_seed(c));
+    Rng rng(point.seed());
     const auto stats = sys.run_packets(n_packets, rng);
-    prr[c] = 1.0 - stats.frame_error_rate();
+    recorder.record(point.flat(), "prr", 1.0 - stats.frame_error_rate());
   });
 
+  const auto prr = [&](std::size_t c) { return recorder.metric(c, "prr"); };
   Table table({"working condition", "correct packet reception rate"});
-  for (int c = 0; c < 4; ++c) {
-    table.add_row({condition_names[c], Table::percent(prr[c], 2)});
+  for (std::size_t c = 0; c < 4; ++c) {
+    table.add_row({condition_names[c], Table::percent(prr(c), 2)});
   }
-  std::printf("%s\n", table.render().c_str());
+  recorder.print_table(table);
 
   std::printf("WiFi/Bluetooth cost only slightly: %s (drops of %.1f%% / %.1f%%)\n",
-              (prr[0] - prr[1] < 0.15 && prr[0] - prr[2] < 0.15) ? "HOLDS"
-                                                                 : "VIOLATED",
-              100.0 * (prr[0] - prr[1]), 100.0 * (prr[0] - prr[2]));
+              recorder.check("WiFi/Bluetooth cost only slightly",
+                             prr(0) - prr(1) < 0.15 && prr(0) - prr(2) < 0.15)
+                  ? "HOLDS"
+                  : "VIOLATED",
+              100.0 * (prr(0) - prr(1)), 100.0 * (prr(0) - prr(2)));
   std::printf("OFDM excitation drops reception significantly: %s (%.1f%% -> %.1f%%)\n",
-              (prr[0] - prr[3] > 0.2) ? "HOLDS" : "VIOLATED", 100.0 * prr[0],
-              100.0 * prr[3]);
-  return 0;
+              recorder.check("OFDM excitation drops reception significantly",
+                             prr(0) - prr(3) > 0.2)
+                  ? "HOLDS"
+                  : "VIOLATED",
+              100.0 * prr(0), 100.0 * prr(3));
+  return recorder.finish();
 }

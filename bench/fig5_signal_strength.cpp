@@ -14,9 +14,16 @@ using namespace cbma;
 
 int main() {
   core::SystemConfig cfg;
-  bench::print_header("Fig. 5 — theoretical backscatter signal strength",
-                      "Eq. (1) field over tag positions, ES(-0.5,0), RX(0.5,0)",
-                      cfg);
+
+  // Deterministic closed-form evaluation (no Monte-Carlo trials are run;
+  // the standard trials plumbing only feeds the header/JSON) — the
+  // recorder still captures the field extrema and cut tables for the JSON.
+  const auto spec = bench::spec(
+      "fig5_signal_strength", "Fig. 5 — theoretical backscatter signal strength",
+      "Eq. (1) field over tag positions, ES(-0.5,0), RX(0.5,0)", {},
+      bench::trials());
+  core::RunRecorder recorder(spec, cfg);
+  recorder.print_header();
 
   rfsim::LinkBudget budget;
   budget.tx_power_w = units::dbm_to_watts(cfg.tx_power_dbm);
@@ -46,6 +53,8 @@ int main() {
     }
     std::printf("\n");
   }
+  recorder.record(0, "field_min_dbm", lo);
+  recorder.record(0, "field_max_dbm", hi);
 
   // Cut along the ES–RX axis and along the perpendicular bisector.
   Table axis({"x (m), y=0", "P_r (dBm)"});
@@ -55,7 +64,8 @@ int main() {
     axis.add_row({Table::num(x, 2),
                   Table::num(units::watts_to_dbm(budget.received_power(d1, d2)), 1)});
   }
-  std::printf("\ncut along the ES-RX axis:\n%s", axis.render().c_str());
+  std::printf("\ncut along the ES-RX axis:\n");
+  recorder.print_table(axis);
 
   Table perp({"y (m), x=0", "P_r (dBm)"});
   for (const double y : {0.25, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0}) {
@@ -64,8 +74,12 @@ int main() {
     perp.add_row({Table::num(y, 2),
                   Table::num(units::watts_to_dbm(budget.received_power(d1, d2)), 1)});
   }
-  std::printf("\ncut along the perpendicular bisector:\n%s", perp.render().c_str());
-  std::printf("\nshape check: strength peaks between/near ES and RX and falls ~12 dB "
+  std::printf("cut along the perpendicular bisector:\n");
+  recorder.print_table(perp);
+  recorder.note(
+      "strength peaks between/near ES and RX and falls ~12 dB per doubling "
+      "of distance (two d^2 hops), as in the paper's Fig. 5");
+  std::printf("shape check: strength peaks between/near ES and RX and falls ~12 dB "
               "per doubling of distance (two d^2 hops), as in the paper's Fig. 5.\n");
-  return 0;
+  return recorder.finish();
 }

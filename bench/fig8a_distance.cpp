@@ -34,32 +34,39 @@ int main() {
   // chip-lag-offset copies of every tag on the air, so the multi-access
   // interference grows with the tag count exactly as Fig. 8(a) shows.
   cfg.multipath.enabled = true;
-  bench::print_header("Fig. 8(a) — FER vs tag-to-RX distance",
-                      "§VII-B1, d1 = 50 cm fixed, d2 = 10..400 cm, 2/3/4 tags", cfg);
 
-  const std::size_t n_tag_counts[] = {2, 3, 4};
   std::vector<double> distances;
   for (int cm = 10; cm <= 400; cm += 10) distances.push_back(cm / 100.0);
-
-  std::vector<std::vector<double>> fer(3, std::vector<double>(distances.size()));
   const std::size_t n_packets = bench::trials();
 
-  bench::parallel_for(3 * distances.size(), [&](std::size_t idx) {
-    const std::size_t t = idx / distances.size();
-    const std::size_t d = idx % distances.size();
-    const auto dep = make_deployment(n_tag_counts[t], distances[d]);
+  const auto spec = bench::spec(
+      "fig8a_distance", "Fig. 8(a) — FER vs tag-to-RX distance",
+      "§VII-B1, d1 = 50 cm fixed, d2 = 10..400 cm, 2/3/4 tags",
+      {core::Axis::numeric("tags", {2, 3, 4}),
+       core::Axis::numeric("d2", distances, "m")},
+      n_packets);
+  core::RunRecorder recorder(spec, cfg);
+  recorder.print_header();
+
+  core::SweepRunner(spec).run([&](const core::SweepPoint& point) {
+    const auto n_tags = static_cast<std::size_t>(point.value(0));
+    const auto dep = make_deployment(n_tags, point.value(1));
     core::SystemConfig point_cfg = cfg;
-    point_cfg.max_tags = n_tag_counts[t];
-    fer[t][d] = core::measure_fer(point_cfg, dep, n_packets, bench::point_seed(idx)).fer;
+    point_cfg.max_tags = n_tags;
+    recorder.record(point.flat(), "fer",
+                    core::measure_fer(point_cfg, dep, n_packets, point.seed()).fer);
   });
 
+  const auto fer = [&](std::size_t t, std::size_t d) {
+    return recorder.metric(t * distances.size() + d, "fer");
+  };
   Table table({"d2 (cm)", "FER 2 tags", "FER 3 tags", "FER 4 tags"});
   for (std::size_t d = 0; d < distances.size(); ++d) {
     table.add_row({std::to_string(static_cast<int>(distances[d] * 100)),
-                   Table::num(fer[0][d], 3), Table::num(fer[1][d], 3),
-                   Table::num(fer[2][d], 3)});
+                   Table::num(fer(0, d), 3), Table::num(fer(1, d), 3),
+                   Table::num(fer(2, d), 3)});
   }
-  std::printf("%s\n", table.render().c_str());
+  recorder.print_table(table);
 
   // Paper shape checks: (i) below 2 m the error is roughly flat and lowest
   // for 2 tags; (ii) beyond 2 m the error grows with distance.
@@ -68,7 +75,7 @@ int main() {
     int n = 0;
     for (std::size_t d = 0; d < distances.size(); ++d) {
       if (distances[d] <= lim) {
-        s += fer[t][d];
+        s += fer(t, d);
         ++n;
       }
     }
@@ -77,9 +84,15 @@ int main() {
   const double near2 = mean_below(0, 2.0);
   const double near4 = mean_below(2, 2.0);
   std::printf("mean FER below 2 m: 2 tags %.3f, 4 tags %.3f (2-tag lowest: %s)\n",
-              near2, near4, near2 <= near4 + 1e-9 ? "HOLDS" : "VIOLATED");
-  const double far2 = fer[0].back();
+              near2, near4,
+              recorder.check("2-tag FER lowest below 2 m", near2 <= near4 + 1e-9)
+                  ? "HOLDS"
+                  : "VIOLATED");
+  const double far2 = fer(0, distances.size() - 1);
   std::printf("FER grows with distance beyond 2 m: %s (2-tag FER at 4 m = %.3f)\n",
-              far2 >= near2 ? "HOLDS" : "VIOLATED", far2);
-  return 0;
+              recorder.check("FER grows with distance beyond 2 m", far2 >= near2)
+                  ? "HOLDS"
+                  : "VIOLATED",
+              far2);
+  return recorder.finish();
 }

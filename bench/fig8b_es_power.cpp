@@ -25,38 +25,51 @@ rfsim::Deployment make_deployment(std::size_t n_tags) {
 
 int main() {
   core::SystemConfig cfg;
-  bench::print_header("Fig. 8(b) — FER vs excitation-source power",
-                      "§VII-B1, Pt = -5..20 dBm step 5, 2/3/4 tags", cfg);
-
-  const std::size_t n_tag_counts[] = {2, 3, 4};
-  const double powers_dbm[] = {-5, 0, 5, 10, 15, 20};
-  std::vector<std::vector<double>> fer(3, std::vector<double>(std::size(powers_dbm)));
+  const std::vector<double> powers_dbm{-5, 0, 5, 10, 15, 20};
   const std::size_t n_packets = bench::trials();
 
-  bench::parallel_for(3 * std::size(powers_dbm), [&](std::size_t idx) {
-    const std::size_t t = idx / std::size(powers_dbm);
-    const std::size_t p = idx % std::size(powers_dbm);
+  const auto spec = bench::spec(
+      "fig8b_es_power", "Fig. 8(b) — FER vs excitation-source power",
+      "§VII-B1, Pt = -5..20 dBm step 5, 2/3/4 tags",
+      {core::Axis::numeric("tags", {2, 3, 4}),
+       core::Axis::numeric("tx_power", powers_dbm, "dBm")},
+      n_packets);
+  core::RunRecorder recorder(spec, cfg);
+  recorder.print_header();
+
+  core::SweepRunner(spec).run([&](const core::SweepPoint& point) {
+    const auto n_tags = static_cast<std::size_t>(point.value(0));
     core::SystemConfig point_cfg = cfg;
-    point_cfg.max_tags = n_tag_counts[t];
-    point_cfg.tx_power_dbm = powers_dbm[p];
-    const auto dep = make_deployment(n_tag_counts[t]);
-    fer[t][p] = core::measure_fer(point_cfg, dep, n_packets, bench::point_seed(idx)).fer;
+    point_cfg.max_tags = n_tags;
+    point_cfg.tx_power_dbm = point.value(1);
+    const auto dep = make_deployment(n_tags);
+    recorder.record(point.flat(), "fer",
+                    core::measure_fer(point_cfg, dep, n_packets, point.seed()).fer);
   });
 
+  const auto fer = [&](std::size_t t, std::size_t p) {
+    return recorder.metric(t * powers_dbm.size() + p, "fer");
+  };
   Table table({"Pt (dBm)", "FER 2 tags", "FER 3 tags", "FER 4 tags"});
-  for (std::size_t p = 0; p < std::size(powers_dbm); ++p) {
-    table.add_row({Table::num(powers_dbm[p], 0), Table::num(fer[0][p], 3),
-                   Table::num(fer[1][p], 3), Table::num(fer[2][p], 3)});
+  for (std::size_t p = 0; p < powers_dbm.size(); ++p) {
+    table.add_row({Table::num(powers_dbm[p], 0), Table::num(fer(0, p), 3),
+                   Table::num(fer(1, p), 3), Table::num(fer(2, p), 3)});
   }
-  std::printf("%s\n", table.render().c_str());
+  recorder.print_table(table);
 
   bool monotone = true;
   for (std::size_t t = 0; t < 3; ++t) {
-    if (fer[t].front() < fer[t].back()) monotone = false;
+    if (fer(t, 0) < fer(t, powers_dbm.size() - 1)) monotone = false;
   }
   std::printf("error decreases as transmit power increases: %s\n",
-              monotone ? "HOLDS" : "VIOLATED");
+              recorder.check("error decreases with transmit power", monotone)
+                  ? "HOLDS"
+                  : "VIOLATED");
+  const double weakest = fer(2, 0);
   std::printf("error very high at -5 dBm (signal buried in noise): %s (%.2f)\n",
-              fer[2].front() > 0.5 ? "HOLDS" : "VIOLATED", fer[2].front());
-  return 0;
+              recorder.check("error very high at -5 dBm", weakest > 0.5)
+                  ? "HOLDS"
+                  : "VIOLATED",
+              weakest);
+  return recorder.finish();
 }

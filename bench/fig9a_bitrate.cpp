@@ -26,6 +26,11 @@ rfsim::Deployment make_deployment(std::size_t n_tags) {
   return dep;
 }
 
+std::size_t samples_per_chip_at(const core::SystemConfig& cfg) {
+  return static_cast<std::size_t>(
+      std::clamp(kReceiverSampleCapacity / cfg.chip_rate_hz(), 2.0, 8.0));
+}
+
 }  // namespace
 
 int main() {
@@ -34,43 +39,50 @@ int main() {
   // the binding constraint across the sweep (the 5 Mbps point sits at the
   // receiver floor, as in the paper's sampling-limited regime).
   cfg.tx_power_dbm = 15.0;
-  bench::print_header("Fig. 9(a) — FER vs bit rate",
-                      "§VII-B1, 250 kbps..5 Mbps, 2/3/4 tags, fixed sampling capacity",
-                      cfg);
-
-  const std::size_t n_tag_counts[] = {2, 3, 4};
-  const double bitrates[] = {0.25e6, 0.5e6, 1e6, 2e6, 4e6, 5e6};
-  std::vector<std::vector<double>> fer(3, std::vector<double>(std::size(bitrates)));
+  const std::vector<double> bitrates{0.25e6, 0.5e6, 1e6, 2e6, 4e6, 5e6};
   const std::size_t n_packets = bench::trials();
 
-  bench::parallel_for(3 * std::size(bitrates), [&](std::size_t idx) {
-    const std::size_t t = idx / std::size(bitrates);
-    const std::size_t b = idx % std::size(bitrates);
+  const auto spec = bench::spec(
+      "fig9a_bitrate", "Fig. 9(a) — FER vs bit rate",
+      "§VII-B1, 250 kbps..5 Mbps, 2/3/4 tags, fixed sampling capacity",
+      {core::Axis::numeric("tags", {2, 3, 4}),
+       core::Axis::numeric("bitrate", bitrates, "bps")},
+      n_packets);
+  core::RunRecorder recorder(spec, cfg);
+  recorder.print_header();
+
+  core::SweepRunner(spec).run([&](const core::SweepPoint& point) {
+    const auto n_tags = static_cast<std::size_t>(point.value(0));
     core::SystemConfig point_cfg = cfg;
-    point_cfg.max_tags = n_tag_counts[t];
-    point_cfg.bitrate_bps = bitrates[b];
-    const double chip_rate = point_cfg.chip_rate_hz();
-    point_cfg.samples_per_chip = static_cast<std::size_t>(
-        std::clamp(kReceiverSampleCapacity / chip_rate, 2.0, 8.0));
-    const auto dep = make_deployment(n_tag_counts[t]);
-    fer[t][b] = core::measure_fer(point_cfg, dep, n_packets, bench::point_seed(idx)).fer;
+    point_cfg.max_tags = n_tags;
+    point_cfg.bitrate_bps = point.value(1);
+    point_cfg.samples_per_chip = samples_per_chip_at(point_cfg);
+    const auto dep = make_deployment(n_tags);
+    recorder.record(point.flat(), "fer",
+                    core::measure_fer(point_cfg, dep, n_packets, point.seed()).fer);
   });
 
+  const auto fer = [&](std::size_t t, std::size_t b) {
+    return recorder.metric(t * bitrates.size() + b, "fer");
+  };
   Table table({"bit rate", "samples/chip", "FER 2 tags", "FER 3 tags", "FER 4 tags"});
-  for (std::size_t b = 0; b < std::size(bitrates); ++b) {
+  for (std::size_t b = 0; b < bitrates.size(); ++b) {
     core::SystemConfig c = cfg;
     c.bitrate_bps = bitrates[b];
-    const auto spc = static_cast<std::size_t>(
-        std::clamp(kReceiverSampleCapacity / c.chip_rate_hz(), 2.0, 8.0));
-    table.add_row({Table::num(bitrates[b] / 1e6, 2) + " Mbps", std::to_string(spc),
-                   Table::num(fer[0][b], 3), Table::num(fer[1][b], 3),
-                   Table::num(fer[2][b], 3)});
+    table.add_row({Table::num(bitrates[b] / 1e6, 2) + " Mbps",
+                   std::to_string(samples_per_chip_at(c)),
+                   Table::num(fer(0, b), 3), Table::num(fer(1, b), 3),
+                   Table::num(fer(2, b), 3)});
   }
-  std::printf("%s\n", table.render().c_str());
+  recorder.print_table(table);
 
+  const std::size_t last = bitrates.size() - 1;
   std::printf("error grows with bit rate: %s\n",
-              fer[2].back() >= fer[2].front() ? "HOLDS" : "VIOLATED");
+              recorder.check("error grows with bit rate",
+                             fer(2, last) >= fer(2, 0))
+                  ? "HOLDS"
+                  : "VIOLATED");
   std::printf("still \"fairly decent\" at 5 Mbps with 2 tags: FER = %.3f\n",
-              fer[0].back());
-  return 0;
+              fer(0, last));
+  return recorder.finish();
 }

@@ -33,44 +33,65 @@ rfsim::Deployment make_deployment(std::size_t n_tags) {
 int main() {
   core::SystemConfig cfg;
   cfg.max_tags = 8;
-  bench::print_header("Fig. 9(b) — Gold vs 2NC spreading codes",
-                      "§VII-B3, 2..5 tags, equal-strength ring placement", cfg);
-
-  const std::size_t tag_counts[] = {2, 3, 4, 5, 8};
-  std::vector<std::vector<double>> fer(2, std::vector<double>(std::size(tag_counts)));
+  const std::vector<double> tag_counts{2, 3, 4, 5, 8};
   const std::size_t n_packets = bench::trials(400);
 
-  bench::parallel_for(2 * std::size(tag_counts), [&](std::size_t idx) {
-    const std::size_t f = idx / std::size(tag_counts);
-    const std::size_t t = idx % std::size(tag_counts);
+  const auto spec = bench::spec(
+      "fig9b_pn_codes", "Fig. 9(b) — Gold vs 2NC spreading codes",
+      "§VII-B3, 2..5 tags, equal-strength ring placement",
+      {core::Axis::categorical("family", {"gold", "2nc"}),
+       core::Axis::numeric("tags", tag_counts)},
+      n_packets);
+  core::RunRecorder recorder(spec, cfg);
+  recorder.print_header();
+
+  core::SweepRunner(spec).run([&](const core::SweepPoint& point) {
+    const auto n_tags = static_cast<std::size_t>(point.value(1));
     core::SystemConfig point_cfg = cfg;
-    point_cfg.code_family = (f == 0) ? pn::CodeFamily::kGold : pn::CodeFamily::kTwoNC;
+    point_cfg.code_family =
+        point.index(0) == 0 ? pn::CodeFamily::kGold : pn::CodeFamily::kTwoNC;
     point_cfg.code_min_length = 31;  // Gold-31 vs 2NC-32: comparable spreading
-    point_cfg.max_tags = tag_counts[t];
-    const auto dep = make_deployment(tag_counts[t]);
-    fer[f][t] = core::measure_fer(point_cfg, dep, n_packets, bench::point_seed(idx)).fer;
+    point_cfg.max_tags = n_tags;
+    const auto dep = make_deployment(n_tags);
+    recorder.record(point.flat(), "fer",
+                    core::measure_fer(point_cfg, dep, n_packets, point.seed()).fer);
   });
 
+  const auto fer = [&](std::size_t f, std::size_t t) {
+    return recorder.metric(f * tag_counts.size() + t, "fer");
+  };
   Table table({"tags", "Gold error", "2NC error"});
-  for (std::size_t t = 0; t < std::size(tag_counts); ++t) {
-    table.add_row({std::to_string(tag_counts[t]), Table::percent(fer[0][t], 2),
-                   Table::percent(fer[1][t], 2)});
+  for (std::size_t t = 0; t < tag_counts.size(); ++t) {
+    table.add_row({std::to_string(static_cast<std::size_t>(tag_counts[t])),
+                   Table::percent(fer(0, t), 2), Table::percent(fer(1, t), 2)});
   }
-  std::printf("%s\n", table.render().c_str());
+  recorder.print_table(table);
 
   bool twonc_never_worse = true;
-  for (std::size_t t = 0; t < std::size(tag_counts); ++t) {
-    if (fer[1][t] > fer[0][t] + 0.01) twonc_never_worse = false;
+  for (std::size_t t = 0; t < tag_counts.size(); ++t) {
+    if (fer(1, t) > fer(0, t) + 0.01) twonc_never_worse = false;
   }
   std::printf("2NC at or below Gold at every tag count: %s\n",
-              twonc_never_worse ? "HOLDS" : "VIOLATED");
+              recorder.check("2NC at or below Gold at every tag count",
+                             twonc_never_worse)
+                  ? "HOLDS"
+                  : "VIOLATED");
+  const std::size_t last = tag_counts.size() - 1;
   std::printf("crowding raises the Gold error (3 -> 8 tags): %s "
               "(%.2f%% -> %.2f%%)\n",
-              fer[0].back() >= fer[0][1] - 1e-9 ? "HOLDS" : "VIOLATED",
-              100.0 * fer[0][1], 100.0 * fer[0].back());
+              recorder.check("crowding raises the Gold error",
+                             fer(0, last) >= fer(0, 1) - 1e-9)
+                  ? "HOLDS"
+                  : "VIOLATED",
+              100.0 * fer(0, 1), 100.0 * fer(0, last));
+  recorder.note(
+      "the paper's error growth with tag count (up to 11% for Gold at 5 "
+      "tags) is muted here — the coherent per-user receiver suppresses most "
+      "multi-access interference; the family ordering (2NC better) is the "
+      "preserved shape. See EXPERIMENTS.md.");
   std::printf("\nnote: the paper's error growth with tag count (up to 11%% for\n"
               "Gold at 5 tags) is muted here — the coherent per-user receiver\n"
               "suppresses most multi-access interference; the family ordering\n"
               "(2NC better) is the preserved shape. See EXPERIMENTS.md.\n");
-  return 0;
+  return recorder.finish();
 }

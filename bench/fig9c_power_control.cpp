@@ -14,21 +14,27 @@ using namespace cbma;
 int main() {
   core::SystemConfig cfg;
   cfg.max_tags = 5;
-  bench::print_header("Fig. 9(c) — error rate with/without power control",
-                      "§VII-B3, 2..5 tags, 50 random placement groups each", cfg);
-
-  const std::size_t tag_counts[] = {2, 3, 4, 5};
+  const std::vector<double> tag_counts{2, 3, 4, 5};
   const std::size_t groups = bench::trials(50);
   const std::size_t packets = 60;  // per measurement within a group
 
-  // One slot per (tag count, group, scheme) so points parallelize.
-  std::vector<double> no_pc(std::size(tag_counts) * groups);
-  std::vector<double> with_pc(std::size(tag_counts) * groups);
+  std::vector<double> group_axis(groups);
+  for (std::size_t g = 0; g < groups; ++g) group_axis[g] = static_cast<double>(g);
 
-  bench::parallel_for(std::size(tag_counts) * groups, [&](std::size_t idx) {
-    const std::size_t t = idx / groups;
-    const std::size_t n_tags = tag_counts[t];
-    Rng rng(bench::point_seed(idx));
+  // One grid point per (tag count, placement group); both scheme arms are
+  // metrics of the same point so the comparison stays paired.
+  const auto spec = bench::spec(
+      "fig9c_power_control", "Fig. 9(c) — error rate with/without power control",
+      "§VII-B3, 2..5 tags, 50 random placement groups each",
+      {core::Axis::numeric("tags", tag_counts),
+       core::Axis::numeric("group", group_axis)},
+      groups);
+  core::RunRecorder recorder(spec, cfg);
+  recorder.print_header();
+
+  core::SweepRunner(spec).run([&](const core::SweepPoint& point) {
+    const auto n_tags = static_cast<std::size_t>(point.value(0));
+    Rng rng(point.seed());
 
     // Benchtop-scale random placements around the paper frame.
     auto dep = rfsim::Deployment::paper_frame();
@@ -51,7 +57,8 @@ int main() {
       for (std::size_t i = 0; i < n_tags; ++i) {
         sys.set_impedance_level(i, start_levels[i]);
       }
-      no_pc[idx] = sys.run_packets(packets, r).frame_error_rate();
+      recorder.record(point.flat(), "fer_no_pc",
+                      sys.run_packets(packets, r).frame_error_rate());
     }
     {
       // "With power control": same start, Algorithm 1 adapts the levels.
@@ -61,28 +68,33 @@ int main() {
         sys.set_impedance_level(i, start_levels[i]);
       }
       sys.run_power_control({}, 40, r);
-      with_pc[idx] = sys.run_packets(packets, r).frame_error_rate();
+      recorder.record(point.flat(), "fer_with_pc",
+                      sys.run_packets(packets, r).frame_error_rate());
     }
   });
 
   Table table({"tags", "error w/o power control", "error w/ power control", "gain"});
   double last_no = 0.0, last_with = 0.0;
-  for (std::size_t t = 0; t < std::size(tag_counts); ++t) {
+  bool always_lower = true;
+  for (std::size_t t = 0; t < tag_counts.size(); ++t) {
     RunningStats no, with_;
     for (std::size_t g = 0; g < groups; ++g) {
-      no.add(no_pc[t * groups + g]);
-      with_.add(with_pc[t * groups + g]);
+      no.add(recorder.metric(t * groups + g, "fer_no_pc"));
+      with_.add(recorder.metric(t * groups + g, "fer_with_pc"));
     }
     last_no = no.mean();
     last_with = with_.mean();
-    table.add_row({std::to_string(tag_counts[t]), Table::percent(no.mean(), 2),
-                   Table::percent(with_.mean(), 2),
+    if (with_.mean() > no.mean() + 1e-9) always_lower = false;
+    table.add_row({std::to_string(static_cast<std::size_t>(tag_counts[t])),
+                   Table::percent(no.mean(), 2), Table::percent(with_.mean(), 2),
                    Table::num(no.mean() / std::max(with_.mean(), 1e-4), 1) + "x"});
   }
-  std::printf("%s\n", table.render().c_str());
+  recorder.print_table(table);
 
+  recorder.check("power control lowers the error rate at every tag count",
+                 always_lower);
   std::printf("power control lowers the error rate at every tag count: see table\n");
   std::printf("5-tag gain from power control: %.1fx (paper: ~5x better)\n",
               last_no / std::max(last_with, 1e-4));
-  return 0;
+  return recorder.finish();
 }

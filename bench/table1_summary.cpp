@@ -18,8 +18,15 @@ using namespace cbma;
 int main() {
   core::SystemConfig cfg;
   cfg.max_tags = 10;
-  bench::print_header("Table I — backscatter system summary (+ measured CBMA row)",
-                      "§I Table I; CBMA row measured by this implementation", cfg);
+
+  // A single irregular measurement, not a grid: the recorder runs with an
+  // empty axis list (one point) and the metrics live on that point.
+  const auto spec = bench::spec(
+      "table1_summary", "Table I — backscatter system summary (+ measured CBMA row)",
+      "§I Table I; CBMA row measured by this implementation", {},
+      bench::trials(300));
+  core::RunRecorder recorder(spec, cfg);
+  recorder.print_header();
 
   // Measured aggregate goodput: equal-strength 10-tag ring.
   auto dep = rfsim::Deployment::paper_frame();
@@ -52,6 +59,11 @@ int main() {
     if (point.fer < 0.5) max_range_m = d;
   }
 
+  recorder.record(0, "fer_10_tags", fer);
+  recorder.record(0, "aggregate_raw_bps", rates.aggregate_raw_bps);
+  recorder.record(0, "aggregate_goodput_bps", rates.aggregate_goodput_bps);
+  recorder.record(0, "max_range_m", max_range_m);
+
   Table table({"Technology", "Data Rates (bps)", "Number of Tags", "Distance (m)"});
   table.add_row({"Ambient Backscatter", "1kbps", "2", "<=1m"});
   table.add_row({"Wi-Fi Backscatter", "1kbps", "1", "0.65m"});
@@ -65,9 +77,9 @@ int main() {
                  Table::num(rates.aggregate_raw_bps / 1e6, 1) + "Mbps raw / " +
                      Table::num(rates.aggregate_goodput_bps / 1e6, 1) + "Mbps goodput",
                  "10", Table::num(max_range_m, 1) + "m"});
-  std::printf("%s\n", table.render().c_str());
+  recorder.print_table(table);
 
   std::printf("measured 10-tag FER: %.3f; single-tag range at FER<50%%: %.1f m\n",
               fer, max_range_m);
-  return 0;
+  return recorder.finish();
 }

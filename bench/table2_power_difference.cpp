@@ -16,8 +16,6 @@ using namespace cbma;
 int main() {
   core::SystemConfig cfg;
   cfg.max_tags = 2;
-  bench::print_header("Table II — error rate vs power difference (2-tag collisions)",
-                      "§IV benchmark, Fig. 3 frame: ES(-0.5,0), RX(0.5,0)", cfg);
 
   // Five tag placements (the paper's tags 1..5 at random positions); the
   // exact positions are not published — these are chosen so the pairwise
@@ -27,44 +25,59 @@ int main() {
   const rfsim::Point tag_pos[5] = {
       {0.00, 0.45}, {0.00, -0.46}, {0.20, 0.95}, {-0.22, -0.94}, {-0.10, 1.35}};
 
-  struct Row {
-    int a, b;
-    double snr1, snr2, diff, error;
-  };
   const std::pair<int, int> pairs[] = {{0, 1}, {0, 2}, {1, 2}, {0, 3}, {2, 3},
                                        {1, 3}, {1, 4}, {3, 4}, {0, 4}, {2, 4}};
-  std::vector<Row> rows(std::size(pairs));
   const std::size_t n_packets = bench::trials(300);
 
-  bench::parallel_for(rows.size(), [&](std::size_t i) {
-    const auto [a, b] = pairs[i];
+  std::vector<double> pair_axis(std::size(pairs));
+  for (std::size_t i = 0; i < pair_axis.size(); ++i) {
+    pair_axis[i] = static_cast<double>(i);
+  }
+  const auto spec = bench::spec(
+      "table2_power_difference",
+      "Table II — error rate vs power difference (2-tag collisions)",
+      "§IV benchmark, Fig. 3 frame: ES(-0.5,0), RX(0.5,0)",
+      {core::Axis::numeric("pair", pair_axis)}, n_packets);
+  core::RunRecorder recorder(spec, cfg);
+  recorder.print_header();
+
+  core::SweepRunner(spec).run([&](const core::SweepPoint& point) {
+    const auto [a, b] = pairs[point.flat()];
     auto dep = rfsim::Deployment::paper_frame();
     dep.add_tag(tag_pos[a]);
     dep.add_tag(tag_pos[b]);
-    const auto point = core::measure_fer(cfg, dep, n_packets, bench::point_seed(i));
-    const double p1 = units::from_db(point.snr_db[0]);
-    const double p2 = units::from_db(point.snr_db[1]);
-    rows[i] = Row{a + 1, b + 1, point.snr_db[0], point.snr_db[1],
-                  std::abs(p1 - p2) / std::max(p1, p2), point.fer};
+    const auto fer = core::measure_fer(cfg, dep, n_packets, point.seed());
+    const double p1 = units::from_db(fer.snr_db[0]);
+    const double p2 = units::from_db(fer.snr_db[1]);
+    recorder.record(point.flat(), "snr1_db", fer.snr_db[0]);
+    recorder.record(point.flat(), "snr2_db", fer.snr_db[1]);
+    recorder.record(point.flat(), "power_diff",
+                    std::abs(p1 - p2) / std::max(p1, p2));
+    recorder.record(point.flat(), "error_rate", fer.fer);
   });
 
   Table table({"Case", "SNR1 (dB)", "SNR2 (dB)", "Difference", "Error Rate"});
-  for (const auto& r : rows) {
-    table.add_row({std::to_string(r.a) + "," + std::to_string(r.b),
-                   Table::num(r.snr1, 1), Table::num(r.snr2, 1),
-                   Table::percent(r.diff, 2), Table::percent(r.error, 2)});
+  for (std::size_t i = 0; i < std::size(pairs); ++i) {
+    table.add_row({std::to_string(pairs[i].first + 1) + "," +
+                       std::to_string(pairs[i].second + 1),
+                   Table::num(recorder.metric(i, "snr1_db"), 1),
+                   Table::num(recorder.metric(i, "snr2_db"), 1),
+                   Table::percent(recorder.metric(i, "power_diff"), 2),
+                   Table::percent(recorder.metric(i, "error_rate"), 2)});
   }
-  std::printf("%s\n", table.render().c_str());
+  recorder.print_table(table);
 
   // The paper's observation, quantified.
   double low_diff_err = 0.0, high_diff_err = 0.0;
   int low_n = 0, high_n = 0;
-  for (const auto& r : rows) {
-    if (r.diff < 0.10) {
-      low_diff_err += r.error;
+  for (std::size_t i = 0; i < std::size(pairs); ++i) {
+    const double diff = recorder.metric(i, "power_diff");
+    const double error = recorder.metric(i, "error_rate");
+    if (diff < 0.10) {
+      low_diff_err += error;
       ++low_n;
-    } else if (r.diff > 0.40) {
-      high_diff_err += r.error;
+    } else if (diff > 0.40) {
+      high_diff_err += error;
       ++high_n;
     }
   }
@@ -75,8 +88,11 @@ int main() {
                 100.0 * high_diff_err / high_n);
     std::printf("shape check (paper: ~0.2-0.9%% vs 16-38%%): low-diff pairs must be "
                 "far more reliable — %s\n",
-                low_diff_err / low_n < 0.5 * high_diff_err / high_n ? "HOLDS"
-                                                                    : "VIOLATED");
+                recorder.check(
+                    "low-diff pairs far more reliable than high-diff pairs",
+                    low_diff_err / low_n < 0.5 * high_diff_err / high_n)
+                    ? "HOLDS"
+                    : "VIOLATED");
   }
-  return 0;
+  return recorder.finish();
 }

@@ -21,8 +21,14 @@ using namespace cbma;
 int main() {
   core::SystemConfig cfg;
   cfg.max_tags = 10;
-  bench::print_header("Headline — 10-tag throughput vs single-tag baselines",
-                      "§I/§VII: aggregate bit rate and >10x goodput claim", cfg);
+
+  // One irregular headline measurement: empty axis list, single point.
+  const auto spec = bench::spec(
+      "throughput_comparison", "Headline — 10-tag throughput vs single-tag baselines",
+      "§I/§VII: aggregate bit rate and >10x goodput claim", {},
+      bench::trials(400));
+  core::RunRecorder recorder(spec, cfg);
+  recorder.print_header();
 
   // Measure the 10-tag FER on an equal-strength ring after power control.
   auto dep = rfsim::Deployment::paper_frame();
@@ -59,10 +65,12 @@ int main() {
   // (round-robin style) in the harsh environment.
   std::size_t alone_sent = 0, alone_ok = 0;
   const std::size_t alone_per_tag = std::max<std::size_t>(10, bench::trials(400) / 10);
+  core::TransmitScratch scratch;  // reused across all single-tag rounds
   for (std::size_t k = 0; k < 10; ++k) {
+    core::TransmitOptions options;
+    options.slots = std::span(&k, 1);
     for (std::size_t p = 0; p < alone_per_tag; ++p) {
-      const std::size_t slot = k;
-      const auto report = harsh.transmit_round_subset(std::span(&slot, 1), harsh_rng);
+      const auto report = harsh.transmit(options, harsh_rng, scratch);
       ++alone_sent;
       alone_ok += report.ack.contains(k) ? 1 : 0;
     }
@@ -101,6 +109,14 @@ int main() {
   const double fsa_goodput =
       fsa_res.efficiency() * static_cast<double>(payload_bits) / slot_s;
 
+  recorder.record(0, "fer_10_tags", measured_fer);
+  recorder.record(0, "fer_10_tags_harsh", harsh_fer);
+  recorder.record(0, "fer_single_tag_harsh", harsh_single_fer);
+  recorder.record(0, "cbma_raw_bps", cbma_out.aggregate_raw_bps);
+  recorder.record(0, "cbma_goodput_bps", cbma_out.aggregate_goodput_bps);
+  recorder.record(0, "round_robin_goodput_bps", single_out.aggregate_goodput_bps);
+  recorder.record(0, "fsa_goodput_bps", fsa_goodput);
+
   Table table({"scheme", "aggregate raw bit rate", "aggregate goodput",
                "vs CBMA"});
   const auto mbps = [](double bps) { return Table::num(bps / 1e6, 2) + " Mbps"; };
@@ -113,14 +129,15 @@ int main() {
   table.add_row({"framed slotted ALOHA", mbps(single.bitrate_bps),
                  mbps(fsa_goodput),
                  Table::num(cbma_out.aggregate_goodput_bps / fsa_goodput, 1) + "x"});
-  std::printf("%s\n", table.render().c_str());
+  recorder.print_table(table);
 
   std::printf("10-tag aggregate raw bit rate: %.1f Mbps (paper: ~8 Mbps effective)\n",
               cbma_out.aggregate_raw_bps / 1e6);
   std::printf("CBMA vs single-tag round robin: %.1fx (paper: >10x): %s\n",
               cbma_out.aggregate_goodput_bps / single_out.aggregate_goodput_bps,
-              cbma_out.aggregate_goodput_bps >
-                      10.0 * single_out.aggregate_goodput_bps
+              recorder.check("CBMA >10x over single-tag round robin",
+                             cbma_out.aggregate_goodput_bps >
+                                 10.0 * single_out.aggregate_goodput_bps)
                   ? "HOLDS"
                   : "VIOLATED");
   std::printf("CBMA vs FSA: %.1fx\n",
@@ -137,9 +154,10 @@ int main() {
               harsh_out.aggregate_goodput_bps / 1e6,
               harsh_out.aggregate_goodput_bps /
                   harsh_single_out.aggregate_goodput_bps,
-              harsh_out.aggregate_goodput_bps >
-                      10.0 * harsh_single_out.aggregate_goodput_bps
+              recorder.check("CBMA >10x over single-tag in challenging indoor",
+                             harsh_out.aggregate_goodput_bps >
+                                 10.0 * harsh_single_out.aggregate_goodput_bps)
                   ? "HOLDS"
                   : "VIOLATED");
-  return 0;
+  return recorder.finish();
 }

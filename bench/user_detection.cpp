@@ -20,8 +20,6 @@ int main() {
   // "To minimize the influence of the frame detection, we adopt the best
   // parameters obtained in the above section" — the 64-bit preamble.
   cfg.preamble_bits = 64;
-  bench::print_header("§VII-B2 — user detection accuracy (10-tag group)",
-                      "random active subsets, all 10 codes probed each trial", cfg);
 
   // Equal-strength ring so the group mirrors the paper's power-controlled
   // best-parameter setup.
@@ -32,15 +30,23 @@ int main() {
   }
 
   const std::size_t n_trials = bench::trials(1000);
-  constexpr int kChunks = 16;  // parallel shards
-  std::vector<std::size_t> correct(kChunks, 0), total(kChunks, 0);
-  std::vector<std::size_t> misses(kChunks, 0), false_alarms(kChunks, 0);
+  constexpr std::size_t kChunks = 16;  // parallel shards
+  std::vector<double> chunk_axis(kChunks);
+  for (std::size_t c = 0; c < kChunks; ++c) chunk_axis[c] = static_cast<double>(c);
 
-  bench::parallel_for(kChunks, [&](std::size_t chunk) {
+  const auto spec = bench::spec(
+      "user_detection", "§VII-B2 — user detection accuracy (10-tag group)",
+      "random active subsets, all 10 codes probed each trial",
+      {core::Axis::numeric("chunk", chunk_axis)}, n_trials);
+  core::RunRecorder recorder(spec, cfg);
+  recorder.print_header();
+
+  core::SweepRunner(spec).run([&](const core::SweepPoint& point) {
     core::CbmaSystem sys(cfg, dep);
-    Rng rng(bench::point_seed(chunk));
+    Rng rng(point.seed());
     core::TransmitScratch scratch;  // reused across the shard's trials
     const std::size_t n = (n_trials + kChunks - 1) / kChunks;
+    std::size_t chunk_correct = 0, chunk_misses = 0, chunk_false_alarms = 0;
     for (std::size_t i = 0; i < n; ++i) {
       // Random non-empty transmitting subset of the 10-tag group.
       std::vector<std::size_t> active;
@@ -60,25 +66,29 @@ int main() {
             std::find(active.begin(), active.end(), k) != active.end();
         const bool decoded = report.ack.contains(k);
         if (sent && !decoded) {
-          ++misses[chunk];
+          ++chunk_misses;
           exact = false;
         }
         if (!sent && decoded) {
-          ++false_alarms[chunk];
+          ++chunk_false_alarms;
           exact = false;
         }
       }
-      correct[chunk] += exact;
-      ++total[chunk];
+      chunk_correct += exact;
     }
+    recorder.record(point.flat(), "correct", static_cast<double>(chunk_correct));
+    recorder.record(point.flat(), "trials", static_cast<double>(n));
+    recorder.record(point.flat(), "misses", static_cast<double>(chunk_misses));
+    recorder.record(point.flat(), "false_alarms",
+                    static_cast<double>(chunk_false_alarms));
   });
 
   std::size_t ok = 0, n = 0, miss = 0, fa = 0;
-  for (int c = 0; c < kChunks; ++c) {
-    ok += correct[c];
-    n += total[c];
-    miss += misses[c];
-    fa += false_alarms[c];
+  for (std::size_t c = 0; c < kChunks; ++c) {
+    ok += static_cast<std::size_t>(recorder.metric(c, "correct"));
+    n += static_cast<std::size_t>(recorder.metric(c, "trials"));
+    miss += static_cast<std::size_t>(recorder.metric(c, "misses"));
+    fa += static_cast<std::size_t>(recorder.metric(c, "false_alarms"));
   }
   const auto iv = wilson_interval(ok, n);
   std::printf("trials                 : %zu\n", n);
@@ -88,5 +98,8 @@ int main() {
   std::printf("per-tag false alarms   : %zu\n", fa);
   std::printf("\npaper: \"we can 99.9%% correctly detect which tags are sending "
               "data\" — measured %.2f%%\n", 100.0 * iv.estimate);
-  return 0;
+  recorder.check("exact-set detection accuracy above 95%", iv.estimate > 0.95);
+  recorder.note("aggregate: " + std::to_string(ok) + "/" + std::to_string(n) +
+                " exact-set detections");
+  return recorder.finish();
 }

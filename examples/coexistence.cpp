@@ -1,11 +1,14 @@
 // Coexistence scenario (§VII-C3): CBMA shares the air with a WiFi access
 // point and a Bluetooth headset, and finally loses its clean tone when the
 // excitation source switches to OFDM traffic. Demonstrates injecting
-// interference and excitation models through the public API and shows the
-// Fig. 12 behaviour interactively.
+// interference and excitation models through the public API, driving the
+// condition grid through the declarative core::SweepSpec/SweepRunner
+// experiment API (the same machinery the bench/ drivers use), and shows
+// the Fig. 12 behaviour interactively.
 #include <cstdio>
 #include <memory>
 
+#include "core/sweep.h"
 #include "core/system.h"
 #include "util/table.h"
 #include "util/units.h"
@@ -30,55 +33,52 @@ int main() {
   const std::size_t packets = 300;
   const double itf_w = units::dbm_to_watts(-58.0);
 
+  struct Environment {
+    const char* name;
+    const char* note;
+  };
+  const Environment environments[] = {
+      {"quiet lab, tone excitation", "baseline"},
+      {"busy WiFi neighbour", "CSMA bursts, channel mostly idle"},
+      {"Bluetooth headset nearby", "FHSS: few dwells land in-band"},
+      {"WiFi + Bluetooth together", "interference compounds mildly"},
+      {"OFDM excitation source", "tags cannot reflect during gaps"},
+  };
+
+  // Declarative sweep over the five environments; the runner fans the
+  // points out over worker threads exactly like the bench drivers do.
+  core::SweepSpec spec;
+  spec.name = "coexistence";
+  spec.title = "coexistence demo";
+  spec.axes = {core::Axis::categorical(
+      "environment", {"quiet", "wifi", "bluetooth", "wifi+bluetooth", "ofdm"})};
+  spec.trials = packets;
+
   std::printf("coexistence demo: 3 tags, 300 packets per condition\n\n");
+
+  double prr[5] = {0, 0, 0, 0, 0};
+  core::SweepRunner(spec).run([&](const core::SweepPoint& point) {
+    const std::size_t c = point.flat();
+    core::CbmaSystem cell = make_cell(config);
+    if (c == 1 || c == 3) {
+      cell.add_interferer(std::make_unique<rfsim::WifiInterferer>(itf_w));
+    }
+    if (c == 2 || c == 3) {
+      cell.add_interferer(std::make_unique<rfsim::BluetoothInterferer>(2.0 * itf_w));
+    }
+    if (c == 4) {
+      cell.set_excitation(std::make_unique<rfsim::OfdmExcitation>(500e-6, 700e-6));
+    }
+    Rng rng(c + 1);
+    const auto stats = cell.run_packets(packets, rng);
+    prr[c] = 1.0 - stats.frame_error_rate();
+  });
+
   Table table({"environment", "packet reception rate", "note"});
-
-  {
-    core::CbmaSystem cell = make_cell(config);
-    Rng rng(1);
-    const auto stats = cell.run_packets(packets, rng);
-    table.add_row({"quiet lab, tone excitation",
-                   Table::percent(1.0 - stats.frame_error_rate(), 1),
-                   "baseline"});
+  for (std::size_t c = 0; c < std::size(environments); ++c) {
+    table.add_row({environments[c].name, Table::percent(prr[c], 1),
+                   environments[c].note});
   }
-  {
-    core::CbmaSystem cell = make_cell(config);
-    cell.add_interferer(std::make_unique<rfsim::WifiInterferer>(itf_w));
-    Rng rng(2);
-    const auto stats = cell.run_packets(packets, rng);
-    table.add_row({"busy WiFi neighbour",
-                   Table::percent(1.0 - stats.frame_error_rate(), 1),
-                   "CSMA bursts, channel mostly idle"});
-  }
-  {
-    core::CbmaSystem cell = make_cell(config);
-    cell.add_interferer(std::make_unique<rfsim::BluetoothInterferer>(2.0 * itf_w));
-    Rng rng(3);
-    const auto stats = cell.run_packets(packets, rng);
-    table.add_row({"Bluetooth headset nearby",
-                   Table::percent(1.0 - stats.frame_error_rate(), 1),
-                   "FHSS: few dwells land in-band"});
-  }
-  {
-    core::CbmaSystem cell = make_cell(config);
-    cell.add_interferer(std::make_unique<rfsim::WifiInterferer>(itf_w));
-    cell.add_interferer(std::make_unique<rfsim::BluetoothInterferer>(2.0 * itf_w));
-    Rng rng(4);
-    const auto stats = cell.run_packets(packets, rng);
-    table.add_row({"WiFi + Bluetooth together",
-                   Table::percent(1.0 - stats.frame_error_rate(), 1),
-                   "interference compounds mildly"});
-  }
-  {
-    core::CbmaSystem cell = make_cell(config);
-    cell.set_excitation(std::make_unique<rfsim::OfdmExcitation>(500e-6, 700e-6));
-    Rng rng(5);
-    const auto stats = cell.run_packets(packets, rng);
-    table.add_row({"OFDM excitation source",
-                   Table::percent(1.0 - stats.frame_error_rate(), 1),
-                   "tags cannot reflect during gaps"});
-  }
-
   std::printf("%s\n", table.render().c_str());
   std::printf("takeaway (paper Fig. 12): CBMA coexists with WiFi/Bluetooth at a\n"
               "negligible cost, but an intermittent OFDM excitation starves the\n"

@@ -56,7 +56,9 @@ int main() {
       values.push_back(value);
       payloads.push_back(encode_reading(static_cast<std::uint8_t>(s), value));
     }
-    const auto report = home.transmit_round(payloads, rng);
+    core::TransmitOptions options;
+    options.payloads = payloads;
+    const auto report = home.transmit(options, rng);
 
     std::string received;
     int delivered = 0;

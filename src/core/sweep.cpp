@@ -1,0 +1,63 @@
+#include "core/sweep.h"
+
+#include "util/expect.h"
+
+namespace cbma::core {
+
+Axis Axis::numeric(std::string name, std::vector<double> values,
+                   std::string unit) {
+  Axis axis;
+  axis.name = std::move(name);
+  axis.values = std::move(values);
+  axis.unit = std::move(unit);
+  CBMA_REQUIRE(!axis.values.empty(), "axis '" + axis.name + "' has no values");
+  return axis;
+}
+
+Axis Axis::categorical(std::string name, std::vector<std::string> labels) {
+  Axis axis;
+  axis.name = std::move(name);
+  axis.labels = std::move(labels);
+  CBMA_REQUIRE(!axis.labels.empty(), "axis '" + axis.name + "' has no labels");
+  return axis;
+}
+
+std::size_t SweepSpec::point_count() const {
+  std::size_t n = 1;
+  for (const auto& axis : axes) n *= axis.size();
+  return n;
+}
+
+SweepPoint::SweepPoint(const SweepSpec& spec, std::size_t flat)
+    : spec_(&spec), flat_(flat), seed_(util::point_seed(spec.base_seed, flat)) {
+  // Row-major decomposition: the last axis varies fastest.
+  index_.resize(spec.axes.size());
+  std::size_t rest = flat;
+  for (std::size_t a = spec.axes.size(); a-- > 0;) {
+    const std::size_t n = spec.axes[a].size();
+    index_[a] = rest % n;
+    rest /= n;
+  }
+  CBMA_ASSERT(rest == 0);
+}
+
+double SweepPoint::value(std::size_t axis) const {
+  const Axis& ax = spec_->axes.at(axis);
+  CBMA_REQUIRE(ax.is_numeric(), "axis '" + ax.name + "' is categorical");
+  return ax.values[index_[axis]];
+}
+
+const std::string& SweepPoint::label(std::size_t axis) const {
+  const Axis& ax = spec_->axes.at(axis);
+  CBMA_REQUIRE(!ax.is_numeric(), "axis '" + ax.name + "' is numeric");
+  return ax.labels[index_[axis]];
+}
+
+void SweepRunner::run(const std::function<void(const SweepPoint&)>& body,
+                      std::size_t workers) const {
+  const std::size_t n = spec_.point_count();
+  util::parallel_for(
+      n, [&](std::size_t flat) { body(SweepPoint(spec_, flat)); }, workers);
+}
+
+}  // namespace cbma::core

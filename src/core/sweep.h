@@ -1,0 +1,93 @@
+// Declarative experiment sweeps: a SweepSpec names a bench, its paper
+// reference and its parameter axes (tag count, distance, ES power, code
+// family, ...) as typed descriptors; a SweepRunner executes the row-major
+// point grid across threads with util::point_seed-derived per-point seeds,
+// so every result is independent of the thread count. RunRecorder
+// (core/recorder.h) collects the per-point metrics and emits the table +
+// BENCH_<name>.json pair every bench shares.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/parallel.h"
+
+namespace cbma::core {
+
+/// One dimension of a sweep grid: numeric values with an optional unit, or
+/// categorical labels (code family, receiver variant, working condition).
+struct Axis {
+  static Axis numeric(std::string name, std::vector<double> values,
+                      std::string unit = "");
+  static Axis categorical(std::string name, std::vector<std::string> labels);
+
+  std::string name;
+  std::string unit;                 ///< numeric axes only (may be empty)
+  std::vector<double> values;       ///< numeric axes
+  std::vector<std::string> labels;  ///< categorical axes
+
+  bool is_numeric() const { return labels.empty(); }
+  std::size_t size() const {
+    return is_numeric() ? values.size() : labels.size();
+  }
+};
+
+/// Everything that identifies an experiment run: the bench name (keys the
+/// BENCH_<name>.json artifact), its paper reference, the axes of its point
+/// grid, and the trial/seed plumbing. An empty axis list is a single-point
+/// experiment (summary benches like Table I).
+struct SweepSpec {
+  std::string name;       ///< bench identifier, e.g. "fig8a_distance"
+  std::string title;      ///< printed banner title
+  std::string paper_ref;  ///< figure/table/section reproduced
+  std::vector<Axis> axes;
+  std::size_t trials = 0;  ///< trials (packets/groups) per grid point
+  std::uint64_t base_seed = 0;
+
+  /// Product of axis sizes; 1 for an empty axis list.
+  std::size_t point_count() const;
+};
+
+/// One grid point handed to the sweep body: the row-major flat index, the
+/// per-axis indices, and the deterministic per-point seed.
+class SweepPoint {
+ public:
+  SweepPoint(const SweepSpec& spec, std::size_t flat);
+
+  std::size_t flat() const { return flat_; }
+  /// Index along the given axis.
+  std::size_t index(std::size_t axis) const { return index_[axis]; }
+  /// Value / label along the given axis.
+  double value(std::size_t axis) const;
+  const std::string& label(std::size_t axis) const;
+  /// util::point_seed(base_seed, flat) — the per-point default. Benches
+  /// needing paired seeds (same deployment across schemes) derive their own
+  /// from the spec's base seed instead.
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  const SweepSpec* spec_;
+  std::size_t flat_;
+  std::uint64_t seed_;
+  std::vector<std::size_t> index_;
+};
+
+/// Executes a spec's point grid. The body must only touch per-point state
+/// (its RunRecorder slot); the runner provides no cross-point ordering.
+class SweepRunner {
+ public:
+  explicit SweepRunner(const SweepSpec& spec) : spec_(spec) {}
+
+  /// Run `body` once per grid point over `workers` threads (0 = hardware
+  /// concurrency). Results must depend only on the SweepPoint, never on the
+  /// execution order — the golden test pins this across worker counts.
+  void run(const std::function<void(const SweepPoint&)>& body,
+           std::size_t workers = 0) const;
+
+ private:
+  SweepSpec spec_;
+};
+
+}  // namespace cbma::core

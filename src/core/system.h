@@ -126,14 +126,17 @@ class CbmaSystem {
 
   /// Deprecated shim for transmit(): every active tag sends one frame with
   /// the given payload (payloads.size() == group size).
+  [[deprecated("use transmit(TransmitOptions) with .payloads")]]
   rx::RxReport transmit_round(std::span<const std::vector<std::uint8_t>> payloads,
                               Rng& rng) const;
   /// Deprecated shim for transmit(): random payloads.
+  [[deprecated("use transmit(TransmitOptions{})")]]
   rx::RxReport transmit_round(Rng& rng) const;
 
   /// Deprecated shim for transmit(): explicit per-tag start offsets (chips,
   /// added to the configured lead-in) instead of random jitter — the
   /// Fig. 11 asynchronization study drives this directly.
+  [[deprecated("use transmit(TransmitOptions) with .payloads and .delay_chips")]]
   rx::RxReport transmit_round_with_delays(
       std::span<const std::vector<std::uint8_t>> payloads,
       std::span<const double> delay_chips, Rng& rng) const;
@@ -143,6 +146,7 @@ class CbmaSystem {
   /// receiver still probes every group code — the §VII-B2 user-detection
   /// experiment. Requires a non-empty subset (the new API reads an empty
   /// slot list as "whole group").
+  [[deprecated("use transmit(TransmitOptions) with .slots")]]
   rx::RxReport transmit_round_subset(std::span<const std::size_t> slots,
                                      Rng& rng) const;
 

@@ -1,0 +1,69 @@
+// Minimal JSON support for the experiment layer: a streaming writer with
+// deterministic number formatting (shortest round-trip via std::to_chars),
+// and a small recursive-descent parser used by tests and tooling to
+// validate the BENCH_*.json documents the recorder emits. Not a general
+// JSON library — just what structured bench results need.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cbma::util {
+
+/// Escape a string for embedding in a JSON document (adds the quotes).
+std::string json_quote(const std::string& s);
+
+/// Deterministic JSON number formatting: shortest representation that
+/// round-trips the double (std::to_chars), so identical results serialize
+/// to identical bytes regardless of locale or thread count.
+std::string json_number(double v);
+
+/// Streaming writer producing a compact single-line document. Scope
+/// management is explicit; keys apply to the next value inside an object.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  JsonWriter& key(const std::string& k);
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);  // also covers std::size_t
+  JsonWriter& value(int v);
+  JsonWriter& value(bool v);
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void comma();
+  std::string out_;
+  std::vector<bool> first_in_scope_;
+  bool pending_key_ = false;
+};
+
+/// Parsed JSON value (tests / validation only; not performance-sensitive).
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool has(const std::string& k) const { return object.count(k) != 0; }
+  const JsonValue& at(const std::string& k) const { return object.at(k); }
+};
+
+/// Parse a complete JSON document; throws std::runtime_error with a byte
+/// offset on malformed input.
+JsonValue json_parse(const std::string& text);
+
+}  // namespace cbma::util

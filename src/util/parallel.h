@@ -23,10 +23,15 @@ inline std::uint64_t point_seed(std::uint64_t base_seed, std::size_t point_index
   return x;
 }
 
-/// Run f(0..n-1) across hardware threads; f must only touch its own slot.
-inline void parallel_for(std::size_t n, const std::function<void(std::size_t)>& f) {
-  const std::size_t workers =
-      std::min<std::size_t>(std::max(1u, std::thread::hardware_concurrency()), n);
+/// Run f(0..n-1) across threads; f must only touch its own slot.
+/// `max_workers` caps the pool (0 = hardware concurrency) — the sweep
+/// golden test uses it to prove results are thread-count independent.
+inline void parallel_for(std::size_t n, const std::function<void(std::size_t)>& f,
+                         std::size_t max_workers = 0) {
+  if (max_workers == 0) {
+    max_workers = std::max(1u, std::thread::hardware_concurrency());
+  }
+  const std::size_t workers = std::min<std::size_t>(max_workers, n);
   if (workers <= 1) {
     for (std::size_t i = 0; i < n; ++i) f(i);
     return;

@@ -24,6 +24,11 @@ class Table {
 
   std::size_t rows() const { return rows_.size(); }
 
+  /// Cell access for consumers that re-emit the table in another format
+  /// (the RunRecorder mirrors every printed table into BENCH_*.json).
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& row_data() const { return rows_; }
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

@@ -1,0 +1,167 @@
+// core/recorder: the structured-results half of the experiment API. Pins
+// the two contracts the bench suite depends on: the BENCH_*.json document
+// is schema-versioned and complete, and a sweep's recorded output is
+// byte-identical across worker counts for a fixed seed (the golden
+// determinism guarantee).
+#include "core/recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/config.h"
+#include "core/sweep.h"
+#include "util/json.h"
+
+namespace cbma::core {
+namespace {
+
+SweepSpec demo_spec() {
+  SweepSpec spec;
+  spec.name = "recorder_unit_test";
+  spec.title = "recorder unit test";
+  spec.paper_ref = "tests only";
+  spec.axes = {Axis::numeric("distance", {1.0, 2.0, 4.0}, "m"),
+               Axis::categorical("family", {"gold", "2nc"})};
+  spec.trials = 16;
+  spec.base_seed = 4242;
+  return spec;
+}
+
+/// Deterministic pseudo-measurement derived only from the point.
+double fake_metric(const SweepPoint& point) {
+  return static_cast<double>(point.seed() % 1000) / 1000.0 +
+         point.value(0) * 0.01;
+}
+
+TEST(RunRecorder, MetricsRoundTripPerPoint) {
+  RunRecorder recorder(demo_spec(), SystemConfig{});
+  recorder.record(0, "fer", 0.25);
+  recorder.record(0, "snr_db", 12.5);
+  recorder.record(5, "fer", 0.75);
+  EXPECT_EQ(recorder.metric(0, "fer"), 0.25);
+  EXPECT_EQ(recorder.metric(0, "snr_db"), 12.5);
+  EXPECT_EQ(recorder.metric(5, "fer"), 0.75);
+  EXPECT_THROW(recorder.metric(1, "fer"), std::invalid_argument);
+  EXPECT_THROW(recorder.metric(0, "missing"), std::invalid_argument);
+  EXPECT_THROW(recorder.record(6, "fer", 0.0), std::invalid_argument);
+}
+
+TEST(RunRecorder, JsonMatchesSchema) {
+  const auto spec = demo_spec();
+  RunRecorder recorder(spec, SystemConfig{});
+  SweepRunner(spec).run([&](const SweepPoint& point) {
+    recorder.record(point.flat(), "fer", fake_metric(point));
+  });
+  Table table({"distance", "FER"});
+  table.add_row({"1.0", "0.25"});
+  recorder.print_table(table);
+  recorder.check("error grows with distance", true);
+  recorder.check("violated example", false, "expected in this test");
+  recorder.note("free-form note");
+
+  const auto doc = util::json_parse(recorder.json());
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.at("schema_version").number, kBenchJsonSchemaVersion);
+  EXPECT_EQ(doc.at("bench").string, "recorder_unit_test");
+  EXPECT_EQ(doc.at("title").string, "recorder unit test");
+  EXPECT_EQ(doc.at("paper_ref").string, "tests only");
+  EXPECT_EQ(doc.at("base_seed").number, 4242.0);
+  EXPECT_EQ(doc.at("trials_per_point").number, 16.0);
+
+  ASSERT_TRUE(doc.at("config").is_object());
+  EXPECT_EQ(doc.at("config").at("summary").string, SystemConfig{}.summary());
+  EXPECT_EQ(doc.at("config").at("fingerprint").string.size(), 16u);
+
+  const auto& axes = doc.at("axes");
+  ASSERT_TRUE(axes.is_array());
+  ASSERT_EQ(axes.array.size(), 2u);
+  EXPECT_EQ(axes.array[0].at("name").string, "distance");
+  EXPECT_EQ(axes.array[0].at("unit").string, "m");
+  ASSERT_EQ(axes.array[0].at("values").array.size(), 3u);
+  EXPECT_EQ(axes.array[0].at("values").array[2].number, 4.0);
+  EXPECT_EQ(axes.array[1].at("name").string, "family");
+  ASSERT_EQ(axes.array[1].at("labels").array.size(), 2u);
+  EXPECT_EQ(axes.array[1].at("labels").array[1].string, "2nc");
+
+  const auto& points = doc.at("points");
+  ASSERT_TRUE(points.is_array());
+  ASSERT_EQ(points.array.size(), spec.point_count());
+  for (std::size_t flat = 0; flat < spec.point_count(); ++flat) {
+    const auto& p = points.array[flat];
+    ASSERT_EQ(p.at("index").array.size(), 2u);
+    EXPECT_EQ(p.at("index").array[0].number, static_cast<double>(flat / 2));
+    EXPECT_EQ(p.at("index").array[1].number, static_cast<double>(flat % 2));
+    EXPECT_EQ(p.at("metrics").at("fer").number,
+              fake_metric(SweepPoint(spec, flat)));
+  }
+
+  const auto& tables = doc.at("tables");
+  ASSERT_EQ(tables.array.size(), 1u);
+  EXPECT_EQ(tables.array[0].at("headers").array[1].string, "FER");
+  EXPECT_EQ(tables.array[0].at("rows").array[0].array[1].string, "0.25");
+
+  const auto& checks = doc.at("checks");
+  ASSERT_EQ(checks.array.size(), 2u);
+  EXPECT_TRUE(checks.array[0].at("holds").boolean);
+  EXPECT_FALSE(checks.array[1].at("holds").boolean);
+  EXPECT_EQ(checks.array[1].at("detail").string, "expected in this test");
+
+  ASSERT_EQ(doc.at("notes").array.size(), 1u);
+  EXPECT_EQ(doc.at("notes").array[0].string, "free-form note");
+}
+
+// The golden guarantee every bench relies on: for a fixed base seed, the
+// complete structured document — every metric, on every point — is
+// byte-identical whether the sweep ran on one thread or many.
+TEST(RunRecorder, JsonByteIdenticalAcrossWorkerCounts) {
+  const auto spec = demo_spec();
+  auto run_with = [&](std::size_t workers) {
+    RunRecorder recorder(spec, SystemConfig{});
+    SweepRunner(spec).run(
+        [&](const SweepPoint& point) {
+          recorder.record(point.flat(), "fer", fake_metric(point));
+          recorder.record(point.flat(), "seed_lsb",
+                          static_cast<double>(point.seed() & 0xFF));
+        },
+        workers);
+    return recorder.json();
+  };
+  const auto serial = run_with(1);
+  EXPECT_EQ(serial, run_with(4));
+  EXPECT_EQ(serial, run_with(3));
+}
+
+TEST(RunRecorder, FinishWritesValidJsonToBenchDir) {
+  const auto dir = ::testing::TempDir() + "cbma_recorder_test";
+  std::remove((dir + "/BENCH_recorder_unit_test.json").c_str());
+  ASSERT_EQ(std::system(("mkdir -p '" + dir + "'").c_str()), 0);
+  setenv("CBMA_BENCH_DIR", dir.c_str(), 1);
+  setenv("CBMA_GIT_SHA", "deadbeef", 1);
+
+  RunRecorder recorder(demo_spec(), SystemConfig{});
+  recorder.record(0, "fer", 0.5);
+  EXPECT_EQ(recorder.finish(), 0);
+
+  std::ifstream in(dir + "/BENCH_recorder_unit_test.json");
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const auto doc = util::json_parse([&] {
+    auto text = buffer.str();
+    while (!text.empty() && text.back() == '\n') text.pop_back();
+    return text;
+  }());
+  EXPECT_EQ(doc.at("bench").string, "recorder_unit_test");
+  EXPECT_EQ(doc.at("git_sha").string, "deadbeef");
+
+  unsetenv("CBMA_GIT_SHA");
+  unsetenv("CBMA_BENCH_DIR");
+}
+
+}  // namespace
+}  // namespace cbma::core

@@ -108,7 +108,7 @@ TEST(CbmaSystem, TransmitRoundDecodesBothCloseTags) {
   Rng rng(1);
   int both = 0;
   for (int i = 0; i < 10; ++i) {
-    const auto report = sys.transmit_round(rng);
+    const auto report = sys.transmit({}, rng);
     if (report.ack.contains(0) && report.ack.contains(1)) ++both;
   }
   EXPECT_GE(both, 9);
@@ -118,7 +118,9 @@ TEST(CbmaSystem, ExplicitPayloadsRoundTrip) {
   const CbmaSystem sys(fast_config(), close_pair());
   Rng rng(2);
   const std::vector<std::vector<std::uint8_t>> payloads{{0x11, 0x22}, {0x33}};
-  const auto report = sys.transmit_round(payloads, rng);
+  TransmitOptions options;
+  options.payloads = payloads;
+  const auto report = sys.transmit(options, rng);
   ASSERT_TRUE(report.ack.contains(0));
   ASSERT_TRUE(report.ack.contains(1));
   EXPECT_EQ(report.for_tag(0).payload, payloads[0]);
@@ -129,19 +131,23 @@ TEST(CbmaSystem, PayloadArityValidated) {
   const CbmaSystem sys(fast_config(), close_pair());
   Rng rng(3);
   const std::vector<std::vector<std::uint8_t>> payloads{{0x11}};
-  EXPECT_THROW(sys.transmit_round(payloads, rng), std::invalid_argument);
+  TransmitOptions options;
+  options.payloads = payloads;
+  EXPECT_THROW(sys.transmit(options, rng), std::invalid_argument);
 }
 
 TEST(CbmaSystem, ExplicitDelaysValidated) {
   const CbmaSystem sys(fast_config(), close_pair());
   Rng rng(4);
   const std::vector<std::vector<std::uint8_t>> payloads{{1}, {2}};
+  TransmitOptions options;
+  options.payloads = payloads;
   const std::vector<double> wrong_arity{0.0};
-  EXPECT_THROW(sys.transmit_round_with_delays(payloads, wrong_arity, rng),
-               std::invalid_argument);
+  options.delay_chips = wrong_arity;
+  EXPECT_THROW(sys.transmit(options, rng), std::invalid_argument);
   const std::vector<double> negative{0.0, -1.0};
-  EXPECT_THROW(sys.transmit_round_with_delays(payloads, negative, rng),
-               std::invalid_argument);
+  options.delay_chips = negative;
+  EXPECT_THROW(sys.transmit(options, rng), std::invalid_argument);
 }
 
 TEST(CbmaSystem, RunPacketsCountsPerSlot) {
@@ -204,7 +210,7 @@ TEST(CbmaSystem, InterferersAndExcitationInjectable) {
   sys.add_interferer(std::make_unique<rfsim::BluetoothInterferer>(1e-9));
   sys.set_excitation(std::make_unique<rfsim::OfdmExcitation>(1e-3, 1e-3));
   Rng rng(9);
-  EXPECT_NO_THROW(sys.transmit_round(rng));
+  EXPECT_NO_THROW(sys.transmit({}, rng));
   sys.clear_interferers();
   EXPECT_THROW(sys.set_excitation(nullptr), std::invalid_argument);
   EXPECT_THROW(sys.add_interferer(nullptr), std::invalid_argument);

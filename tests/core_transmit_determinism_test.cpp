@@ -12,6 +12,11 @@
 #include <cstdint>
 #include <vector>
 
+// This file exists to exercise the deprecated transmit_round_* shims
+// against the unified entry point; the deprecation warnings are expected.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 namespace cbma::core {
 namespace {
 
@@ -186,3 +191,5 @@ TEST(TransmitDeterminism, OptionValidation) {
 
 }  // namespace
 }  // namespace cbma::core
+
+#pragma GCC diagnostic pop

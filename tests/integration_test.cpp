@@ -66,7 +66,9 @@ TEST(Integration, PayloadIntegrityAcrossTheAir) {
       for (auto& b : p) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
       payloads.push_back(std::move(p));
     }
-    const auto report = sys.transmit_round(payloads, rng);
+    TransmitOptions options;
+    options.payloads = payloads;
+    const auto report = sys.transmit(options, rng);
     for (std::size_t k = 0; k < 4; ++k) {
       if (report.results[k].crc_ok) {
         EXPECT_EQ(report.results[k].payload, payloads[k]) << "tag " << k;
@@ -87,7 +89,9 @@ TEST(Integration, SubsetTransmissionMatchesActiveSet) {
       if (rng.bernoulli(0.5)) subset.push_back(k);
     }
     if (subset.empty()) subset.push_back(0);
-    const auto report = sys.transmit_round_subset(subset, rng);
+    TransmitOptions options;
+    options.slots = subset;
+    const auto report = sys.transmit(options, rng);
     for (std::size_t k = 0; k < 6; ++k) {
       const bool sent = std::find(subset.begin(), subset.end(), k) != subset.end();
       if (report.ack.contains(k) != sent) ++mismatches;
@@ -101,9 +105,13 @@ TEST(Integration, SubsetValidatesSlots) {
   cfg.max_tags = 3;
   CbmaSystem sys(cfg, ring(3));
   Rng rng(1);
-  EXPECT_THROW(sys.transmit_round_subset({}, rng), std::invalid_argument);
   const std::vector<std::size_t> bad{5};
-  EXPECT_THROW(sys.transmit_round_subset(bad, rng), std::invalid_argument);
+  TransmitOptions options;
+  options.slots = bad;
+  EXPECT_THROW(sys.transmit(options, rng), std::invalid_argument);
+  // Empty .slots means "whole group" in the unified API; the legacy shim's
+  // non-empty contract is pinned in core_transmit_determinism_test.
+  EXPECT_NO_THROW(sys.transmit({}, rng));
 }
 
 TEST(Integration, EndToEndDeterminism) {

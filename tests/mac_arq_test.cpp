@@ -135,7 +135,9 @@ TEST(ArqEndToEnd, RetransmissionLiftsDelivery) {
     // Drive rounds until this batch resolves.
     while (!arq.due().empty()) {
       const auto tx = arq.due();
-      const auto report = sys.transmit_round_subset(tx, rng);
+      core::TransmitOptions options;
+      options.slots = tx;
+      const auto report = sys.transmit(options, rng);
       if (tx.size() == 3) {
         // First attempt of the batch = the single-shot comparison point.
         for (const auto slot : tx) {

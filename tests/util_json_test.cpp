@@ -1,0 +1,83 @@
+// util/json: deterministic serialization and the validation parser the
+// bench tooling and recorder tests rely on.
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace cbma::util {
+namespace {
+
+TEST(JsonQuote, EscapesControlAndSpecialCharacters) {
+  EXPECT_EQ(json_quote("plain"), "\"plain\"");
+  EXPECT_EQ(json_quote("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(json_quote("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(json_quote("line\nbreak\ttab"), "\"line\\nbreak\\ttab\"");
+  EXPECT_EQ(json_quote(std::string(1, '\x01')), "\"\\u0001\"");
+}
+
+TEST(JsonNumber, ShortestRoundTrip) {
+  EXPECT_EQ(json_number(0.0), "0");
+  EXPECT_EQ(json_number(42.0), "42");
+  EXPECT_EQ(json_number(0.1), "0.1");
+  EXPECT_EQ(json_number(-2.5), "-2.5");
+  // Round-trip: parsing the emitted text recovers the exact double.
+  for (const double v : {1.0 / 3.0, 1e-9, 3.25e8, 0.015625, 123456.789}) {
+    const auto parsed = json_parse(json_number(v));
+    EXPECT_EQ(parsed.number, v);
+  }
+}
+
+TEST(JsonWriter, BuildsNestedDocument) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("name").value("fig8a");
+  w.key("version").value(1);
+  w.key("ok").value(true);
+  w.key("values").begin_array().value(1.5).value(2.5).end_array();
+  w.key("nested").begin_object().key("x").value(std::uint64_t{7}).end_object();
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            "{\"name\":\"fig8a\",\"version\":1,\"ok\":true,"
+            "\"values\":[1.5,2.5],\"nested\":{\"x\":7}}");
+}
+
+TEST(JsonParse, RoundTripsWriterOutput) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("s").value("e\"sc\\ape\n");
+  w.key("n").value(-0.125);
+  w.key("b").value(false);
+  w.key("null_like").begin_array().end_array();
+  w.end_object();
+
+  const auto doc = json_parse(w.str());
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.at("s").string, "e\"sc\\ape\n");
+  EXPECT_EQ(doc.at("n").number, -0.125);
+  EXPECT_FALSE(doc.at("b").boolean);
+  EXPECT_TRUE(doc.at("null_like").is_array());
+  EXPECT_TRUE(doc.at("null_like").array.empty());
+}
+
+TEST(JsonParse, AcceptsStandardForms) {
+  EXPECT_EQ(json_parse("null").type, JsonValue::Type::kNull);
+  EXPECT_TRUE(json_parse("true").boolean);
+  EXPECT_EQ(json_parse(" [1, 2.5e1, -3] ").array.size(), 3u);
+  EXPECT_EQ(json_parse("[1,25,-3]").array[1].number, 25.0);
+  EXPECT_EQ(json_parse("\"\\u0041\\u00e9\"").string, "A\xc3\xa9");
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  EXPECT_THROW(json_parse(""), std::runtime_error);
+  EXPECT_THROW(json_parse("{"), std::runtime_error);
+  EXPECT_THROW(json_parse("{\"a\":}"), std::runtime_error);
+  EXPECT_THROW(json_parse("[1,]"), std::runtime_error);
+  EXPECT_THROW(json_parse("{} trailing"), std::runtime_error);
+  EXPECT_THROW(json_parse("'single'"), std::runtime_error);
+  EXPECT_THROW(json_parse("{\"a\" 1}"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cbma::util

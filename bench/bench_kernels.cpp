@@ -25,7 +25,7 @@ namespace {
 using namespace cbma;
 
 /// Attach a "ns_per_packet" counter: wall nanoseconds per processed item,
-/// the figure DESIGN.md §7 quotes (items = packets for the end-to-end
+/// the figure DESIGN.md §4.7 quotes (items = packets for the end-to-end
 /// benches, chips/lags for the kernels).
 void set_rate_counters(benchmark::State& state, std::int64_t items_per_iter) {
   state.counters["ns_per_packet"] = benchmark::Counter(

@@ -89,6 +89,7 @@ std::vector<std::string> SystemConfig::validate() const {
       fail("multipath.max_excess_delay_chips must be non-negative");
     }
   }
+  for (auto& msg : impairments.validate()) errors.push_back(std::move(msg));
 
   // --- receiver ---
   if (sync.window < 1) fail("sync.window must be at least 1");
@@ -120,6 +121,11 @@ std::string SystemConfig::summary() const {
      << " preamble=" << preamble_bits << "b payload=" << payload_bytes << "B"
      << " bitrate=" << bitrate_bps / 1e6 << "Mbps"
      << " Pt=" << tx_power_dbm << "dBm spc=" << samples_per_chip;
+  // Impairments change what an experiment measures, so they must change the
+  // config fingerprint; a default (all-off) config keeps its summary bytes.
+  if (const auto imp = impairments.summary(); !imp.empty()) {
+    os << " imp=[" << imp << "]";
+  }
   return os.str();
 }
 

@@ -11,6 +11,7 @@
 
 #include "pn/code.h"
 #include "rfsim/channel.h"
+#include "rfsim/impairment.h"
 #include "rx/receiver.h"
 
 namespace cbma::core {
@@ -40,6 +41,11 @@ struct SystemConfig {
   // --- channel / timing ---
   std::size_t samples_per_chip = 4;
   rfsim::MultipathConfig multipath;       ///< off by default; macro benches enable it
+  /// Fault injection (DESIGN.md §6): excitation dropout, tag clock drift,
+  /// SPDT switching jitter/settling, impulsive interference, ADC
+  /// saturation/quantization. Every stage defaults to off, in which case the
+  /// simulation (and every RNG draw) is identical to the clean pipeline.
+  rfsim::ImpairmentConfig impairments;
   double lead_in_chips = 64.0;            ///< silence before the earliest tag
   double max_async_jitter_chips = 1.0;    ///< uniform per-tag start offset
   /// Residual oscillator offset of each tag's subcarrier, uniform in

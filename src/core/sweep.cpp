@@ -1,5 +1,7 @@
 #include "core/sweep.h"
 
+#include <limits>
+
 #include "util/expect.h"
 
 namespace cbma::core {
@@ -24,7 +26,14 @@ Axis Axis::categorical(std::string name, std::vector<std::string> labels) {
 
 std::size_t SweepSpec::point_count() const {
   std::size_t n = 1;
-  for (const auto& axis : axes) n *= axis.size();
+  for (const auto& axis : axes) {
+    const std::size_t s = axis.size();
+    // Unchecked n *= s wraps silently for pathological grids and the
+    // resulting "small" sweep would run (and record into) the wrong points.
+    CBMA_REQUIRE(s == 0 || n <= std::numeric_limits<std::size_t>::max() / s,
+                 "sweep grid overflows std::size_t at axis '" + axis.name + "'");
+    n *= s;
+  }
   return n;
 }
 

@@ -63,11 +63,14 @@ CbmaSystem::CbmaSystem(SystemConfig config, rfsim::Deployment population)
       config_.max_async_jitter_chips + 2.0;
   config_.lead_in_chips = std::max(config_.lead_in_chips, min_lead_chips);
 
+  impairments_ = rfsim::ImpairmentSuite(config_.impairments);
+
   rfsim::ChannelConfig ch;
   ch.samples_per_chip = config_.samples_per_chip;
   ch.chip_rate_hz = config_.chip_rate_hz();
   ch.noise_power_w = noise_power_w_;
   ch.multipath = config_.multipath;
+  ch.impairments = config_.impairments;
   channel_ = std::make_unique<rfsim::Channel>(ch);
 
   rx::ReceiverConfig rc;
@@ -95,6 +98,11 @@ CbmaSystem::CbmaSystem(SystemConfig config, rfsim::Deployment population)
     tc.preamble_bits = config_.preamble_bits;
     tc.impedance_levels = bank_.size();
     slot_tags_.emplace_back(tc);
+    // Static crystal offsets spread the slots over ±max_static_ppm — the
+    // deterministic per-tag component of the clock-drift impairment (0 when
+    // the drift stage is off).
+    slot_tags_.back().set_clock_offset_ppm(
+        impairments_.static_clock_ppm(k, config_.max_tags));
   }
 
   // Default group: the first max_tags population members (or all of them).
@@ -237,6 +245,17 @@ rx::RxReport CbmaSystem::transmit(const TransmitOptions& options, Rng& rng,
     CBMA_REQUIRE(delay >= 0.0, "tag delays must be non-negative");
     tx.delay_chips = config_.lead_in_chips + delay;
     tx.freq_offset_hz = rng.uniform(-config_.cfo_max_hz, config_.cfo_max_hz);
+    // Injected tag-side faults. Draw order per slot (contractual, after the
+    // clean phase/delay/CFO draws so an all-off config leaves the historical
+    // RNG stream untouched): clock wander, then switching jitter.
+    if (impairments_.any_enabled()) {
+      const auto clock = impairments_.perturb_clock(
+          slot_tags_[slot_of(k)].clock_offset_ppm(), config_.subcarrier_hz,
+          static_cast<double>(scratch.chip_seqs[k].size()), rng);
+      tx.freq_offset_hz += clock.extra_freq_offset_hz;
+      tx.delay_chips = std::max(0.0, tx.delay_chips + clock.extra_delay_chips +
+                                         impairments_.switching_jitter_chips(rng));
+    }
     scratch.txs.push_back(tx);
   }
 

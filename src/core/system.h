@@ -165,6 +165,10 @@ class CbmaSystem {
   double noise_power_w() const { return noise_power_w_; }
   const std::vector<pn::PnCode>& group_codes() const { return codes_; }
   const rx::Receiver& receiver() const { return *receiver_; }
+  /// The fault-injection stages this cell runs under (config().impairments
+  /// applied; all-off by default). The channel owns its own copy for the
+  /// synthesis-side stages; this one drives the tag-side perturbations.
+  const rfsim::ImpairmentSuite& impairments() const { return impairments_; }
 
  private:
   double tag_amplitude(std::size_t pop_index) const;
@@ -177,6 +181,7 @@ class CbmaSystem {
   std::vector<std::size_t> group_;     ///< population indices
   std::vector<std::size_t> impedance_; ///< per population tag
   std::vector<phy::Tag> slot_tags_;    ///< PHY per group slot
+  rfsim::ImpairmentSuite impairments_; ///< tag-side fault injection
   double noise_power_w_;
   rfsim::ObstacleMap obstacles_;
   std::unique_ptr<rfsim::Channel> channel_;

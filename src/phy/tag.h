@@ -49,6 +49,13 @@ class Tag {
   std::size_t impedance_level() const { return impedance_level_; }
   void set_impedance_level(std::size_t level);
 
+  /// Static chip-clock offset of this tag's crystal (ppm). 0 by default;
+  /// the system assigns per-slot offsets when the clock-drift impairment is
+  /// enabled, and each transmission derives its subcarrier shift and timing
+  /// skew from it (rfsim::ImpairmentSuite::perturb_clock).
+  double clock_offset_ppm() const { return clock_offset_ppm_; }
+  void set_clock_offset_ppm(double ppm) { clock_offset_ppm_ = ppm; }
+
   /// Algorithm 1 lines 18–22: advance to the next level, wrapping at Z_max.
   void step_impedance();
 
@@ -57,6 +64,7 @@ class Tag {
  private:
   TagConfig config_;
   std::size_t impedance_level_ = 0;
+  double clock_offset_ppm_ = 0.0;
   std::vector<std::uint8_t> preamble_chips_;  ///< spread preamble waveform cache
 };
 

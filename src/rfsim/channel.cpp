@@ -8,7 +8,8 @@
 
 namespace cbma::rfsim {
 
-Channel::Channel(ChannelConfig config) : config_(config) {
+Channel::Channel(ChannelConfig config)
+    : config_(config), impairments_(config.impairments) {
   CBMA_REQUIRE(config_.samples_per_chip >= 1, "samples_per_chip must be positive");
   CBMA_REQUIRE(config_.chip_rate_hz > 0.0, "chip rate must be positive");
   CBMA_REQUIRE(config_.noise_power_w >= 0.0, "negative noise power");
@@ -104,6 +105,9 @@ void Channel::receive_into(std::span<const TagTransmission> tags,
 
   scratch.envelope.assign(n_samples, 1.0);
   excitation.envelope(scratch.envelope, sample_rate_hz(), rng);
+  // Injected excitation dropout gates whatever envelope the source produced
+  // (a tone turns bursty; an OFDM source loses additional air time).
+  impairments_.gate_excitation(scratch.envelope, sample_rate_hz(), rng);
 
   for (const auto& tag : tags) {
     // Expand the chip sequence to per-sample 0/1 values once per tag; the
@@ -114,6 +118,7 @@ void Channel::receive_into(std::span<const TagTransmission> tags,
       const double v = c ? 1.0 : 0.0;
       for (std::size_t s = 0; s < config_.samples_per_chip; ++s) *w++ = v;
     }
+    impairments_.settle_waveform(scratch.waveform, config_.samples_per_chip);
 
     add_tag_path(iq, scratch.waveform, tag.amplitude, tag.phase, tag.delay_chips,
                  tag.freq_offset_hz, scratch.envelope);
@@ -136,6 +141,9 @@ void Channel::receive_into(std::span<const TagTransmission> tags,
   }
 
   AwgnSource(config_.noise_power_w).add_to(iq, rng);
+  // Receiver-side impairments see the fully composed antenna signal:
+  // impulsive bursts add on top of noise, then the ADC clips and quantizes.
+  impairments_.distort_rx(iq, sample_rate_hz(), rng);
 }
 
 std::vector<std::complex<double>> Channel::receive(

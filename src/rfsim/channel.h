@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "rfsim/excitation.h"
+#include "rfsim/impairment.h"
 #include "rfsim/interference.h"
 #include "rfsim/noise.h"
 #include "util/rng.h"
@@ -50,6 +51,11 @@ struct ChannelConfig {
   double noise_power_w = 0.0;
   double tail_pad_chips = 8.0;  ///< silence appended after the longest burst
   MultipathConfig multipath;
+  /// Fault-injection stages applied during synthesis (all off by default):
+  /// excitation dropout gates the envelope, SPDT settling shapes each tag's
+  /// chip waveform, and impulsive bursts + ADC distortion hit the received
+  /// window after noise. See DESIGN.md §6 for the ordering contract.
+  ImpairmentConfig impairments;
 };
 
 /// Reusable synthesis buffers: sized once for a group's window length and
@@ -97,6 +103,7 @@ class Channel {
                     std::span<const double> envelope) const;
 
   ChannelConfig config_;
+  ImpairmentSuite impairments_;
 };
 
 }  // namespace cbma::rfsim

@@ -1,0 +1,160 @@
+// Composable, seed-deterministic fault injection for the simulated cell.
+//
+// The paper's robustness results are measured under degraded conditions —
+// bursty OFDM excitation instead of a continuous tone (Fig. 12), large
+// inter-tag power differences (Table II) — while the clean simulation models
+// an always-on tone, ideal tag clocks, instantaneous SPDT switching and an
+// ideal receiver front end. ImpairmentSuite injects those degradations as
+// orthogonal, individually-gated stages so any bench can measure how
+// gracefully the system degrades:
+//
+//   excitation side  DropoutImpairment      bursty on/off gating of the
+//                                           excitation envelope (generalizes
+//                                           the Fig. 12 OFDM envelope)
+//   tag side         ClockDriftImpairment   chip-clock ppm error per tag:
+//                                           subcarrier frequency offset plus
+//                                           the accumulated timing skew
+//                    SwitchingImpairment    SPDT start jitter and RC-style
+//                                           settling of chip transitions
+//   receiver side    ImpulsiveImpairment    impulsive interference bursts in
+//                                           the received window
+//                    AdcImpairment          front-end saturation (clipping)
+//                                           and uniform quantization
+//
+// Every stage is off by default and draws from the caller's Rng only when
+// enabled, so a default ImpairmentConfig leaves the RNG stream — and thus
+// every existing bench table and BENCH_*.json byte — untouched. See
+// DESIGN.md §6 for the model and the stage-ordering contract.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace cbma::rfsim {
+
+/// Excitation dropout: the carrier gates on and off in exponentially
+/// distributed bursts (the tag cannot backscatter while it is off). `duty`
+/// is the long-run on-air fraction; 1.0 keeps the excitation continuous.
+struct DropoutImpairment {
+  bool enabled = false;
+  double duty = 1.0;           ///< long-run on-air fraction in (0, 1]
+  double mean_burst_s = 500e-6;  ///< mean on-duration (802.11-frame scale)
+};
+
+/// Tag chip-clock error. Each group slot gets a static crystal offset
+/// spread uniformly over [-max_static_ppm, +max_static_ppm] (assigned
+/// deterministically at system construction), plus an optional per-frame
+/// uniform wander of ±wander_ppm (temperature drift). A ppm error on the
+/// chip clock shifts the derived subcarrier by the same relative amount and
+/// skews the frame timing by ppm × frame length.
+struct ClockDriftImpairment {
+  bool enabled = false;
+  double max_static_ppm = 0.0;  ///< per-slot crystal offset spread
+  double wander_ppm = 0.0;      ///< additional per-frame uniform wander
+};
+
+/// SPDT switch non-ideality: a uniform [0, jitter_chips] extra start delay
+/// per frame, and first-order settling of every chip transition with time
+/// constant settle_chips (fraction of a chip) — short chips never reach the
+/// full reflection coefficient, eroding correlation margin.
+struct SwitchingImpairment {
+  bool enabled = false;
+  double jitter_chips = 0.0;
+  double settle_chips = 0.0;  ///< RC time constant, in chips (0 = ideal)
+};
+
+/// Impulsive interference: bursts arriving as a Poisson process (exponential
+/// inter-arrival at `events_per_s`), each an exponentially distributed
+/// duration of constant-envelope noise at `amplitude` with a random phase.
+struct ImpulsiveImpairment {
+  bool enabled = false;
+  double events_per_s = 0.0;
+  double mean_duration_s = 1e-6;
+  double amplitude = 0.0;  ///< per-burst envelope (same units as tag amplitude)
+};
+
+/// Receiver ADC front end: I and Q are independently clipped to
+/// ±full_scale and quantized to `bits` uniform levels across that range.
+struct AdcImpairment {
+  bool enabled = false;
+  double full_scale = 0.0;  ///< clip level; must be > 0 when enabled
+  unsigned bits = 12;       ///< quantizer resolution (1..32)
+};
+
+struct ImpairmentConfig {
+  DropoutImpairment dropout;
+  ClockDriftImpairment drift;
+  SwitchingImpairment switching;
+  ImpulsiveImpairment impulsive;
+  AdcImpairment adc;
+
+  bool any_enabled() const {
+    return dropout.enabled || drift.enabled || switching.enabled ||
+           impulsive.enabled || adc.enabled;
+  }
+
+  /// Descriptive message per violated constraint (empty = valid);
+  /// SystemConfig::validate() splices these into its own report.
+  std::vector<std::string> validate() const;
+
+  /// Compact "dropout(duty=0.5) adc(10b)" token for config summaries;
+  /// empty when nothing is enabled, so default configs keep their
+  /// fingerprint.
+  std::string summary() const;
+};
+
+/// One tag's drawn perturbation for a frame; the system applies it to the
+/// TagTransmission it hands the channel.
+struct TagPerturbation {
+  double extra_delay_chips = 0.0;
+  double extra_freq_offset_hz = 0.0;
+};
+
+/// Applies an ImpairmentConfig's stages. Stateless beyond the config —
+/// all randomness comes from the caller's Rng, in a fixed stage order, so
+/// results are reproducible from the seed alone.
+class ImpairmentSuite {
+ public:
+  ImpairmentSuite() = default;
+  explicit ImpairmentSuite(ImpairmentConfig config);
+
+  const ImpairmentConfig& config() const { return config_; }
+  bool any_enabled() const { return config_.any_enabled(); }
+
+  /// Static crystal offset (ppm) assigned to group slot `slot` of
+  /// `slot_count`: slots are spread evenly over ±max_static_ppm (a single
+  /// slot sits at +max_static_ppm). Deterministic — no RNG.
+  double static_clock_ppm(std::size_t slot, std::size_t slot_count) const;
+
+  /// Per-frame clock perturbation of a tag whose crystal offset is
+  /// `static_ppm`: the subcarrier offset in Hz plus the mean timing skew
+  /// over a `frame_chips`-chip burst. Draws once iff wander is enabled.
+  TagPerturbation perturb_clock(double static_ppm, double subcarrier_hz,
+                                double frame_chips, Rng& rng) const;
+
+  /// Extra SPDT start delay for one frame (chips); draws iff enabled.
+  double switching_jitter_chips(Rng& rng) const;
+
+  /// Gate the excitation envelope with exponential on/off dropout bursts.
+  void gate_excitation(std::span<double> envelope, double sample_rate_hz,
+                       Rng& rng) const;
+
+  /// First-order settling of the per-sample 0/1 chip waveform (no RNG).
+  void settle_waveform(std::span<double> waveform,
+                       std::size_t samples_per_chip) const;
+
+  /// Receiver-side distortion, applied after noise: impulsive bursts first
+  /// (they pass through the front end), then ADC clipping + quantization.
+  void distort_rx(std::span<std::complex<double>> iq, double sample_rate_hz,
+                  Rng& rng) const;
+
+ private:
+  ImpairmentConfig config_;
+};
+
+}  // namespace cbma::rfsim

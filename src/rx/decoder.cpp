@@ -72,13 +72,25 @@ DecodedFrame Decoder::decode(std::span<const double> re, std::span<const double>
   };
 
   // Length byte first, then exactly the advertised id + payload + CRC.
-  if (!decode_bits(0, 8)) return out;
+  // Early exits report `truncated` instead of throwing: garbage or cut-off
+  // windows are expected inputs under degraded excitation, and the caller
+  // (Receiver::process_iq) turns them into a failed DecodeOutcome.
+  if (!decode_bits(0, 8)) {
+    out.truncated = true;
+    return out;
+  }
   std::size_t length = 0;
   for (std::size_t i = 0; i < 8; ++i) length = (length << 1) | out.bits[i];
-  if (length > phy::kMaxPayloadBytes) return out;
+  if (length > phy::kMaxPayloadBytes) {
+    out.truncated = true;  // impossible length byte: garbage, not a frame
+    return out;
+  }
   out.bits.reserve(8 + 8 * (length + 3));
   out.soft.reserve(8 + 8 * (length + 3));
-  if (!decode_bits(8, 8 * (length + 3))) return out;
+  if (!decode_bits(8, 8 * (length + 3))) {
+    out.truncated = true;
+    return out;
+  }
 
   out.frame = phy::parse_frame_body(out.bits);
   out.crc_ok = out.frame.has_value() && out.frame->crc_ok;

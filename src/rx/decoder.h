@@ -25,6 +25,9 @@ struct DecodedFrame {
   std::vector<double> soft;        ///< per-bit coherent correlation values
   std::optional<phy::ParsedFrame> frame;
   bool crc_ok = false;
+  /// The window ended (or the advertised length was impossible) before the
+  /// frame body completed — decoding stopped early rather than failing CRC.
+  bool truncated = false;
   double final_phase = 0.0;        ///< tracked carrier phase after the frame
 };
 

@@ -8,6 +8,18 @@
 
 namespace cbma::rx {
 
+const char* to_string(DecodeOutcome outcome) {
+  switch (outcome) {
+    case DecodeOutcome::kOk: return "ok";
+    case DecodeOutcome::kNoFrameSync: return "no-frame-sync";
+    case DecodeOutcome::kNotDetected: return "not-detected";
+    case DecodeOutcome::kTruncated: return "truncated";
+    case DecodeOutcome::kBadCrc: return "bad-crc";
+    case DecodeOutcome::kIdMismatch: return "id-mismatch";
+  }
+  return "unknown";
+}
+
 bool AckMessage::contains(std::size_t tag_index) const {
   return std::find(decoded_tags.begin(), decoded_tags.end(), tag_index) !=
          decoded_tags.end();
@@ -16,6 +28,12 @@ bool AckMessage::contains(std::size_t tag_index) const {
 const TagDecodeResult& RxReport::for_tag(std::size_t tag_index) const {
   CBMA_REQUIRE(tag_index < results.size(), "tag index out of report");
   return results[tag_index];
+}
+
+std::size_t RxReport::outcome_count(DecodeOutcome outcome) const {
+  std::size_t n = 0;
+  for (const auto& r : results) n += r.outcome == outcome ? 1 : 0;
+  return n;
 }
 
 Receiver::Receiver(ReceiverConfig config, std::vector<pn::PnCode> group_codes)
@@ -76,7 +94,12 @@ RxReport Receiver::process_iq(std::span<const std::complex<double>> iq,
     RxReport candidate;
     candidate.frame_start = trigger;
     candidate.results.resize(codes_.size());
-    for (std::size_t i = 0; i < codes_.size(); ++i) candidate.results[i].tag_index = i;
+    for (std::size_t i = 0; i < codes_.size(); ++i) {
+      candidate.results[i].tag_index = i;
+      // Sync fired for this candidate; codes the detector skips below stay
+      // at "not detected".
+      candidate.results[i].outcome = DecodeOutcome::kNotDetected;
+    }
 
     for (const auto& d : detections) {
       auto& r = candidate.results[d.tag_index];
@@ -92,8 +115,15 @@ RxReport Receiver::process_iq(std::span<const std::complex<double>> iq,
       if (decoded.crc_ok &&
           decoded.frame->tag_id == static_cast<std::uint8_t>(d.tag_index)) {
         r.crc_ok = true;
+        r.outcome = DecodeOutcome::kOk;
         r.payload = decoded.frame->payload;
         candidate.ack.decoded_tags.push_back(d.tag_index);
+      } else if (decoded.truncated) {
+        r.outcome = DecodeOutcome::kTruncated;
+      } else if (decoded.crc_ok) {
+        r.outcome = DecodeOutcome::kIdMismatch;
+      } else {
+        r.outcome = DecodeOutcome::kBadCrc;
       }
     }
 

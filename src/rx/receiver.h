@@ -25,10 +25,26 @@ struct ReceiverConfig {
   double phase_tracking_gain = 0.25;  ///< decoder's decision-directed loop gain
 };
 
+/// Why a tag's frame did or did not come through this round. The receiver
+/// never throws on degraded input — every failure mode is reported here, in
+/// pipeline order (the first stage that gave up).
+enum class DecodeOutcome {
+  kOk = 0,       ///< frame decoded, CRC and in-frame id verified
+  kNoFrameSync,  ///< the energy comparator never fired on this window
+  kNotDetected,  ///< frame sync fired but this code's correlation stayed low
+  kTruncated,    ///< decoding ran off the window / impossible length byte
+  kBadCrc,       ///< full frame decoded but CRC (or framing) failed
+  kIdMismatch,   ///< CRC passed but the in-frame id names another tag's code
+};
+
+/// Stable diagnostic label ("ok", "no-frame-sync", ...).
+const char* to_string(DecodeOutcome outcome);
+
 struct TagDecodeResult {
   std::size_t tag_index = 0;
   bool detected = false;         ///< user detection fired for this code
   bool crc_ok = false;           ///< frame decoded, CRC and in-frame id verified
+  DecodeOutcome outcome = DecodeOutcome::kNoFrameSync;  ///< failure reason
   double correlation = 0.0;      ///< preamble correlation peak
   std::size_t offset_samples = 0;
   std::vector<std::uint8_t> payload;  ///< valid only when crc_ok
@@ -49,6 +65,9 @@ struct RxReport {
 
   const TagDecodeResult& for_tag(std::size_t tag_index) const;
   std::size_t decoded_count() const { return ack.decoded_tags.size(); }
+  /// How many of this round's codes ended in the given outcome — the
+  /// per-frame failure accounting the robustness benches aggregate.
+  std::size_t outcome_count(DecodeOutcome outcome) const;
 };
 
 /// Reusable window-length buffers for the receiver pipeline: the split

@@ -7,7 +7,9 @@
 
 #include <atomic>
 #include <cstdint>
+#include <exception>
 #include <functional>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -26,6 +28,14 @@ inline std::uint64_t point_seed(std::uint64_t base_seed, std::size_t point_index
 /// Run f(0..n-1) across threads; f must only touch its own slot.
 /// `max_workers` caps the pool (0 = hardware concurrency) — the sweep
 /// golden test uses it to prove results are thread-count independent.
+///
+/// Exception safety: a throw escaping f(i) on a worker would reach the
+/// thread boundary and std::terminate the whole process, so the first
+/// exception is captured, the remaining indices are drained unexecuted,
+/// every worker is joined, and the exception is rethrown on the calling
+/// thread. Indices that completed before the failure keep their results
+/// (partial sweeps stay usable); which later indices were skipped is
+/// scheduling-dependent.
 inline void parallel_for(std::size_t n, const std::function<void(std::size_t)>& f,
                          std::size_t max_workers = 0) {
   if (max_workers == 0) {
@@ -37,6 +47,9 @@ inline void parallel_for(std::size_t n, const std::function<void(std::size_t)>& 
     return;
   }
   std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
   std::vector<std::thread> pool;
   pool.reserve(workers);
   for (std::size_t w = 0; w < workers; ++w) {
@@ -44,11 +57,19 @@ inline void parallel_for(std::size_t n, const std::function<void(std::size_t)>& 
       while (true) {
         const std::size_t i = next.fetch_add(1);
         if (i >= n) return;
-        f(i);
+        if (failed.load(std::memory_order_relaxed)) continue;  // drain
+        try {
+          f(i);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+          failed.store(true, std::memory_order_relaxed);
+        }
       }
     });
   }
   for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace cbma::util

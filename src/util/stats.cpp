@@ -29,8 +29,17 @@ double RunningStats::variance() const {
 
 double RunningStats::stddev() const { return std::sqrt(variance()); }
 
-double RunningStats::min() const { return min_; }
-double RunningStats::max() const { return max_; }
+double RunningStats::min() const {
+  // A silent 0.0 from an empty accumulator (e.g. a sweep point whose every
+  // trial failed) would masquerade as a real measurement in BENCH JSON.
+  CBMA_REQUIRE(n_ > 0, "min() of empty RunningStats — check count() first");
+  return min_;
+}
+
+double RunningStats::max() const {
+  CBMA_REQUIRE(n_ > 0, "max() of empty RunningStats — check count() first");
+  return max_;
+}
 
 EmpiricalCdf::EmpiricalCdf(std::vector<double> samples) : sorted_(std::move(samples)) {
   CBMA_REQUIRE(!sorted_.empty(), "CDF needs at least one sample");

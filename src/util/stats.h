@@ -17,8 +17,8 @@ class RunningStats {
   double mean() const;
   double variance() const;  ///< Sample variance (n-1 denominator).
   double stddev() const;
-  double min() const;
-  double max() const;
+  double min() const;  ///< Throws std::invalid_argument when count() == 0.
+  double max() const;  ///< Throws std::invalid_argument when count() == 0.
 
  private:
   std::size_t n_ = 0;

@@ -70,6 +70,49 @@ TEST(SweepPoint, SeedMatchesPointSeedDerivation) {
   EXPECT_NE(SweepPoint(spec, 0).seed(), SweepPoint(spec, 1).seed());
 }
 
+TEST(SweepSpec, PointCountOverflowNamesTheAxis) {
+  // A mistyped axis (say, a raw chip index used as a value list) can push
+  // the grid product past std::size_t; the guard must fail loudly, naming
+  // the axis where the product overflowed, instead of wrapping around and
+  // silently running a tiny sweep.
+  const std::vector<double> big(100000, 0.0);
+  SweepSpec spec;
+  spec.axes = {Axis::numeric("a", big), Axis::numeric("b", big),
+               Axis::numeric("c", big), Axis::numeric("d", big)};
+  try {
+    spec.point_count();
+    FAIL() << "expected point_count() to reject the overflowing grid";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("axis 'd'"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(SweepRunner, BodyThrowIsCatchableWithPartialResults) {
+  // The original crash: a CBMA_REQUIRE (std::invalid_argument) firing
+  // inside a sweep body on a worker thread took down the whole process via
+  // std::terminate. It must surface as an ordinary catchable exception,
+  // with the points that finished before the failure keeping their results.
+  const auto spec = two_axis_spec();
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+    std::vector<std::atomic<int>> visits(spec.point_count());
+    for (auto& v : visits) v = 0;
+    EXPECT_THROW(SweepRunner(spec).run(
+                     [&](const SweepPoint& point) {
+                       if (point.flat() == 3) {
+                         throw std::invalid_argument("bad point config");
+                       }
+                       ++visits[point.flat()];
+                     },
+                     workers),
+                 std::invalid_argument);
+    EXPECT_EQ(visits[3].load(), 0);  // the failing point records nothing
+    std::size_t completed = 0;
+    for (const auto& v : visits) completed += static_cast<std::size_t>(v.load());
+    EXPECT_LT(completed, spec.point_count());
+  }
+}
+
 TEST(SweepRunner, CoversEveryPointOnceForAnyWorkerCount) {
   const auto spec = two_axis_spec();
   for (const std::size_t workers : {std::size_t{1}, std::size_t{4}}) {

@@ -1,0 +1,199 @@
+// rfsim/impairment: the fault-injection stages. The load-bearing contract
+// is the first test — a default (all-off) config must be a strict identity
+// AND consume zero RNG draws, because every bench's byte-identical JSON and
+// the transmit determinism golden rely on the clean pipeline's RNG stream
+// being untouched.
+#include "rfsim/impairment.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <stdexcept>
+#include <vector>
+
+#include "core/config.h"
+#include "util/rng.h"
+
+namespace cbma::rfsim {
+namespace {
+
+constexpr std::uint64_t kSeed = 20190707;
+
+TEST(ImpairmentSuite, AllOffIsIdentityAndDrawsNothing) {
+  const ImpairmentSuite suite{ImpairmentConfig{}};
+  EXPECT_FALSE(suite.any_enabled());
+
+  std::vector<double> envelope(512, 1.0);
+  std::vector<double> waveform{0.0, 1.0, 1.0, 0.0, 1.0, 0.0};
+  std::vector<std::complex<double>> iq(64, {0.25, -0.75});
+  const auto envelope0 = envelope;
+  const auto waveform0 = waveform;
+  const auto iq0 = iq;
+
+  Rng rng(kSeed);
+  suite.gate_excitation(envelope, 128e6, rng);
+  suite.settle_waveform(waveform, 4);
+  suite.distort_rx(iq, 128e6, rng);
+  const auto jitter = suite.switching_jitter_chips(rng);
+  const auto clock = suite.perturb_clock(0.0, 20e6, 1000.0, rng);
+
+  EXPECT_EQ(envelope, envelope0);
+  EXPECT_EQ(waveform, waveform0);
+  EXPECT_EQ(iq, iq0);
+  EXPECT_EQ(jitter, 0.0);
+  EXPECT_EQ(clock.extra_delay_chips, 0.0);
+  EXPECT_EQ(clock.extra_freq_offset_hz, 0.0);
+  // No stage consumed a draw: the stream is positionally identical to a
+  // fresh generator with the same seed.
+  Rng fresh(kSeed);
+  EXPECT_EQ(rng.uniform(0.0, 1.0), fresh.uniform(0.0, 1.0));
+}
+
+TEST(ImpairmentConfig, ValidateRejectsBadKnobs) {
+  ImpairmentConfig cfg;
+  cfg.dropout.enabled = true;
+  cfg.dropout.duty = 0.0;
+  cfg.adc.enabled = true;
+  cfg.adc.full_scale = 0.0;
+  cfg.adc.bits = 40;
+  const auto errors = cfg.validate();
+  EXPECT_EQ(errors.size(), 3u);
+  // The suite refuses to be built around an invalid config.
+  EXPECT_THROW(ImpairmentSuite{cfg}, std::invalid_argument);
+}
+
+TEST(ImpairmentConfig, SummaryEmptyOffDescriptiveOn) {
+  ImpairmentConfig cfg;
+  EXPECT_EQ(cfg.summary(), "");
+  cfg.dropout.enabled = true;
+  cfg.dropout.duty = 0.5;
+  EXPECT_NE(cfg.summary().find("dropout"), std::string::npos);
+}
+
+TEST(ImpairmentConfig, SystemSummaryFingerprintOnlyChangesWhenEnabled) {
+  // BENCH_*.json carries a fingerprint of SystemConfig::summary(); default
+  // impairments must not perturb it, enabled ones must.
+  core::SystemConfig base;
+  core::SystemConfig impaired;
+  impaired.impairments.drift.enabled = true;
+  impaired.impairments.drift.max_static_ppm = 50.0;
+  EXPECT_EQ(base.summary().find("imp=["), std::string::npos);
+  EXPECT_NE(base.summary(), impaired.summary());
+  EXPECT_NE(impaired.summary().find("imp=["), std::string::npos);
+}
+
+TEST(ImpairmentSuite, GateExcitationHitsTheDutyCycle) {
+  ImpairmentConfig cfg;
+  cfg.dropout.enabled = true;
+  cfg.dropout.duty = 0.5;
+  cfg.dropout.mean_burst_s = 2e-6;  // many bursts over the window
+  const ImpairmentSuite suite{cfg};
+  std::vector<double> envelope(200000, 1.0);
+  Rng rng(kSeed);
+  suite.gate_excitation(envelope, 128e6, rng);
+  double on = 0.0;
+  for (const double v : envelope) {
+    ASSERT_TRUE(v == 0.0 || v == 1.0);  // gating only zeroes, never scales
+    on += v;
+  }
+  const double measured_duty = on / static_cast<double>(envelope.size());
+  EXPECT_NEAR(measured_duty, 0.5, 0.1);
+}
+
+TEST(ImpairmentSuite, GateExcitationIsSeedDeterministic) {
+  ImpairmentConfig cfg;
+  cfg.dropout.enabled = true;
+  cfg.dropout.duty = 0.4;
+  const ImpairmentSuite suite{cfg};
+  std::vector<double> a(4096, 1.0), b(4096, 1.0);
+  Rng ra(kSeed), rb(kSeed);
+  suite.gate_excitation(a, 128e6, ra);
+  suite.gate_excitation(b, 128e6, rb);
+  EXPECT_EQ(a, b);
+}
+
+TEST(ImpairmentSuite, StaticClockPpmSpreadsTheGroup) {
+  ImpairmentConfig cfg;
+  cfg.drift.enabled = true;
+  cfg.drift.max_static_ppm = 100.0;
+  const ImpairmentSuite suite{cfg};
+  EXPECT_DOUBLE_EQ(suite.static_clock_ppm(0, 5), -100.0);
+  EXPECT_DOUBLE_EQ(suite.static_clock_ppm(2, 5), 0.0);
+  EXPECT_DOUBLE_EQ(suite.static_clock_ppm(4, 5), 100.0);
+  EXPECT_DOUBLE_EQ(suite.static_clock_ppm(0, 1), 100.0);
+  EXPECT_THROW(suite.static_clock_ppm(5, 5), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(ImpairmentSuite{}.static_clock_ppm(0, 5), 0.0);
+}
+
+TEST(ImpairmentSuite, PerturbClockScalesWithPpm) {
+  ImpairmentConfig cfg;
+  cfg.drift.enabled = true;
+  cfg.drift.max_static_ppm = 100.0;  // no wander: fully deterministic
+  const ImpairmentSuite suite{cfg};
+  Rng rng(kSeed);
+  const auto p = suite.perturb_clock(100.0, 20e6, 1000.0, rng);
+  // 100 ppm of a 20 MHz subcarrier is 2 kHz; mean skew is ½·ppm·frame.
+  EXPECT_NEAR(p.extra_freq_offset_hz, 2000.0, 1e-9);
+  EXPECT_NEAR(p.extra_delay_chips, 0.05, 1e-12);
+  // Without wander no draw is consumed.
+  Rng fresh(kSeed);
+  EXPECT_EQ(rng.uniform(0.0, 1.0), fresh.uniform(0.0, 1.0));
+}
+
+TEST(ImpairmentSuite, SettleWaveformSoftensTransitionsWithinBounds) {
+  ImpairmentConfig cfg;
+  cfg.switching.enabled = true;
+  cfg.switching.settle_chips = 0.5;
+  const ImpairmentSuite suite{cfg};
+  // Alternating chips at 4 samples/chip: the RC response must stay within
+  // [0, 1] and no longer reach the rails right after a transition.
+  std::vector<double> waveform;
+  for (int chip = 0; chip < 8; ++chip) {
+    for (int s = 0; s < 4; ++s) waveform.push_back(chip % 2 == 0 ? 0.0 : 1.0);
+  }
+  suite.settle_waveform(waveform, 4);
+  for (const double v : waveform) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+  EXPECT_LT(waveform[4], 1.0);  // first sample after the 0→1 edge still rising
+  EXPECT_GT(waveform[8], 0.0);  // and after the 1→0 edge still falling
+}
+
+TEST(ImpairmentSuite, AdcClipsAndSnapsToTheQuantizerGrid) {
+  ImpairmentConfig cfg;
+  cfg.adc.enabled = true;
+  cfg.adc.full_scale = 1.0;
+  cfg.adc.bits = 4;
+  const ImpairmentSuite suite{cfg};
+  const double lsb = 2.0 / 15.0;
+  std::vector<std::complex<double>> iq{{5.0, -5.0}, {0.03, 0.49}, {-0.2, 0.0}};
+  Rng rng(kSeed);
+  suite.distort_rx(iq, 128e6, rng);
+  for (const auto& s : iq) {
+    for (const double v : {s.real(), s.imag()}) {
+      EXPECT_LE(std::abs(v), 1.0 + 0.51 * lsb);  // clip, up to ½ LSB rounding
+      EXPECT_NEAR(std::round(v / lsb) * lsb, v, 1e-12);  // on the grid
+    }
+  }
+}
+
+TEST(ImpairmentSuite, ImpulsiveBurstsLandInTheWindow) {
+  ImpairmentConfig cfg;
+  cfg.impulsive.enabled = true;
+  cfg.impulsive.events_per_s = 2e6;  // ~dozens of events over the window
+  cfg.impulsive.mean_duration_s = 0.5e-6;
+  cfg.impulsive.amplitude = 1.0;
+  const ImpairmentSuite suite{cfg};
+  std::vector<std::complex<double>> iq(4096);  // 32 µs of silence at 128 MHz
+  Rng rng(kSeed);
+  suite.distort_rx(iq, 128e6, rng);
+  std::size_t hit = 0;
+  for (const auto& s : iq) hit += std::abs(s) > 0.0 ? 1 : 0;
+  EXPECT_GT(hit, 0u);
+  EXPECT_LT(hit, iq.size());  // bursts, not a constant jam
+}
+
+}  // namespace
+}  // namespace cbma::rfsim

@@ -1,0 +1,79 @@
+// util/parallel: exception propagation across the worker pool. A throw
+// escaping a worker thread is std::terminate — the original sweep
+// crash-on-throw bug — so parallel_for must capture the first exception,
+// drain the remaining indices, join every worker and rethrow on the caller.
+#include "util/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+namespace cbma::util {
+namespace {
+
+TEST(ParallelFor, CoversAllIndicesExactlyOnce) {
+  constexpr std::size_t kN = 97;
+  std::vector<std::atomic<int>> visits(kN);
+  for (auto& v : visits) v = 0;
+  parallel_for(kN, [&](std::size_t i) { ++visits[i]; }, 4);
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ParallelFor, BodyThrowReachesCallerNotTerminate) {
+  // The regression: before the fix this call aborted the whole process.
+  std::atomic<std::size_t> completed{0};
+  EXPECT_THROW(
+      parallel_for(
+          64,
+          [&](std::size_t i) {
+            if (i == 13) throw std::runtime_error("injected");
+            ++completed;
+          },
+          4),
+      std::runtime_error);
+  // The throwing index never completes; everything that ran before the
+  // failure keeps its result (partial sweeps stay usable).
+  EXPECT_LE(completed.load(), 63u);
+}
+
+TEST(ParallelFor, SerialPathPropagatesToo) {
+  std::size_t completed = 0;
+  EXPECT_THROW(parallel_for(
+                   8,
+                   [&](std::size_t i) {
+                     if (i == 3) throw std::invalid_argument("injected");
+                     ++completed;
+                   },
+                   1),
+               std::invalid_argument);
+  EXPECT_EQ(completed, 3u);  // serial: exactly the indices before the throw
+}
+
+TEST(ParallelFor, EveryIndexThrowingStillOneException) {
+  // Concurrent failures race on the capture slot; exactly one wins and the
+  // pool still joins cleanly.
+  EXPECT_THROW(
+      parallel_for(
+          32, [](std::size_t) { throw std::runtime_error("all fail"); }, 8),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, DrainSkipsWorkAfterFailure) {
+  // Once a worker fails, remaining indices are drained unexecuted — a
+  // poisoned sweep must not keep burning CPU on the other points.
+  std::atomic<std::size_t> executed{0};
+  EXPECT_THROW(parallel_for(
+                   10000,
+                   [&](std::size_t i) {
+                     if (i == 0) throw std::runtime_error("early");
+                     ++executed;
+                   },
+                   2),
+               std::runtime_error);
+  EXPECT_LT(executed.load(), 10000u);
+}
+
+}  // namespace
+}  // namespace cbma::util

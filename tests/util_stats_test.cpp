@@ -14,6 +14,18 @@ TEST(RunningStats, EmptyIsZero) {
   EXPECT_DOUBLE_EQ(s.variance(), 0.0);
 }
 
+TEST(RunningStats, EmptyMinMaxThrow) {
+  // min()/max() of nothing have no value to return; silently yielding the
+  // ±infinity initializers once leaked into a bench table as "inf". Callers
+  // must check count() first (the robustness bench shows the pattern).
+  RunningStats s;
+  EXPECT_THROW(s.min(), std::invalid_argument);
+  EXPECT_THROW(s.max(), std::invalid_argument);
+  s.add(2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 2.5);
+  EXPECT_DOUBLE_EQ(s.max(), 2.5);
+}
+
 TEST(RunningStats, SingleValue) {
   RunningStats s;
   s.add(4.0);

@@ -10,15 +10,16 @@
 // --benchmark_out=... to redirect it.
 #include <benchmark/benchmark.h>
 
-#include <fstream>
-#include <iostream>
 #include <string>
+#include <vector>
 
 #include "core/system.h"
 #include "phy/spreader.h"
 #include "pn/correlation.h"
 #include "rfsim/channel.h"
 #include "rx/decoder.h"
+#include "util/telemetry.h"
+#include "util/timer.h"
 
 namespace {
 
@@ -33,6 +34,13 @@ void set_rate_counters(benchmark::State& state, std::int64_t items_per_iter) {
       benchmark::Counter::kIsIterationInvariantRate | benchmark::Counter::kInvert);
 }
 
+/// Shared epilogue for the rate-counted benches: items-processed bookkeeping
+/// plus the ns_per_packet counter (previously copy-pasted per bench).
+void finish_rate(benchmark::State& state, std::int64_t items_per_iter) {
+  state.SetItemsProcessed(state.iterations() * items_per_iter);
+  set_rate_counters(state, 1);
+}
+
 void BM_Spread(benchmark::State& state) {
   const auto code = pn::make_code_set(pn::CodeFamily::kTwoNC, 10, 20)[0];
   std::vector<std::uint8_t> bits(static_cast<std::size_t>(state.range(0)));
@@ -42,8 +50,7 @@ void BM_Spread(benchmark::State& state) {
     phy::spread_into(bits, code, out);
     benchmark::DoNotOptimize(out.data());
   }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
-  set_rate_counters(state, 1);
+  finish_rate(state, state.range(0));
 }
 BENCHMARK(BM_Spread)->Arg(112)->Arg(1024);
 
@@ -104,9 +111,7 @@ void BM_ChannelSynthesis(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(channel.receive(txs, rng));
   }
-  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(chips.size()) *
-                          state.range(0));
-  set_rate_counters(state, 1);
+  finish_rate(state, static_cast<std::int64_t>(chips.size()) * state.range(0));
 }
 BENCHMARK(BM_ChannelSynthesis)->Arg(2)->Arg(10);
 
@@ -133,9 +138,7 @@ void BM_ChannelSynthesisScratch(benchmark::State& state) {
     channel.receive_into(txs, tone, {}, rng, scratch, iq);
     benchmark::DoNotOptimize(iq.data());
   }
-  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(chips.size()) *
-                          state.range(0));
-  set_rate_counters(state, 1);
+  finish_rate(state, static_cast<std::int64_t>(chips.size()) * state.range(0));
 }
 BENCHMARK(BM_ChannelSynthesisScratch)->Arg(2)->Arg(10);
 
@@ -180,8 +183,7 @@ void BM_EndToEndRound(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(sys.transmit_round(rng));
   }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
-  set_rate_counters(state, 1);
+  finish_rate(state, state.range(0));
 }
 #pragma GCC diagnostic pop
 BENCHMARK(BM_EndToEndRound)->Arg(2)->Arg(5)->Arg(10);
@@ -203,10 +205,39 @@ void BM_EndToEndBatched(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(sys.transmit(options, rng, scratch));
   }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
-  set_rate_counters(state, 1);
+  finish_rate(state, state.range(0));
 }
 BENCHMARK(BM_EndToEndBatched)->Arg(2)->Arg(5)->Arg(10);
+
+/// Same batched pipeline, but timed manually on util::monotonic_ns — the
+/// single clock every span timer and bench shares (DESIGN.md §7). Each
+/// iteration is also a bench/iteration telemetry span, so a CBMA_TELEMETRY=1
+/// run can cross-check google-benchmark's wall time against the in-pipeline
+/// span percentiles, and a CBMA_TRACE run shows the iterations on the
+/// timeline. Disabled telemetry costs one relaxed atomic load per iteration.
+void BM_EndToEndBatchedManualClock(benchmark::State& state) {
+  core::SystemConfig cfg;
+  cfg.max_tags = static_cast<std::size_t>(state.range(0));
+  auto dep = rfsim::Deployment::paper_frame();
+  for (int k = 0; k < state.range(0); ++k) {
+    dep.add_tag({0.1 * k, 0.6});
+  }
+  const core::CbmaSystem sys(cfg, dep);
+  Rng rng(4);
+  const core::TransmitOptions options;
+  core::TransmitScratch scratch;
+  for (auto _ : state) {
+    const std::uint64_t begin_ns = util::monotonic_ns();
+    {
+      const telemetry::ScopedSpan span(telemetry::Span::kBenchIteration);
+      benchmark::DoNotOptimize(sys.transmit(options, rng, scratch));
+    }
+    state.SetIterationTime(
+        static_cast<double>(util::monotonic_ns() - begin_ns) * 1e-9);
+  }
+  finish_rate(state, state.range(0));
+}
+BENCHMARK(BM_EndToEndBatchedManualClock)->Arg(5)->UseManualTime();
 
 }  // namespace
 

@@ -86,6 +86,7 @@ int main() {
     const core::TransmitOptions options;
     std::size_t sent = 0, decoded = 0;
     std::size_t no_sync = 0, not_detected = 0, bad_crc = 0, truncated = 0;
+    std::size_t id_mismatch = 0;
     // Decoded-per-round spread over rounds where anything got through at
     // all — legitimately empty under deep dropout, hence the count() guard
     // before min()/max() below (RunningStats throws on empty extremes).
@@ -103,6 +104,7 @@ int main() {
       not_detected += report.outcome_count(rx::DecodeOutcome::kNotDetected);
       bad_crc += report.outcome_count(rx::DecodeOutcome::kBadCrc);
       truncated += report.outcome_count(rx::DecodeOutcome::kTruncated);
+      id_mismatch += report.outcome_count(rx::DecodeOutcome::kIdMismatch);
       if (report.decoded_count() > 0) {
         nonempty_rounds.add(static_cast<double>(report.decoded_count()));
       }
@@ -133,6 +135,22 @@ int main() {
     recorder.record(point.flat(), "frac_truncated",
                     static_cast<double>(truncated) /
                         static_cast<double>(sent));
+    // Raw per-outcome tallies alongside the fractions: downstream analysis
+    // (failure-taxonomy queries over BENCH_*.json) should not have to
+    // reconstruct integer counts from rounded ratios. Mirrors the six
+    // DecodeOutcome states plus the denominators.
+    recorder.record(point.flat(), "count_sent", static_cast<double>(sent));
+    recorder.record(point.flat(), "count_ok", static_cast<double>(decoded));
+    recorder.record(point.flat(), "count_no_sync",
+                    static_cast<double>(no_sync));
+    recorder.record(point.flat(), "count_not_detected",
+                    static_cast<double>(not_detected));
+    recorder.record(point.flat(), "count_bad_crc",
+                    static_cast<double>(bad_crc));
+    recorder.record(point.flat(), "count_truncated",
+                    static_cast<double>(truncated));
+    recorder.record(point.flat(), "count_id_mismatch",
+                    static_cast<double>(id_mismatch));
     recorder.record(point.flat(), "min_decoded_nonempty_round",
                     nonempty_rounds.count() > 0 ? nonempty_rounds.min() : 0.0);
     recorder.record(point.flat(), "max_decoded_nonempty_round",

@@ -2,8 +2,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
+#include <system_error>
 
+#include "core/telemetry.h"
 #include "util/expect.h"
 #include "util/json.h"
 
@@ -156,6 +159,14 @@ std::string RunRecorder::json() const {
   for (const auto& n : notes_) w.value(n);
   w.end_array();
 
+  // Observability export: present only when telemetry is enabled, so the
+  // default document stays byte-identical (DESIGN.md §7). Span timings are
+  // wall-clock and therefore not deterministic; counters are. Neither
+  // enters the config fingerprint above.
+  if (Telemetry::enabled()) {
+    Telemetry::write_json_section(w);
+  }
+
   w.end_object();
   return w.str();
 }
@@ -163,7 +174,20 @@ std::string RunRecorder::json() const {
 int RunRecorder::finish() const {
   std::string path = "BENCH_" + spec_.name + ".json";
   if (const char* dir = std::getenv("CBMA_BENCH_DIR")) {
-    if (*dir != '\0') path = std::string(dir) + "/" + path;
+    if (*dir != '\0') {
+      // Create the target directory rather than failing with an opaque
+      // stream error — a missing results dir is the common CI/first-run
+      // case, and a real permission problem deserves a named errno.
+      std::error_code ec;
+      std::filesystem::create_directories(dir, ec);
+      if (ec) {
+        std::fprintf(stderr,
+                     "error: cannot create CBMA_BENCH_DIR '%s': %s\n", dir,
+                     ec.message().c_str());
+        return 1;
+      }
+      path = std::string(dir) + "/" + path;
+    }
   }
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) {
@@ -176,6 +200,9 @@ int RunRecorder::finish() const {
     std::fprintf(stderr, "error: failed writing %s\n", path.c_str());
     return 1;
   }
+  // CBMA_TRACE=<path> drops a Chrome/Perfetto timeline of the run next to
+  // the JSON (no-op unless telemetry is enabled).
+  if (!Telemetry::write_trace_if_requested()) return 1;
   return 0;
 }
 

@@ -1,8 +1,11 @@
 #include "core/sweep.h"
 
+#include <algorithm>
 #include <limits>
+#include <thread>
 
 #include "util/expect.h"
+#include "util/telemetry.h"
 
 namespace cbma::core {
 
@@ -65,8 +68,25 @@ const std::string& SweepPoint::label(std::size_t axis) const {
 void SweepRunner::run(const std::function<void(const SweepPoint&)>& body,
                       std::size_t workers) const {
   const std::size_t n = spec_.point_count();
+  const telemetry::ScopedSpan span_run(telemetry::Span::kSweepRun);
+  if (telemetry::enabled()) {
+    // Mirror parallel_for's pool sizing so sweep.workers reports the
+    // threads actually launched (utilization = Σ sweep/point ÷
+    // (sweep/run × workers) is then meaningful).
+    const std::size_t max_workers =
+        workers != 0 ? workers
+                     : std::max(1u, std::thread::hardware_concurrency());
+    telemetry::count(telemetry::Counter::kSweepWorkers,
+                     std::min<std::size_t>(max_workers, n));
+  }
   util::parallel_for(
-      n, [&](std::size_t flat) { body(SweepPoint(spec_, flat)); }, workers);
+      n,
+      [&](std::size_t flat) {
+        const telemetry::ScopedSpan span_point(telemetry::Span::kSweepPoint);
+        telemetry::count(telemetry::Counter::kSweepPoints);
+        body(SweepPoint(spec_, flat));
+      },
+      workers);
 }
 
 }  // namespace cbma::core

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "util/expect.h"
+#include "util/telemetry.h"
 #include "util/units.h"
 
 namespace cbma::core {
@@ -28,6 +29,17 @@ std::string join_errors(const std::vector<std::string>& errors) {
     msg += e;
   }
   return msg;
+}
+
+/// Flight-recorder gate bitmask for the suite this round ran under.
+std::uint8_t impairment_gate_bits(const rfsim::ImpairmentConfig& c) {
+  std::uint8_t bits = 0;
+  if (c.dropout.enabled) bits |= telemetry::kGateDropout;
+  if (c.drift.enabled) bits |= telemetry::kGateDrift;
+  if (c.switching.enabled) bits |= telemetry::kGateSwitching;
+  if (c.impulsive.enabled) bits |= telemetry::kGateImpulsive;
+  if (c.adc.enabled) bits |= telemetry::kGateAdc;
+  return bits;
 }
 
 }  // namespace
@@ -180,6 +192,7 @@ rx::RxReport CbmaSystem::transmit(const TransmitOptions& options, Rng& rng) cons
 
 rx::RxReport CbmaSystem::transmit(const TransmitOptions& options, Rng& rng,
                                   TransmitScratch& scratch) const {
+  const telemetry::ScopedSpan span_total(telemetry::Span::kTransmitTotal);
   const bool whole_group = options.slots.empty();
   const std::size_t n = whole_group ? group_.size() : options.slots.size();
   if (!options.payloads.empty()) {
@@ -201,16 +214,19 @@ rx::RxReport CbmaSystem::transmit(const TransmitOptions& options, Rng& rng,
   // delays as a block, then (phase, cfo) per slot; subset rounds draw
   // payloads as a block, then (phase, delay, cfo) per slot.
   scratch.chip_seqs.resize(n);
-  for (std::size_t k = 0; k < n; ++k) {
-    if (options.payloads.empty()) {
-      random_payload_into(config_.payload_bytes, rng, scratch.payload);
-      slot_tags_[slot_of(k)].chip_sequence_into(scratch.payload,
-                                                scratch.frame_bits,
-                                                scratch.chip_seqs[k]);
-    } else {
-      slot_tags_[slot_of(k)].chip_sequence_into(options.payloads[k],
-                                                scratch.frame_bits,
-                                                scratch.chip_seqs[k]);
+  {
+    const telemetry::ScopedSpan span_spread(telemetry::Span::kTransmitSpread);
+    for (std::size_t k = 0; k < n; ++k) {
+      if (options.payloads.empty()) {
+        random_payload_into(config_.payload_bytes, rng, scratch.payload);
+        slot_tags_[slot_of(k)].chip_sequence_into(scratch.payload,
+                                                  scratch.frame_bits,
+                                                  scratch.chip_seqs[k]);
+      } else {
+        slot_tags_[slot_of(k)].chip_sequence_into(options.payloads[k],
+                                                  scratch.frame_bits,
+                                                  scratch.chip_seqs[k]);
+      }
     }
   }
 
@@ -249,6 +265,8 @@ rx::RxReport CbmaSystem::transmit(const TransmitOptions& options, Rng& rng,
     // clean phase/delay/CFO draws so an all-off config leaves the historical
     // RNG stream untouched): clock wander, then switching jitter.
     if (impairments_.any_enabled()) {
+      const telemetry::ScopedSpan span_imp(
+          telemetry::Span::kTransmitImpairments);
       const auto clock = impairments_.perturb_clock(
           slot_tags_[slot_of(k)].clock_offset_ppm(), config_.subcarrier_hz,
           static_cast<double>(scratch.chip_seqs[k].size()), rng);
@@ -265,7 +283,33 @@ rx::RxReport CbmaSystem::transmit(const TransmitOptions& options, Rng& rng,
 
   channel_->receive_into(scratch.txs, *excitation_, scratch.interferers, rng,
                          scratch.channel, scratch.iq);
-  return receiver_->process_iq(scratch.iq, scratch.rx);
+  auto report = receiver_->process_iq(scratch.iq, scratch.rx);
+
+  if (telemetry::enabled()) {
+    telemetry::count(telemetry::Counter::kTransmitPackets);
+    telemetry::count(telemetry::Counter::kTransmitFramesSent, n);
+    telemetry::count(telemetry::Counter::kRxFramesDecoded,
+                     report.decoded_count());
+    const std::uint8_t gates = impairment_gate_bits(impairments_.config());
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t slot = slot_of(k);
+      const auto& r = report.results[slot];
+      telemetry::FrameTrace frame;
+      frame.tag_id = static_cast<std::uint32_t>(slot);
+      frame.pn_code_length = static_cast<std::uint32_t>(codes_[slot].length());
+      frame.correlation = r.correlation;
+      frame.margin = r.correlation - config_.detect.threshold;
+      frame.cfo_hz = scratch.txs[k].freq_offset_hz;
+      const double a = scratch.txs[k].amplitude;
+      frame.power_dbm = units::watts_to_dbm(a * a);
+      frame.impedance_level =
+          static_cast<std::uint32_t>(impedance_[group_[slot]]);
+      frame.outcome = static_cast<std::uint8_t>(r.outcome);
+      frame.impairment_gates = gates;
+      telemetry::record_frame(frame);
+    }
+  }
+  return report;
 }
 
 rx::RxReport CbmaSystem::transmit_round(

@@ -1,0 +1,52 @@
+// core::Telemetry — the experiment-facing façade over the lock-free
+// telemetry machinery in util/telemetry.h. The util layer owns the hot
+// path (spans, counters, flight recorder); this layer owns the exports:
+// the "telemetry" section RunRecorder embeds in BENCH_*.json and the
+// Chrome/Perfetto trace file a sweep run can drop for timeline inspection.
+// It also speaks the upper layers' vocabulary (rx::DecodeOutcome labels in
+// the flight-recorder export), which the util layer deliberately cannot.
+//
+// Everything here is a no-op unless telemetry is enabled (CBMA_TELEMETRY=1
+// or Telemetry::enable()) — the disabled default leaves every bench table
+// and JSON byte-identical. See DESIGN.md §7.
+#pragma once
+
+#include <string>
+
+#include "util/json.h"
+#include "util/telemetry.h"
+
+namespace cbma::core {
+
+class Telemetry {
+ public:
+  static bool enabled() { return telemetry::enabled(); }
+  static void enable(bool on = true) { telemetry::set_enabled(on); }
+
+  /// Zero every recorded span, counter, flight-recorder frame and trace
+  /// event (e.g. between independent runs sharing a process).
+  static void reset() { telemetry::reset(); }
+
+  /// Aggregate all thread sinks. Call only while no worker is recording.
+  static telemetry::Snapshot snapshot() { return telemetry::snapshot(); }
+
+  /// Append the "telemetry" key + object to an open JSON object scope:
+  /// per-span ns statistics (count/total/min/max/mean/p50/p90/p99),
+  /// non-zero counters, thread count, and the flight recorder with
+  /// human-readable DecodeOutcome labels. The caller decides *whether* to
+  /// emit (RunRecorder only does when telemetry is enabled, keeping the
+  /// disabled document byte-identical).
+  static void write_json_section(util::JsonWriter& w);
+
+  /// Write a Chrome trace_event file from the current capture; returns
+  /// false with a stderr diagnostic on I/O failure. With trace capture off
+  /// this still exports flight-recorder instants (spans need CBMA_TRACE).
+  static bool write_trace(const std::string& path);
+
+  /// Honor CBMA_TRACE: when telemetry is enabled and the variable names a
+  /// path, write the trace there. Returns true when nothing was requested
+  /// or the write succeeded — benches call this from finish().
+  static bool write_trace_if_requested();
+};
+
+}  // namespace cbma::core

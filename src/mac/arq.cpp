@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/expect.h"
+#include "util/telemetry.h"
 
 namespace cbma::mac {
 
@@ -34,6 +35,7 @@ bool ArqTracker::offer(std::size_t slot) {
   pending_[slot] = true;
   attempts_[slot] = 0;
   ++stats_.offered;
+  telemetry::count(telemetry::Counter::kArqOffered);
   return true;
 }
 
@@ -57,13 +59,16 @@ void ArqTracker::on_round(const rx::AckMessage& ack,
     CBMA_REQUIRE(pending_[slot], "slot transmitted without a pending message");
     ++attempts_[slot];
     ++stats_.transmissions;
+    telemetry::count(telemetry::Counter::kArqTransmissions);
     if (ack.contains(slot)) {
       pending_[slot] = false;
       ++stats_.delivered;
       ++stats_.attempts_histogram[attempts_[slot] - 1];
+      telemetry::count(telemetry::Counter::kArqDelivered);
     } else if (attempts_[slot] >= config_.max_attempts) {
       pending_[slot] = false;
       ++stats_.dropped;
+      telemetry::count(telemetry::Counter::kArqDropped);
     }
   }
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/expect.h"
+#include "util/telemetry.h"
 #include "util/units.h"
 
 namespace cbma::mac {
@@ -65,6 +66,7 @@ std::vector<std::size_t> NodeSelector::reselect(const rfsim::Deployment& populat
 
   for (std::size_t slot = 0; slot < group.size(); ++slot) {
     if (ack_ratios[slot] >= config_.bad_ack_ratio) continue;  // tag is fine
+    telemetry::count(telemetry::Counter::kNodeSelectAbandoned);
     if (idle.empty()) break;  // §V-C: no spare tags — would need to move them
 
     const double old_dbm = predicted_dbm(population, group[slot]);
@@ -80,6 +82,10 @@ std::vector<std::size_t> NodeSelector::reselect(const rfsim::Deployment& populat
         // Swap: the abandoned tag returns to the idle pool.
         idle[pick] = group[slot];
         group[slot] = candidate;
+        telemetry::count(telemetry::Counter::kNodeSelectReplaced);
+        if (!improves) {
+          telemetry::count(telemetry::Counter::kNodeSelectAnnealed);
+        }
         break;
       }
     }

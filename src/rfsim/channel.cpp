@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/expect.h"
+#include "util/telemetry.h"
 #include "util/units.h"
 
 namespace cbma::rfsim {
@@ -90,6 +91,7 @@ void Channel::receive_into(std::span<const TagTransmission> tags,
                            std::span<const Interferer* const> interferers, Rng& rng,
                            ChannelScratch& scratch,
                            std::vector<std::complex<double>>& iq) const {
+  const telemetry::ScopedSpan span(telemetry::Span::kChannelSynthesis);
   // Window length: the latest-ending tag burst plus the tail pad.
   double latest_end_chips = 0.0;
   for (const auto& t : tags) {
@@ -101,6 +103,8 @@ void Channel::receive_into(std::span<const TagTransmission> tags,
       std::ceil((latest_end_chips + config_.tail_pad_chips) *
                 static_cast<double>(config_.samples_per_chip)));
   iq.assign(n_samples, {0.0, 0.0});
+  telemetry::count(telemetry::Counter::kChannelWindows);
+  telemetry::count(telemetry::Counter::kChannelSamples, n_samples);
   if (n_samples == 0) return;
 
   scratch.envelope.assign(n_samples, 1.0);

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "util/expect.h"
+#include "util/telemetry.h"
 #include "util/units.h"
 
 namespace cbma::rfsim {
@@ -110,6 +111,7 @@ TagPerturbation ImpairmentSuite::perturb_clock(double static_ppm,
                                                Rng& rng) const {
   TagPerturbation p;
   if (!config_.drift.enabled) return p;
+  telemetry::count(telemetry::Counter::kImpairmentClockPerturbs);
   double ppm = static_ppm;
   if (config_.drift.wander_ppm > 0.0) {
     ppm += rng.uniform(-config_.drift.wander_ppm, config_.drift.wander_ppm);
@@ -127,6 +129,7 @@ double ImpairmentSuite::switching_jitter_chips(Rng& rng) const {
   if (!config_.switching.enabled || config_.switching.jitter_chips <= 0.0) {
     return 0.0;
   }
+  telemetry::count(telemetry::Counter::kImpairmentSwitchJitters);
   return rng.uniform(0.0, config_.switching.jitter_chips);
 }
 
@@ -135,6 +138,7 @@ void ImpairmentSuite::gate_excitation(std::span<double> envelope,
   const auto& d = config_.dropout;
   if (!d.enabled || d.duty >= 1.0) return;
   CBMA_REQUIRE(sample_rate_hz > 0.0, "sample rate must be positive");
+  telemetry::count(telemetry::Counter::kImpairmentDropoutGates);
   const double mean_off_s = d.mean_burst_s * (1.0 - d.duty) / d.duty;
   std::size_t pos = 0;
   // Random initial phase of the on/off cycle (same scheme as the OFDM
@@ -186,6 +190,7 @@ void ImpairmentSuite::distort_rx(std::span<std::complex<double>> iq,
       const double phi = rng.phase();
       const std::complex<double> burst(imp.amplitude * std::cos(phi),
                                        imp.amplitude * std::sin(phi));
+      telemetry::count(telemetry::Counter::kImpairmentImpulsiveBursts);
       const std::size_t end = std::min(iq.size(), start + len);
       for (std::size_t s = start; s < end; ++s) iq[s] += burst;
       t += dur_s + rng.exponential(1.0 / imp.events_per_s);
@@ -197,13 +202,17 @@ void ImpairmentSuite::distort_rx(std::span<std::complex<double>> iq,
     // LSB of a mid-tread uniform quantizer across ±full_scale.
     const double lsb =
         2.0 * fs / static_cast<double>((std::uint64_t{1} << adc.bits) - 1);
+    std::uint64_t clipped = 0;
     for (auto& sample : iq) {
-      double i = std::clamp(sample.real(), -fs, fs);
-      double q = std::clamp(sample.imag(), -fs, fs);
+      const double ri = sample.real(), rq = sample.imag();
+      double i = std::clamp(ri, -fs, fs);
+      double q = std::clamp(rq, -fs, fs);
+      clipped += (i != ri) || (q != rq) ? 1 : 0;
       i = std::round(i / lsb) * lsb;
       q = std::round(q / lsb) * lsb;
       sample = {i, q};
     }
+    telemetry::count(telemetry::Counter::kImpairmentAdcClippedSamples, clipped);
   }
 }
 

@@ -5,6 +5,7 @@
 
 #include "pn/correlation.h"
 #include "util/expect.h"
+#include "util/telemetry.h"
 
 namespace cbma::rx {
 
@@ -59,8 +60,39 @@ RxReport Receiver::process_iq(std::span<const std::complex<double>> iq) const {
   return process_iq(iq, scratch);
 }
 
+namespace {
+
+/// Per-round DecodeOutcome tallies into the telemetry counters — one call
+/// per group code, so the counters mirror RxReport::outcome_count exactly.
+void count_outcomes(const RxReport& report) {
+  using telemetry::Counter;
+  for (const auto& r : report.results) {
+    switch (r.outcome) {
+      case DecodeOutcome::kOk: telemetry::count(Counter::kRxOutcomeOk); break;
+      case DecodeOutcome::kNoFrameSync:
+        telemetry::count(Counter::kRxOutcomeNoFrameSync);
+        break;
+      case DecodeOutcome::kNotDetected:
+        telemetry::count(Counter::kRxOutcomeNotDetected);
+        break;
+      case DecodeOutcome::kTruncated:
+        telemetry::count(Counter::kRxOutcomeTruncated);
+        break;
+      case DecodeOutcome::kBadCrc:
+        telemetry::count(Counter::kRxOutcomeBadCrc);
+        break;
+      case DecodeOutcome::kIdMismatch:
+        telemetry::count(Counter::kRxOutcomeIdMismatch);
+        break;
+    }
+  }
+}
+
+}  // namespace
+
 RxReport Receiver::process_iq(std::span<const std::complex<double>> iq,
                               RxScratch& scratch) const {
+  const telemetry::ScopedSpan span_rx(telemetry::Span::kRxProcess);
   RxReport report;
   report.results.resize(codes_.size());
   for (std::size_t i = 0; i < codes_.size(); ++i) report.results[i].tag_index = i;
@@ -74,8 +106,11 @@ RxReport Receiver::process_iq(std::span<const std::complex<double>> iq,
   // Frame synchronization operates on the energy envelope (§III-B).
   scratch.magnitude.resize(iq.size());
   std::span<double> magnitude = scratch.magnitude;
-  for (std::size_t i = 0; i < iq.size(); ++i) {
-    magnitude[i] = std::sqrt(re[i] * re[i] + im[i] * im[i]);
+  {
+    const telemetry::ScopedSpan span_sync(telemetry::Span::kRxFrameSync);
+    for (std::size_t i = 0; i < iq.size(); ++i) {
+      magnitude[i] = std::sqrt(re[i] * re[i] + im[i] * im[i]);
+    }
   }
 
   // A noise spike can fire the energy comparator ahead of the true frame
@@ -86,11 +121,19 @@ RxReport Receiver::process_iq(std::span<const std::complex<double>> iq,
   constexpr int kMaxSyncAttempts = 4;
   std::size_t begin = 0;
   for (int attempt = 0; attempt < kMaxSyncAttempts; ++attempt) {
-    const auto trigger = sync_.detect(magnitude, begin);
+    const auto trigger = [&] {
+      const telemetry::ScopedSpan span_sync(telemetry::Span::kRxFrameSync);
+      return sync_.detect(magnitude, begin);
+    }();
     if (!trigger) break;
+    telemetry::count(telemetry::Counter::kRxSyncAttempts);
     if (!report.frame_start) report.frame_start = trigger;
 
-    const auto detections = detector_.detect(re, im, *trigger, scratch.detect);
+    const auto detections = [&] {
+      const telemetry::ScopedSpan span_detect(telemetry::Span::kRxDetect);
+      return detector_.detect(re, im, *trigger, scratch.detect);
+    }();
+    telemetry::count(telemetry::Counter::kRxDetections, detections.size());
     RxReport candidate;
     candidate.frame_start = trigger;
     candidate.results.resize(codes_.size());
@@ -107,8 +150,10 @@ RxReport Receiver::process_iq(std::span<const std::complex<double>> iq,
       r.correlation = d.correlation;
       r.offset_samples = d.offset_samples;
 
-      const auto decoded =
-          decoders_[d.tag_index].decode(re, im, d.offset_samples, d.phase);
+      const auto decoded = [&] {
+        const telemetry::ScopedSpan span_decode(telemetry::Span::kRxDecode);
+        return decoders_[d.tag_index].decode(re, im, d.offset_samples, d.phase);
+      }();
       // The frame's identity must match the code that decoded it: a wrong
       // code at a lucky lag reproduces another tag's bits sign-consistently
       // (CRC included), so the in-frame tag id is the discriminator.
@@ -135,6 +180,7 @@ RxReport Receiver::process_iq(std::span<const std::complex<double>> iq,
     // Skip ahead past this trigger before re-arming.
     begin = *trigger + config_.sync.window;
   }
+  if (telemetry::enabled()) count_outcomes(report);
   return report;
 }
 

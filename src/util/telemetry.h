@@ -1,0 +1,216 @@
+// Pipeline-wide tracing & metrics: RAII span timers, monotonic counters and
+// a bounded flight recorder of per-frame structured events, all recorded
+// into lock-free per-thread sinks and aggregated on demand.
+//
+// The contract that makes this safe to compile into every hot path:
+// **disabled telemetry is a strict identity**. When enabled() is false (the
+// default), ScopedSpan never reads the clock, count() and record_frame()
+// return immediately, no thread sink is ever allocated, and no RNG is
+// touched (telemetry never draws randomness at all) — so every existing
+// bench table and BENCH_*.json stays byte-identical, the same contract
+// rfsim::ImpairmentSuite pins for its stages. Enable with CBMA_TELEMETRY=1
+// (or set_enabled(true)); capture per-event Chrome/Perfetto traces with
+// CBMA_TRACE=<path> on top.
+//
+// Span and counter identities are compile-time enums, so the hot path is an
+// array index into the calling thread's sink — no string hashing, no map,
+// no lock. Sinks register once under a mutex on first use per thread and
+// are owned by the process-lifetime registry (a worker thread exiting does
+// not invalidate its recorded data). Aggregation (snapshot()) merges all
+// sinks and must run while no worker is recording — in practice after
+// parallel_for joined, which is how SweepRunner and the benches use it.
+// Durations are histogrammed (log₂ buckets, 4 linear sub-buckets each) so
+// percentiles cost O(1) memory per span; quantiles are accurate to the
+// sub-bucket width (≤ 12.5 %). See DESIGN.md §7 for the naming scheme and
+// the full observability contract.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/timer.h"
+
+namespace cbma::telemetry {
+
+/// Every timed stage of the pipeline. Names follow "layer/stage"
+/// (span_name); add new stages at the end and name them there.
+enum class Span : std::uint8_t {
+  kTransmitTotal,        ///< one CbmaSystem::transmit call, end to end
+  kTransmitSpread,       ///< framing + spreading + modulation (chip expansion)
+  kTransmitImpairments,  ///< tag-side fault-injection draws
+  kChannelSynthesis,     ///< rfsim::Channel::receive_into window synthesis
+  kRxProcess,            ///< rx::Receiver::process_iq, end to end
+  kRxFrameSync,          ///< energy-envelope frame synchronization
+  kRxDetect,             ///< correlation user detection (incl. SIC)
+  kRxDecode,             ///< per-user coherent decode
+  kSweepPoint,           ///< one SweepRunner grid-point body
+  kSweepRun,             ///< one SweepRunner::run, end to end
+  kBenchIteration,       ///< bench_kernels manual-timed iteration
+  kCount
+};
+inline constexpr std::size_t kSpanCount = static_cast<std::size_t>(Span::kCount);
+const char* span_name(Span s);
+
+/// Monotonic event counters ("layer.event" naming, counter_name).
+enum class Counter : std::uint8_t {
+  kTransmitPackets,       ///< transmit() calls
+  kTransmitFramesSent,    ///< frames put on the air (sum of group sizes)
+  kRxFramesDecoded,       ///< CRC+id verified frames
+  kRxSyncAttempts,        ///< frame-sync triggers examined
+  kRxDetections,          ///< correlation peaks above threshold
+  kRxOutcomeOk,           ///< per-frame DecodeOutcome tallies…
+  kRxOutcomeNoFrameSync,
+  kRxOutcomeNotDetected,
+  kRxOutcomeTruncated,
+  kRxOutcomeBadCrc,
+  kRxOutcomeIdMismatch,
+  kChannelWindows,        ///< synthesized receive windows
+  kChannelSamples,        ///< complex samples synthesized
+  kImpairmentClockPerturbs,
+  kImpairmentSwitchJitters,
+  kImpairmentDropoutGates,     ///< envelopes gated by dropout bursts
+  kImpairmentImpulsiveBursts,  ///< impulsive bursts injected
+  kImpairmentAdcClippedSamples,
+  kSweepPoints,           ///< grid points executed
+  kSweepWorkers,          ///< worker threads launched across runs
+  kArqOffered,
+  kArqDelivered,
+  kArqDropped,
+  kArqTransmissions,
+  kNodeSelectAbandoned,   ///< slots below the bad-ACK threshold
+  kNodeSelectReplaced,    ///< slots actually swapped for a candidate
+  kNodeSelectAnnealed,    ///< non-improving candidates accepted
+  kCount
+};
+inline constexpr std::size_t kCounterCount =
+    static_cast<std::size_t>(Counter::kCount);
+const char* counter_name(Counter c);
+
+/// One frame's flight-recorder entry: the causal context the paper's
+/// evaluation reasons about (who sent, how strongly, what the correlator
+/// saw, why the frame lived or died, which faults were active).
+struct FrameTrace {
+  std::uint64_t seq = 0;        ///< global order stamp (assigned on record)
+  std::uint64_t ts_ns = 0;      ///< util::monotonic_ns at record time
+  std::uint32_t tag_id = 0;     ///< group slot / code index
+  std::uint32_t pn_code_length = 0;
+  double correlation = 0.0;     ///< normalized correlation peak
+  double margin = 0.0;          ///< peak minus the detection threshold
+  double cfo_hz = 0.0;          ///< carrier frequency offset on the air
+  double power_dbm = 0.0;       ///< received backscatter power
+  std::uint32_t impedance_level = 0;
+  std::uint8_t outcome = 0;     ///< rx::DecodeOutcome as an integer
+  std::uint8_t impairment_gates = 0;  ///< bit per enabled stage, see masks
+};
+
+/// FrameTrace::impairment_gates bit assignments (ImpairmentConfig order).
+inline constexpr std::uint8_t kGateDropout = 1u << 0;
+inline constexpr std::uint8_t kGateDrift = 1u << 1;
+inline constexpr std::uint8_t kGateSwitching = 1u << 2;
+inline constexpr std::uint8_t kGateImpulsive = 1u << 3;
+inline constexpr std::uint8_t kGateAdc = 1u << 4;
+
+/// One recorded span occurrence, kept only when trace capture is on — the
+/// raw material of the Chrome/Perfetto timeline export.
+struct TraceEvent {
+  Span span = Span::kTransmitTotal;
+  std::uint64_t ts_ns = 0;
+  std::uint64_t dur_ns = 0;
+  std::uint32_t tid = 0;  ///< registry-assigned thread index
+};
+
+// --- master switches -------------------------------------------------------
+
+/// Master switch. Initialized once from CBMA_TELEMETRY (unset/empty/"0" =
+/// off); flip programmatically with set_enabled().
+bool enabled();
+void set_enabled(bool on);
+
+/// Per-event trace capture (needs enabled() too). Initialized from
+/// CBMA_TRACE being set to a non-empty path.
+bool trace_enabled();
+void set_trace_enabled(bool on);
+
+/// The CBMA_TRACE path ("" when unset) — where finish()-style exporters
+/// write the Chrome trace.
+std::string trace_path();
+
+// --- hot-path recording ----------------------------------------------------
+
+void record_span(Span s, std::uint64_t start_ns, std::uint64_t dur_ns);
+void add_count(Counter c, std::uint64_t n);
+void record_frame(FrameTrace frame);  ///< seq/ts are stamped inside
+
+inline void count(Counter c, std::uint64_t n = 1) {
+  if (enabled()) add_count(c, n);
+}
+
+/// RAII span timer: reads the clock only when telemetry is enabled at
+/// construction, records on destruction. Zero work on the off path.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(Span s)
+      : span_(s), start_ns_(enabled() ? util::monotonic_ns() : 0) {}
+  ~ScopedSpan() {
+    if (start_ns_ != 0) {
+      record_span(span_, start_ns_, util::monotonic_ns() - start_ns_);
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Span span_;
+  std::uint64_t start_ns_;
+};
+
+// --- aggregation -----------------------------------------------------------
+
+struct SpanSnapshot {
+  Span id = Span::kTransmitTotal;
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t min_ns = 0;
+  std::uint64_t max_ns = 0;
+  double mean_ns = 0.0;
+  double p50_ns = 0.0;  ///< histogram quantiles (≤ 12.5 % bucket error)
+  double p90_ns = 0.0;
+  double p99_ns = 0.0;
+};
+
+struct CounterSnapshot {
+  Counter id = Counter::kTransmitPackets;
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct Snapshot {
+  std::vector<SpanSnapshot> spans;        ///< spans with count > 0 only
+  std::vector<CounterSnapshot> counters;  ///< non-zero counters only
+  std::vector<FrameTrace> frames;   ///< merged rings, seq order, last N
+  std::vector<TraceEvent> events;   ///< merged, ts order (trace capture on)
+  std::size_t threads = 0;          ///< sinks that recorded anything
+};
+
+/// Merge every thread sink. Must not race recording — call after workers
+/// joined (SweepRunner::run returns ⇒ safe).
+Snapshot snapshot();
+
+/// Zero every sink (counts, histograms, rings, events). Sinks stay
+/// registered; sink_count() is unchanged.
+void reset();
+
+/// Number of registered per-thread sinks — 0 proves the off path never
+/// allocated (the telemetry-off identity test asserts this).
+std::size_t sink_count();
+
+/// Flight-recorder depth per thread (also the merged export cap). Applies
+/// to sinks created after the call; default 256.
+void set_flight_recorder_capacity(std::size_t frames);
+std::size_t flight_recorder_capacity();
+
+}  // namespace cbma::telemetry

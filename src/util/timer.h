@@ -1,0 +1,22 @@
+// The one monotonic clock every timing consumer shares: telemetry span
+// timers, the Chrome-trace exporter and bench_kernels' manual-timed
+// variants all read util::monotonic_ns(), so their numbers are directly
+// comparable (same epoch, same resolution) and a clock change happens in
+// exactly one place.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace cbma::util {
+
+/// Nanoseconds on the steady (monotonic) clock. Only differences are
+/// meaningful; the epoch is unspecified but fixed for the process.
+inline std::uint64_t monotonic_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace cbma::util

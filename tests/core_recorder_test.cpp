@@ -9,6 +9,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -161,6 +162,49 @@ TEST(RunRecorder, FinishWritesValidJsonToBenchDir) {
 
   unsetenv("CBMA_GIT_SHA");
   unsetenv("CBMA_BENCH_DIR");
+}
+
+// CBMA_BENCH_DIR pointing at a directory that does not exist yet is the
+// normal first-run / CI case: finish() must create it (including nested
+// components) instead of failing on the ofstream open.
+TEST(RunRecorder, FinishCreatesMissingBenchDir) {
+  const auto dir =
+      ::testing::TempDir() + "cbma_recorder_missing/nested/results";
+  std::filesystem::remove_all(::testing::TempDir() + "cbma_recorder_missing");
+  ASSERT_FALSE(std::filesystem::exists(dir));
+  setenv("CBMA_BENCH_DIR", dir.c_str(), 1);
+
+  RunRecorder recorder(demo_spec(), SystemConfig{});
+  recorder.record(0, "fer", 0.5);
+  EXPECT_EQ(recorder.finish(), 0);
+
+  std::ifstream in(dir + "/BENCH_recorder_unit_test.json");
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const auto doc = util::json_parse([&] {
+    auto text = buffer.str();
+    while (!text.empty() && text.back() == '\n') text.pop_back();
+    return text;
+  }());
+  EXPECT_EQ(doc.at("bench").string, "recorder_unit_test");
+  unsetenv("CBMA_BENCH_DIR");
+}
+
+// A path that cannot be created (a file sits where the directory should
+// be) must fail with a clean non-zero exit, not an unhandled exception.
+TEST(RunRecorder, FinishFailsCleanlyWhenBenchDirIsAFile) {
+  const auto blocker = ::testing::TempDir() + "cbma_recorder_blocker";
+  std::filesystem::remove_all(blocker);
+  { std::ofstream make(blocker); make << "in the way"; }
+  const auto dir = blocker + "/results";
+  setenv("CBMA_BENCH_DIR", dir.c_str(), 1);
+
+  RunRecorder recorder(demo_spec(), SystemConfig{});
+  EXPECT_EQ(recorder.finish(), 1);
+
+  unsetenv("CBMA_BENCH_DIR");
+  std::filesystem::remove(blocker);
 }
 
 }  // namespace

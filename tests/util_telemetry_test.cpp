@@ -1,0 +1,161 @@
+// util/telemetry unit coverage: the pieces the pipeline-level tests can't
+// pin exactly — histogram quantile accuracy against synthetic durations,
+// counter arithmetic, name-table completeness/uniqueness, and the
+// flight-recorder ring mechanics via direct record_frame calls.
+//
+// Each TEST runs in its own process (gtest_discover_tests), so enabling
+// telemetry here cannot leak into other tests.
+#include "util/telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace cbma::telemetry {
+namespace {
+
+TEST(UtilTelemetry, SpanAndCounterNamesAreCompleteAndUnique) {
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < kSpanCount; ++i) {
+    const std::string n = span_name(static_cast<Span>(i));
+    EXPECT_NE(n, "unknown") << "span " << i << " is unnamed";
+    // "layer/stage" scheme (DESIGN.md §7).
+    EXPECT_NE(n.find('/'), std::string::npos) << n;
+    EXPECT_TRUE(names.insert(n).second) << "duplicate span name " << n;
+  }
+  names.clear();
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    const std::string n = counter_name(static_cast<Counter>(i));
+    EXPECT_NE(n, "unknown") << "counter " << i << " is unnamed";
+    // "layer.event" scheme.
+    EXPECT_NE(n.find('.'), std::string::npos) << n;
+    EXPECT_TRUE(names.insert(n).second) << "duplicate counter name " << n;
+  }
+  EXPECT_GE(kCounterCount, 10u);  // the acceptance bar for named counters
+}
+
+TEST(UtilTelemetry, DisabledRecordingIsANoOp) {
+  set_enabled(false);
+  record_span(Span::kRxProcess, 1, 100);
+  add_count(Counter::kRxDetections, 5);
+  record_frame(FrameTrace{});
+  { const ScopedSpan span(Span::kRxDecode); }
+  EXPECT_EQ(sink_count(), 0u);
+  const auto snap = snapshot();
+  EXPECT_TRUE(snap.spans.empty());
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.frames.empty());
+}
+
+TEST(UtilTelemetry, SpanStatisticsAndQuantilesWithinBucketError) {
+  set_enabled(true);
+  reset();
+  // 1..1000 ns, shuffled order must not matter for rank statistics.
+  std::vector<std::uint64_t> durations;
+  for (std::uint64_t d = 1; d <= 1000; ++d) durations.push_back(d);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < durations.size(); ++i) {
+    const auto d = durations[(i * 7919) % durations.size()];
+    record_span(Span::kRxDecode, /*start_ns=*/i, d);
+    total += d;
+  }
+  const auto snap = snapshot();
+  set_enabled(false);
+
+  ASSERT_EQ(snap.spans.size(), 1u);
+  const auto& s = snap.spans[0];
+  EXPECT_EQ(s.name, "rx/decode");
+  EXPECT_EQ(s.count, 1000u);
+  EXPECT_EQ(s.total_ns, total);
+  EXPECT_EQ(s.min_ns, 1u);
+  EXPECT_EQ(s.max_ns, 1000u);
+  EXPECT_NEAR(s.mean_ns, 500.5, 1e-9);
+  // Histogram quantiles are exact to the sub-bucket width: ≤ 12.5 %.
+  EXPECT_NEAR(s.p50_ns, 500.0, 0.125 * 500.0);
+  EXPECT_NEAR(s.p90_ns, 900.0, 0.125 * 900.0);
+  EXPECT_NEAR(s.p99_ns, 990.0, 0.125 * 990.0);
+  reset();
+}
+
+TEST(UtilTelemetry, CountersAccumulateAcrossCalls) {
+  set_enabled(true);
+  reset();
+  add_count(Counter::kChannelSamples, 100);
+  add_count(Counter::kChannelSamples, 23);
+  count(Counter::kChannelWindows);         // default n = 1
+  count(Counter::kChannelWindows, 2);
+  const auto snap = snapshot();
+  set_enabled(false);
+
+  ASSERT_EQ(snap.counters.size(), 2u);
+  std::uint64_t samples = 0, windows = 0;
+  for (const auto& c : snap.counters) {
+    if (c.name == "channel.samples") samples = c.value;
+    if (c.name == "channel.windows") windows = c.value;
+  }
+  EXPECT_EQ(samples, 123u);
+  EXPECT_EQ(windows, 3u);
+  reset();
+}
+
+TEST(UtilTelemetry, FrameRingWrapsAndSeqIsGlobal) {
+  set_flight_recorder_capacity(4);
+  set_enabled(true);
+  reset();
+  for (std::uint32_t k = 0; k < 11; ++k) {
+    FrameTrace f;
+    f.tag_id = k;
+    record_frame(f);
+  }
+  const auto snap = snapshot();
+  set_enabled(false);
+
+  ASSERT_EQ(snap.frames.size(), 4u);
+  // Last four of the eleven, in seq order, seq stamped 0..10 globally.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(snap.frames[i].seq, 7u + i);
+    EXPECT_EQ(snap.frames[i].tag_id, 7u + i);
+    EXPECT_GT(snap.frames[i].ts_ns, 0u);
+  }
+  reset();
+}
+
+TEST(UtilTelemetry, ResetClearsDataButKeepsSinksRegistered) {
+  set_enabled(true);
+  reset();
+  record_span(Span::kSweepPoint, 1, 50);
+  add_count(Counter::kSweepPoints, 1);
+  ASSERT_EQ(sink_count(), 1u);
+  reset();
+  const auto snap = snapshot();
+  set_enabled(false);
+  EXPECT_TRUE(snap.spans.empty());
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_EQ(sink_count(), 1u);
+}
+
+TEST(UtilTelemetry, TraceEventsCapturedOnlyWhenTraceFlagOn) {
+  set_enabled(true);
+  reset();
+  record_span(Span::kRxDetect, 10, 5);
+  EXPECT_TRUE(snapshot().events.empty());
+  set_trace_enabled(true);
+  record_span(Span::kRxDetect, 20, 5);
+  record_span(Span::kRxDecode, 30, 7);
+  set_trace_enabled(false);
+  const auto snap = snapshot();
+  set_enabled(false);
+
+  ASSERT_EQ(snap.events.size(), 2u);
+  EXPECT_EQ(snap.events[0].span, Span::kRxDetect);
+  EXPECT_EQ(snap.events[0].ts_ns, 20u);
+  EXPECT_EQ(snap.events[1].dur_ns, 7u);
+  reset();
+}
+
+}  // namespace
+}  // namespace cbma::telemetry

@@ -1,18 +1,28 @@
 #!/usr/bin/env python3
 """Validate the BENCH_*.json artifacts the bench suite emits.
 
-Usage: check_bench_json.py <dir> <bench-name>...
+Usage: check_bench_json.py [--require-telemetry] <dir> <bench-name>...
 
 For every listed bench the script requires <dir>/BENCH_<name>.json to
 exist, parse, and carry the recorder schema (schema_version 1): bench
 metadata, config summary + fingerprint, axes consistent with the point
 grid, per-point metrics, captured tables, and shape-check verdicts.
-`kernels` is special-cased: bench_kernels emits google-benchmark's own
-JSON, which is validated as such. Exits non-zero on the first failure so
-CI fails loudly on a missing or malformed document.
+A `telemetry` section (present when the run had CBMA_TELEMETRY=1) is
+validated against the observability schema of DESIGN.md §7 whenever it
+appears; `--require-telemetry` additionally fails documents without one
+(CI's telemetry-enabled smoke run uses this). `kernels` is special-cased:
+bench_kernels emits google-benchmark's own JSON, which is validated as
+such. Exits non-zero on the first failure so CI fails loudly on a
+missing or malformed document.
 """
 import json
 import sys
+
+SPAN_KEYS = ("name", "count", "total_ns", "min_ns", "max_ns", "mean_ns",
+             "p50_ns", "p90_ns", "p99_ns")
+FRAME_KEYS = ("seq", "ts_ns", "tag", "code_length", "correlation", "margin",
+              "cfo_hz", "power_dbm", "impedance_level", "outcome",
+              "impairment_gates")
 
 
 def fail(msg: str) -> None:
@@ -20,7 +30,60 @@ def fail(msg: str) -> None:
     sys.exit(1)
 
 
-def check_recorder_doc(name: str, doc: dict) -> None:
+def check_telemetry_section(name: str, tel: dict) -> None:
+    """Observability schema (DESIGN.md §7): spans with ordered percentile
+    statistics, named non-zero counters, a bounded flight recorder."""
+    for key in ("threads", "spans", "counters", "flight_recorder"):
+        if key not in tel:
+            fail(f"{name}: telemetry section missing key '{key}'")
+    if not isinstance(tel["threads"], int) or tel["threads"] < 1:
+        fail(f"{name}: telemetry.threads {tel['threads']!r} is not a "
+             "positive integer")
+    if not isinstance(tel["spans"], list) or not tel["spans"]:
+        fail(f"{name}: telemetry.spans missing or empty")
+    for span in tel["spans"]:
+        for key in SPAN_KEYS:
+            if key not in span:
+                fail(f"{name}: telemetry span missing key '{key}': {span}")
+        if "/" not in span["name"]:
+            fail(f"{name}: span name '{span['name']}' violates the "
+                 "layer/stage scheme")
+        if span["count"] < 1:
+            fail(f"{name}: span '{span['name']}' recorded with count 0")
+        if not span["p50_ns"] <= span["p90_ns"] <= span["p99_ns"]:
+            fail(f"{name}: span '{span['name']}' percentiles out of order")
+        if span["min_ns"] > span["max_ns"]:
+            fail(f"{name}: span '{span['name']}' min > max")
+    counters = tel["counters"]
+    if not isinstance(counters, dict):
+        fail(f"{name}: telemetry.counters is not an object")
+    for counter, value in counters.items():
+        if "." not in counter:
+            fail(f"{name}: counter name '{counter}' violates the "
+             "layer.event scheme")
+        if not isinstance(value, int) or value < 1:
+            fail(f"{name}: counter '{counter}' has non-positive value "
+                 f"{value!r} (zero counters are omitted)")
+    if len(counters) < 10:
+        fail(f"{name}: only {len(counters)} named counters "
+             "(observability contract promises ≥ 10 on a pipeline run)")
+    if not isinstance(tel["flight_recorder"], list):
+        fail(f"{name}: telemetry.flight_recorder is not an array")
+    prev_seq = -1
+    for frame in tel["flight_recorder"]:
+        for key in FRAME_KEYS:
+            if key not in frame:
+                fail(f"{name}: flight-recorder frame missing key '{key}'")
+        if not isinstance(frame["outcome"], str) or not frame["outcome"]:
+            fail(f"{name}: flight-recorder outcome should be the rx label, "
+                 f"got {frame['outcome']!r}")
+        if frame["seq"] <= prev_seq:
+            fail(f"{name}: flight-recorder seq not strictly increasing")
+        prev_seq = frame["seq"]
+
+
+def check_recorder_doc(name: str, doc: dict,
+                       require_telemetry: bool = False) -> None:
     for key in ("schema_version", "bench", "title", "paper_ref", "config",
                 "base_seed", "trials_per_point", "axes", "points", "tables",
                 "checks", "notes"):
@@ -65,6 +128,11 @@ def check_recorder_doc(name: str, doc: dict) -> None:
         if not check["holds"]:
             print(f"check_bench_json: note: {name}: shape check VIOLATED: "
                   f"{check['name']}")
+    if "telemetry" in doc:
+        check_telemetry_section(name, doc["telemetry"])
+    elif require_telemetry:
+        fail(f"{name}: no telemetry section but --require-telemetry given — "
+             "was the bench run without CBMA_TELEMETRY=1?")
 
 
 def check_google_benchmark_doc(name: str, doc: dict) -> None:
@@ -75,9 +143,13 @@ def check_google_benchmark_doc(name: str, doc: dict) -> None:
 
 
 def main() -> None:
-    if len(sys.argv) < 3:
-        fail("usage: check_bench_json.py <dir> <bench-name>...")
-    directory, names = sys.argv[1], sys.argv[2:]
+    args = sys.argv[1:]
+    require_telemetry = "--require-telemetry" in args
+    args = [a for a in args if a != "--require-telemetry"]
+    if len(args) < 2:
+        fail("usage: check_bench_json.py [--require-telemetry] "
+             "<dir> <bench-name>...")
+    directory, names = args[0], args[1:]
     for name in names:
         path = f"{directory}/BENCH_{name}.json"
         try:
@@ -90,7 +162,7 @@ def main() -> None:
         if name == "kernels":
             check_google_benchmark_doc(name, doc)
         else:
-            check_recorder_doc(name, doc)
+            check_recorder_doc(name, doc, require_telemetry)
         print(f"check_bench_json: OK: {path}")
     print(f"check_bench_json: validated {len(names)} documents")
 

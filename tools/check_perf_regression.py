@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Gate bench_kernels performance against a committed baseline.
+
+Usage:
+  check_perf_regression.py <BENCH_kernels.json> <baseline.json> [--tolerance F]
+  check_perf_regression.py <BENCH_kernels.json> <baseline.json> --update
+
+Compares the ns_per_packet counter of every benchmark present in both the
+fresh google-benchmark document and the baseline, and fails when any is
+slower than baseline * (1 + tolerance). The default tolerance is
+deliberately generous (±30 %): shared CI runners are noisy, and the gate
+exists to catch real regressions (an accidental O(n²), a debug build, a
+hot-path allocation) loudly, not 5 % jitter silently. Benchmarks present
+on only one side are reported but never fatal, so adding or retiring a
+benchmark does not break CI before the baseline is refreshed.
+
+A speed-up beyond the same tolerance prints a note suggesting a baseline
+refresh; `--update` rewrites the baseline from the fresh run (commit the
+result; the file records the machine's numbers, so refresh it from the
+same class of machine CI uses).
+"""
+import json
+import sys
+
+DEFAULT_TOLERANCE = 0.30
+
+
+def fail(msg: str) -> None:
+    print(f"check_perf_regression: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def ns_per_packet_by_name(doc: dict) -> dict:
+    """benchmark name -> ns_per_packet from a google-benchmark JSON doc."""
+    out = {}
+    for bench in doc.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev of --benchmark_repetitions).
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench.get("name")
+        value = bench.get("ns_per_packet")
+        if name and isinstance(value, (int, float)) and value > 0:
+            out[name] = float(value)
+    return out
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except FileNotFoundError:
+        fail(f"{path} missing")
+    except json.JSONDecodeError as e:
+        fail(f"{path} is not valid JSON: {e}")
+
+
+def main() -> None:
+    args = sys.argv[1:]
+    update = "--update" in args
+    args = [a for a in args if a != "--update"]
+    tolerance = DEFAULT_TOLERANCE
+    if "--tolerance" in args:
+        i = args.index("--tolerance")
+        try:
+            tolerance = float(args[i + 1])
+        except (IndexError, ValueError):
+            fail("--tolerance needs a float argument")
+        del args[i:i + 2]
+    if len(args) != 2:
+        fail("usage: check_perf_regression.py <BENCH_kernels.json> "
+             "<baseline.json> [--tolerance F | --update]")
+    current_path, baseline_path = args
+
+    current = ns_per_packet_by_name(load(current_path))
+    if not current:
+        fail(f"{current_path} has no ns_per_packet counters")
+
+    if update:
+        baseline_doc = {
+            "comment": "ns_per_packet baseline for tools/check_perf_regression"
+                       ".py — refresh with --update on a CI-class machine",
+            "ns_per_packet": dict(sorted(current.items())),
+        }
+        with open(baseline_path, "w", encoding="utf-8") as f:
+            json.dump(baseline_doc, f, indent=2)
+            f.write("\n")
+        print(f"check_perf_regression: wrote {len(current)} baselines "
+              f"to {baseline_path}")
+        return
+
+    baseline = load(baseline_path).get("ns_per_packet", {})
+    if not baseline:
+        fail(f"{baseline_path} has no 'ns_per_packet' object — "
+             "generate it with --update")
+
+    regressions = []
+    for name in sorted(baseline):
+        if name not in current:
+            print(f"check_perf_regression: note: '{name}' in baseline but "
+                  "not in this run (filtered out or retired?)")
+            continue
+        base, now = baseline[name], current[name]
+        ratio = now / base
+        verdict = "ok"
+        if ratio > 1.0 + tolerance:
+            verdict = "REGRESSION"
+            regressions.append((name, base, now, ratio))
+        elif ratio < 1.0 - tolerance:
+            verdict = "faster (consider --update)"
+        print(f"check_perf_regression: {name}: {base:.1f} -> {now:.1f} ns "
+              f"({ratio:.2f}x baseline): {verdict}")
+    for name in sorted(set(current) - set(baseline)):
+        print(f"check_perf_regression: note: '{name}' not in baseline — "
+              "refresh with --update to start gating it")
+
+    if regressions:
+        for name, base, now, ratio in regressions:
+            print(f"check_perf_regression: FAIL: {name} regressed "
+                  f"{base:.1f} -> {now:.1f} ns_per_packet "
+                  f"({ratio:.2f}x > {1.0 + tolerance:.2f}x allowed)",
+                  file=sys.stderr)
+        sys.exit(1)
+    print(f"check_perf_regression: {len(baseline)} baselines checked, "
+          f"no regression beyond {tolerance:.0%}")
+
+
+if __name__ == "__main__":
+    main()

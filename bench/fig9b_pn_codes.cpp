@@ -53,8 +53,15 @@ int main() {
     point_cfg.code_min_length = 31;  // Gold-31 vs 2NC-32: comparable spreading
     point_cfg.max_tags = n_tags;
     const auto dep = make_deployment(n_tags);
-    recorder.record(point.flat(), "fer",
-                    core::measure_fer(point_cfg, dep, n_packets, point.seed()).fer);
+    const auto result =
+        core::measure_fer(point_cfg, dep, n_packets, point.seed());
+    recorder.record(point.flat(), "fer", result.fer);
+    // Detector safety margin (winning peak minus runner-up): 2NC's zero
+    // aligned cross-correlation should keep it wider than Gold's as the
+    // group crowds.
+    const auto& margin = result.stats.correlation_margin;
+    recorder.record(point.flat(), "margin_mean",
+                    margin.count() ? margin.mean() : 0.0);
   });
 
   const auto fer = [&](std::size_t f, std::size_t t) {
@@ -66,6 +73,19 @@ int main() {
                    Table::percent(fer(0, t), 2), Table::percent(fer(1, t), 2)});
   }
   recorder.print_table(table);
+
+  const auto margin = [&](std::size_t f, std::size_t t) {
+    return recorder.metric(f * tag_counts.size() + t, "margin_mean");
+  };
+  Table margin_table({"tags", "Gold margin", "2NC margin"});
+  for (std::size_t t = 0; t < tag_counts.size(); ++t) {
+    char gold[32], twonc[32];
+    std::snprintf(gold, sizeof gold, "%.4f", margin(0, t));
+    std::snprintf(twonc, sizeof twonc, "%.4f", margin(1, t));
+    margin_table.add_row(
+        {std::to_string(static_cast<std::size_t>(tag_counts[t])), gold, twonc});
+  }
+  recorder.print_table(margin_table);
 
   bool twonc_never_worse = true;
   for (std::size_t t = 0; t < tag_counts.size(); ++t) {

@@ -209,5 +209,23 @@ int main() {
                   ? "HOLDS"
                   : "VIOLATED",
               100.0 * max_drift, 100.0 * deep_dropout);
+
+  // Anomaly watchdog: rules apply to every grid point, so they must stay
+  // silent under legitimate physics (deep dropout drives PRR to zero at
+  // small trial counts) and only fire on pipeline breakage or a point
+  // collapsing far below its neighbors. Warnings land on stderr and in the
+  // JSON "watchdog" section.
+  const std::size_t fired = recorder.run_watchdog({
+      // Every point must have attempted frames — zero means the bench
+      // itself broke, not that the channel got hard.
+      {.metric = "count_sent", .floor = 0.5},
+      // Dropout/drift degrade smoothly; a point far below the mean of its
+      // single-axis neighbors is an anomaly, not physics.
+      {.metric = "prr", .neighbor_tolerance = 0.5},
+  });
+  if (fired > 0) {
+    std::printf("\nwatchdog: %zu anomaly warning(s) — see stderr / JSON\n",
+                fired);
+  }
   return recorder.finish();
 }

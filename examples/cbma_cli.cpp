@@ -3,7 +3,7 @@
 //   cbma_cli [--tags N] [--radius M] [--distance M] [--packets P]
 //            [--family gold|2nc] [--bitrate MBPS] [--power DBM]
 //            [--payload BYTES] [--pc] [--wifi] [--bluetooth] [--ofdm]
-//            [--multipath] [--seed S]
+//            [--multipath] [--probe PATH] [--seed S]
 //
 // Tags are placed on a ring of the given radius centred `--distance`
 // metres from the receiver side of the paper frame. Reports per-tag SNR,
@@ -14,6 +14,7 @@
 #include <memory>
 #include <string>
 
+#include "core/probe_session.h"
 #include "core/system.h"
 #include "mac/throughput.h"
 #include "util/table.h"
@@ -37,6 +38,7 @@ struct CliOptions {
   bool bluetooth = false;
   bool ofdm = false;
   bool multipath = false;
+  std::string probe;  ///< signal-probe dump path ("" = probing off)
   std::uint64_t seed = 1;
 };
 
@@ -56,6 +58,7 @@ void usage(const char* argv0) {
       "  --bluetooth      add a Bluetooth interferer\n"
       "  --ofdm           use an intermittent OFDM excitation source\n"
       "  --multipath      enable Rician multipath echoes\n"
+      "  --probe PATH     capture signal probes to PATH (+ PATH.json manifest)\n"
       "  --seed S         RNG seed (default 1)\n",
       argv0);
 }
@@ -112,6 +115,10 @@ bool parse(int argc, char** argv, CliOptions& opt) {
       const char* v = need_value("--payload");
       if (!v) return false;
       opt.payload = static_cast<std::size_t>(std::atol(v));
+    } else if (arg == "--probe") {
+      const char* v = need_value("--probe");
+      if (!v) return false;
+      opt.probe = v;
     } else if (arg == "--seed") {
       const char* v = need_value("--seed");
       if (!v) return false;
@@ -153,6 +160,7 @@ int main(int argc, char** argv) {
   config.tx_power_dbm = opt.power_dbm;
   config.payload_bytes = opt.payload;
   config.multipath.enabled = opt.multipath;
+  config.probe = opt.probe;  // "" keeps probing off (strict identity)
 
   auto deployment = rfsim::Deployment::paper_frame();
   for (std::size_t k = 0; k < opt.tags; ++k) {
@@ -209,5 +217,11 @@ int main(int argc, char** argv) {
   std::printf("group FER          : %.2f%%\n", 100.0 * stats.frame_error_rate());
   std::printf("aggregate raw rate : %.2f Mbps\n", rates.aggregate_raw_bps / 1e6);
   std::printf("aggregate goodput  : %.2f Mbps\n", rates.aggregate_goodput_bps / 1e6);
+
+  if (core::ProbeSession::enabled()) {
+    if (!core::ProbeSession::write_dump_if_requested()) return 1;
+    std::printf("probe dump         : %s (+ .json manifest)\n",
+                opt.probe.empty() ? "$CBMA_PROBE" : opt.probe.c_str());
+  }
   return 0;
 }

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <string>
 
+#include "core/probe_session.h"
 #include "core/system.h"
 
 using namespace cbma;
@@ -70,5 +71,21 @@ int main() {
                 system.impedance_level(i), system.snr_db(i));
   }
   std::printf("  FER after : %.3f\n", after.frame_error_rate());
+
+  // 5. Peek inside the pipeline: enable the signal-probe layer, rerun one
+  //    collided round, and dump the per-stage taps (excitation envelope,
+  //    composite IQ, sync energy, correlation profiles, soft bits) plus the
+  //    per-tag link-quality rows. Inspect with tools/probe_inspect.py.
+  core::ProbeSession::enable("quickstart_probe.bin");
+  const auto probed = system.transmit(options, rng);
+  std::printf("\nsignal probes (see quickstart_probe.bin.json):\n");
+  for (std::size_t i = 0; i < probed.link_quality.size(); ++i) {
+    const auto& lq = probed.link_quality[i];
+    if (!lq.valid) continue;
+    std::printf("  tag %zu: SNR=%.1f dB EVM=%.3f margin-ratio=%.1f\n", i,
+                lq.snr_db, lq.evm, lq.margin_ratio);
+  }
+  if (!core::ProbeSession::write_dump_if_requested()) return 1;
+  core::ProbeSession::disable();
   return 0;
 }

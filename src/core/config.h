@@ -67,6 +67,16 @@ struct SystemConfig {
   rx::UserDetectConfig detect{};
   double phase_tracking_gain = 0.25;
 
+  // --- observability ---
+  /// Signal-probe dump path (DESIGN.md §8). Non-empty = enable the probe
+  /// subsystem and write the binary dump + manifest there on finish —
+  /// the programmatic equivalent of CBMA_PROBE=<path>. Empty (default)
+  /// leaves probing strictly off: zero allocations, zero RNG draws, every
+  /// bench table and BENCH_*.json byte-identical. Deliberately excluded
+  /// from summary() so a probe-enabled rerun of an experiment keeps the
+  /// same config fingerprint as the run it is explaining.
+  std::string probe;
+
   // --- derived quantities ---
   double chip_rate_hz() const;      ///< bitrate × code length
   std::size_t code_length() const;  ///< chips per bit for this config

@@ -19,6 +19,7 @@ void RoundStats::merge(const RoundStats& other) {
     sent[i] += other.sent[i];
     acked[i] += other.acked[i];
   }
+  correlation_margin.merge(other.correlation_margin);
 }
 
 std::size_t RoundStats::total_sent() const {

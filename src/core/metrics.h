@@ -5,16 +5,24 @@
 #include <cstddef>
 #include <vector>
 
+#include "util/stats.h"
+
 namespace cbma::core {
 
 /// Outcome of a batch of collided packets for one tag group.
 struct RoundStats {
   std::vector<std::size_t> sent;   ///< per group slot
   std::vector<std::size_t> acked;  ///< per group slot
+  /// Distribution of rx::TagDecodeResult::correlation_margin over the
+  /// *detected* frames of the batch (CbmaSystem::run_packets feeds it) —
+  /// how decisively each code beat its runner-up, the paper's PN-code
+  /// separation argument as a measured quantity.
+  RunningStats correlation_margin;
 
   explicit RoundStats(std::size_t group_size = 0);
 
   void record(std::size_t slot, bool acked_ok);
+  void record_margin(double margin) { correlation_margin.add(margin); }
   void merge(const RoundStats& other);
 
   std::size_t total_sent() const;

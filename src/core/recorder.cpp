@@ -6,6 +6,7 @@
 #include <fstream>
 #include <system_error>
 
+#include "core/probe_session.h"
 #include "core/telemetry.h"
 #include "util/expect.h"
 #include "util/json.h"
@@ -71,6 +72,19 @@ bool RunRecorder::check(const std::string& name, bool holds,
 }
 
 void RunRecorder::note(std::string text) { notes_.push_back(std::move(text)); }
+
+std::size_t RunRecorder::run_watchdog(const std::vector<WatchdogRule>& rules) {
+  warnings_ = scan_sweep_anomalies(
+      spec_,
+      [this](std::size_t flat, const std::string& name) {
+        return metric(flat, name);
+      },
+      rules);
+  for (const auto& warning : warnings_) {
+    std::fprintf(stderr, "watchdog: %s\n", warning.detail.c_str());
+  }
+  return warnings_.size();
+}
 
 std::string RunRecorder::json() const {
   util::JsonWriter w;
@@ -167,6 +181,28 @@ std::string RunRecorder::json() const {
     Telemetry::write_json_section(w);
   }
 
+  // Same contract for the probe exports: the "link_quality" section rides
+  // along only when probing is enabled, and "watchdog" only when probing is
+  // enabled or a rule actually fired — a silent watchdog on a default run
+  // leaves the document byte-identical (DESIGN.md §8).
+  if (ProbeSession::enabled()) {
+    ProbeSession::write_json_section(w);
+  }
+  if (!warnings_.empty() || ProbeSession::enabled()) {
+    w.key("watchdog").begin_array();
+    for (const auto& warning : warnings_) {
+      w.begin_object();
+      w.key("metric").value(warning.metric);
+      w.key("point").value(warning.flat);
+      w.key("kind").value(warning.kind);
+      w.key("value").value(warning.value);
+      w.key("reference").value(warning.reference);
+      w.key("detail").value(warning.detail);
+      w.end_object();
+    }
+    w.end_array();
+  }
+
   w.end_object();
   return w.str();
 }
@@ -203,6 +239,9 @@ int RunRecorder::finish() const {
   // CBMA_TRACE=<path> drops a Chrome/Perfetto timeline of the run next to
   // the JSON (no-op unless telemetry is enabled).
   if (!Telemetry::write_trace_if_requested()) return 1;
+  // CBMA_PROBE=<path> likewise drops the signal-probe dump + manifest
+  // (no-op unless probing is enabled).
+  if (!ProbeSession::write_dump_if_requested()) return 1;
   return 0;
 }
 

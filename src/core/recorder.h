@@ -57,6 +57,17 @@ class RunRecorder {
   /// Attach a free-form note to the JSON document (not printed).
   void note(std::string text);
 
+  /// Scan the recorded metrics against the watchdog rules
+  /// (scan_sweep_anomalies over this recorder's metric store), print every
+  /// fired warning to stderr, keep them for the JSON document's "watchdog"
+  /// section, and return how many fired. Call after the sweep body has
+  /// recorded all rule-referenced metrics.
+  std::size_t run_watchdog(const std::vector<WatchdogRule>& rules);
+
+  const std::vector<WatchdogWarning>& watchdog_warnings() const {
+    return warnings_;
+  }
+
   /// The complete schema-versioned document. Deterministic: identical
   /// recorded results serialize to identical bytes (no timestamps, no
   /// thread counts), which the cross-thread golden test relies on.
@@ -79,6 +90,7 @@ class RunRecorder {
   std::vector<CapturedTable> tables_;
   std::vector<ShapeCheck> checks_;
   std::vector<std::string> notes_;
+  std::vector<WatchdogWarning> warnings_;
 };
 
 }  // namespace cbma::core

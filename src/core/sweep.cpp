@@ -1,10 +1,13 @@
 #include "core/sweep.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <limits>
 #include <thread>
 
 #include "util/expect.h"
+#include "util/probe.h"
 #include "util/telemetry.h"
 
 namespace cbma::core {
@@ -84,9 +87,94 @@ void SweepRunner::run(const std::function<void(const SweepPoint&)>& body,
       [&](std::size_t flat) {
         const telemetry::ScopedSpan span_point(telemetry::Span::kSweepPoint);
         telemetry::count(telemetry::Counter::kSweepPoints);
+        // Label every probe capture made by this body with its grid point
+        // (flat + 1 so point 0 stays the "outside any sweep" marker).
+        const probe::ScopedPoint probe_point(flat + 1);
         body(SweepPoint(spec_, flat));
       },
       workers);
+}
+
+std::vector<WatchdogWarning> scan_sweep_anomalies(
+    const SweepSpec& spec,
+    const std::function<double(std::size_t, const std::string&)>& metric,
+    const std::vector<WatchdogRule>& rules) {
+  const std::size_t n = spec.point_count();
+  // Row-major strides: moving one step along axis a changes flat by
+  // stride[a] (the last axis varies fastest).
+  std::vector<std::size_t> stride(spec.axes.size(), 1);
+  for (std::size_t a = spec.axes.size(); a-- > 1;) {
+    stride[a - 1] = stride[a] * spec.axes[a].size();
+  }
+
+  std::vector<WatchdogWarning> warnings;
+  char buf[256];
+  for (const auto& rule : rules) {
+    // Orient every comparison so "worse" is always "lower": negate when
+    // lower raw values are better (error rates, latencies). A floor with
+    // |floor| >= 1e300 is "disabled" regardless of orientation.
+    const double sign = rule.higher_is_better ? 1.0 : -1.0;
+    const bool has_floor = std::abs(rule.floor) < 1e300;
+    for (std::size_t flat = 0; flat < n; ++flat) {
+      const double raw = metric(flat, rule.metric);
+      const double oriented = sign * raw;
+
+      if (has_floor && oriented < sign * rule.floor) {
+        WatchdogWarning warning;
+        warning.metric = rule.metric;
+        warning.flat = flat;
+        warning.kind = "floor";
+        warning.value = raw;
+        warning.reference = rule.floor;
+        std::snprintf(buf, sizeof buf,
+                      "%s at point %zu is %g, %s the declared floor %g",
+                      rule.metric.c_str(), flat, raw,
+                      rule.higher_is_better ? "below" : "above", rule.floor);
+        warning.detail = buf;
+        warnings.push_back(warning);
+      }
+
+      if (rule.neighbor_tolerance >= 1e300) continue;
+      for (std::size_t a = 0; a < spec.axes.size(); ++a) {
+        const SweepPoint point(spec, flat);
+        const std::size_t i = point.index(a);
+        double neighbor_sum = 0.0;
+        std::size_t neighbor_count = 0;
+        if (i > 0) {
+          neighbor_sum += sign * metric(flat - stride[a], rule.metric);
+          ++neighbor_count;
+        }
+        if (i + 1 < spec.axes[a].size()) {
+          neighbor_sum += sign * metric(flat + stride[a], rule.metric);
+          ++neighbor_count;
+        }
+        // Only interior points along this axis: an edge point on a smooth
+        // monotonic curve deviates from its single neighbor by the full
+        // step, which is exactly the non-anomaly the tolerance protects.
+        if (neighbor_count < 2) continue;
+        const double neighbor_mean =
+            neighbor_sum / static_cast<double>(neighbor_count);
+        if (oriented < neighbor_mean - rule.neighbor_tolerance) {
+          WatchdogWarning warning;
+          warning.metric = rule.metric;
+          warning.flat = flat;
+          warning.kind = "neighbor";
+          warning.value = raw;
+          warning.reference = sign * neighbor_mean;
+          std::snprintf(
+              buf, sizeof buf,
+              "%s at point %zu is %g, deviating from its '%s'-axis "
+              "neighbor mean %g by more than %g",
+              rule.metric.c_str(), flat, raw, spec.axes[a].name.c_str(),
+              sign * neighbor_mean, rule.neighbor_tolerance);
+          warning.detail = buf;
+          warnings.push_back(warning);
+          break;  // one neighbor warning per (rule, point) is enough
+        }
+      }
+    }
+  }
+  return warnings;
 }
 
 }  // namespace cbma::core

@@ -74,6 +74,44 @@ class SweepPoint {
   std::vector<std::size_t> index_;
 };
 
+/// One anomaly rule for the sweep watchdog: a per-point floor and/or a
+/// neighbor-deviation tolerance for a recorded metric. `higher_is_better`
+/// orients both tests (a PRR dips *below*, a FER spikes *above*).
+struct WatchdogRule {
+  std::string metric;
+  /// Config-declared floor: warn when a point's value falls on the wrong
+  /// side of it (below for higher-is-better metrics, above otherwise).
+  /// Any |floor| >= 1e300 — including the default — disables the test.
+  double floor = -1e300;
+  /// Neighbor test: warn when a point interior to an axis is worse than
+  /// the mean of its two neighbors along that axis by more than this.
+  /// Smooth monotonic degradation (the expected shape of most sweeps)
+  /// keeps every interior point near its neighbor mean, so only genuine
+  /// dips/spikes fire; axis-edge points are exempt (their single neighbor
+  /// would report the full step as deviation). Leave at the default
+  /// (infinite tolerance) to disable.
+  double neighbor_tolerance = 1e300;
+  bool higher_is_better = true;
+};
+
+/// One fired rule: which metric, where, and the numbers that tripped it.
+struct WatchdogWarning {
+  std::string metric;
+  std::size_t flat = 0;      ///< grid point (row-major flat index)
+  std::string kind;          ///< "floor" or "neighbor"
+  double value = 0.0;        ///< the point's recorded value
+  double reference = 0.0;    ///< the floor, or the neighbor mean
+  std::string detail;        ///< human-readable "metric at point ..." line
+};
+
+/// Scan a sweep's recorded metrics against the rules. `metric(flat, name)`
+/// supplies the recorded value for a grid point (RunRecorder::metric bound
+/// by the caller). Pure function of its inputs — deterministic, no RNG.
+std::vector<WatchdogWarning> scan_sweep_anomalies(
+    const SweepSpec& spec,
+    const std::function<double(std::size_t, const std::string&)>& metric,
+    const std::vector<WatchdogRule>& rules);
+
 /// Executes a spec's point grid. The body must only touch per-point state
 /// (its RunRecorder slot); the runner provides no cross-point ordering.
 class SweepRunner {

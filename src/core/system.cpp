@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "util/expect.h"
+#include "util/probe.h"
 #include "util/telemetry.h"
 #include "util/units.h"
 
@@ -54,6 +55,15 @@ CbmaSystem::CbmaSystem(SystemConfig config, rfsim::Deployment population)
   CBMA_REQUIRE(population_.tag_count() >= 1, "population must contain tags");
   if (const auto errors = config_.validate(); !errors.empty()) {
     throw std::invalid_argument(join_errors(errors));
+  }
+
+  // SystemConfig::probe is the programmatic CBMA_PROBE: a non-empty path
+  // switches the signal-probe subsystem on for the process and names the
+  // dump target. The empty default touches nothing — probing stays in
+  // whatever state the environment put it.
+  if (!config_.probe.empty()) {
+    probe::set_dump_path(config_.probe);
+    probe::set_enabled(true);
   }
 
   budget_.tx_power_w = units::dbm_to_watts(config_.tx_power_dbm);
@@ -353,6 +363,9 @@ RoundStats CbmaSystem::run_packets(std::size_t n_packets, Rng& rng) const {
     const auto report = transmit(options, rng, scratch);
     for (std::size_t slot = 0; slot < group_.size(); ++slot) {
       stats.record(slot, report.results[slot].crc_ok);
+      if (report.results[slot].detected) {
+        stats.record_margin(report.results[slot].correlation_margin);
+      }
     }
   }
   return stats;

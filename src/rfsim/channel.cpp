@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/expect.h"
+#include "util/probe.h"
 #include "util/telemetry.h"
 #include "util/units.h"
 
@@ -112,6 +113,9 @@ void Channel::receive_into(std::span<const TagTransmission> tags,
   // Injected excitation dropout gates whatever envelope the source produced
   // (a tone turns bursty; an OFDM source loses additional air time).
   impairments_.gate_excitation(scratch.envelope, sample_rate_hz(), rng);
+  // Signal-probe tap: the excitation envelope as the tags actually see it
+  // (source shape × dropout gating). Strict no-op when probing is off.
+  probe::record_tap(probe::Tap::kExcitationEnvelope, 0, scratch.envelope);
 
   for (const auto& tag : tags) {
     // Expand the chip sequence to per-sample 0/1 values once per tag; the
@@ -148,6 +152,9 @@ void Channel::receive_into(std::span<const TagTransmission> tags,
   // Receiver-side impairments see the fully composed antenna signal:
   // impulsive bursts add on top of noise, then the ADC clips and quantizes.
   impairments_.distort_rx(iq, sample_rate_hz(), rng);
+  // Signal-probe tap: the composite IQ window exactly as handed to the
+  // receiver — every tag path, interferer, noise and RX distortion applied.
+  probe::record_tap_iq(probe::Tap::kCompositeIq, 0, iq);
 }
 
 std::vector<std::complex<double>> Channel::receive(

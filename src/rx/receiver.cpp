@@ -5,6 +5,7 @@
 
 #include "pn/correlation.h"
 #include "util/expect.h"
+#include "util/probe.h"
 #include "util/telemetry.h"
 
 namespace cbma::rx {
@@ -113,6 +114,20 @@ RxReport Receiver::process_iq(std::span<const std::complex<double>> iq,
     }
   }
 
+  // Signal-probe captures (strict no-ops when probing is off): the energy
+  // trace frame sync runs on, plus the window RMS every link-quality
+  // power_norm is anchored on.
+  const bool probing = probe::enabled();
+  double window_rms = 0.0;
+  if (probing) {
+    probe::record_tap(probe::Tap::kSyncEnergy, 0, magnitude);
+    double sum2 = 0.0;
+    for (const double m : magnitude) sum2 += m * m;
+    window_rms = magnitude.empty()
+                     ? 0.0
+                     : std::sqrt(sum2 / static_cast<double>(magnitude.size()));
+  }
+
   // A noise spike can fire the energy comparator ahead of the true frame
   // and a partially-overlapping search window then locks onto a sidelobe;
   // real receivers keep listening after a CRC failure. Walk successive sync
@@ -137,6 +152,7 @@ RxReport Receiver::process_iq(std::span<const std::complex<double>> iq,
     RxReport candidate;
     candidate.frame_start = trigger;
     candidate.results.resize(codes_.size());
+    if (probing) candidate.link_quality.resize(codes_.size());
     for (std::size_t i = 0; i < codes_.size(); ++i) {
       candidate.results[i].tag_index = i;
       // Sync fired for this candidate; codes the detector skips below stay
@@ -148,12 +164,19 @@ RxReport Receiver::process_iq(std::span<const std::complex<double>> iq,
       auto& r = candidate.results[d.tag_index];
       r.detected = true;
       r.correlation = d.correlation;
+      r.correlation_margin = d.correlation - d.runner_up;
       r.offset_samples = d.offset_samples;
 
       const auto decoded = [&] {
         const telemetry::ScopedSpan span_decode(telemetry::Span::kRxDecode);
         return decoders_[d.tag_index].decode(re, im, d.offset_samples, d.phase);
       }();
+      if (probing) {
+        probe::record_tap(probe::Tap::kSoftBits,
+                          static_cast<std::uint32_t>(d.tag_index), decoded.soft);
+        candidate.link_quality[d.tag_index] = compute_link_quality(
+            decoded.soft, d.correlation, d.runner_up, window_rms);
+      }
       // The frame's identity must match the code that decoded it: a wrong
       // code at a lucky lag reproduces another tag's bits sign-consistently
       // (CRC included), so the in-frame tag id is the discriminator.
@@ -181,6 +204,26 @@ RxReport Receiver::process_iq(std::span<const std::complex<double>> iq,
     begin = *trigger + config_.sync.window;
   }
   if (telemetry::enabled()) count_outcomes(report);
+  // Record the *winning* candidate's link quality (rows therefore always
+  // match the report the caller sees, which probe_inspect.py cross-checks).
+  if (probing && !report.link_quality.empty()) {
+    for (std::size_t i = 0; i < report.results.size(); ++i) {
+      const auto& r = report.results[i];
+      if (!r.detected) continue;
+      const auto& q = report.link_quality[i];
+      probe::LinkQualitySample sample;
+      sample.tag = static_cast<std::uint32_t>(i);
+      sample.detected = true;
+      sample.decoded = r.crc_ok;
+      sample.snr_db = q.snr_db;
+      sample.evm = q.evm;
+      sample.soft_margin = q.soft_margin;
+      sample.margin_ratio = q.margin_ratio;
+      sample.power_norm = q.power_norm;
+      sample.correlation = q.correlation;
+      probe::record_link_quality(sample);
+    }
+  }
   return report;
 }
 

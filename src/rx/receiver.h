@@ -13,6 +13,7 @@
 #include "pn/code.h"
 #include "rx/decoder.h"
 #include "rx/frame_sync.h"
+#include "rx/link_quality.h"
 #include "rx/user_detect.h"
 
 namespace cbma::rx {
@@ -46,6 +47,9 @@ struct TagDecodeResult {
   bool crc_ok = false;           ///< frame decoded, CRC and in-frame id verified
   DecodeOutcome outcome = DecodeOutcome::kNoFrameSync;  ///< failure reason
   double correlation = 0.0;      ///< preamble correlation peak
+  /// Peak minus the runner-up code's peak in the same detection round —
+  /// how decisively this code won. 0 when not detected (or unopposed).
+  double correlation_margin = 0.0;
   std::size_t offset_samples = 0;
   std::vector<std::uint8_t> payload;  ///< valid only when crc_ok
 };
@@ -62,6 +66,10 @@ struct RxReport {
   std::optional<std::size_t> frame_start;  ///< frame-sync trigger, if any
   std::vector<TagDecodeResult> results;    ///< one entry per group code
   AckMessage ack;
+  /// Per-code link-quality reports (same indexing as `results`), populated
+  /// only while signal probing is enabled — empty otherwise, so the probe-off
+  /// hot path performs zero extra allocations (DESIGN.md §8).
+  std::vector<LinkQualityReport> link_quality;
 
   const TagDecodeResult& for_tag(std::size_t tag_index) const;
   std::size_t decoded_count() const { return ack.decoded_tags.size(); }

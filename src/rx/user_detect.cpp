@@ -5,6 +5,7 @@
 #include "phy/frame.h"
 #include "pn/correlation.h"
 #include "util/expect.h"
+#include "util/probe.h"
 
 namespace cbma::rx {
 namespace {
@@ -93,6 +94,29 @@ std::vector<DetectedUser> UserDetector::detect(std::span<const double> re,
   const auto group_span =
       static_cast<std::size_t>(config_.group_window_chips * spc);
 
+  // Signal-probe tap: every code's |correlation| across the anchor search
+  // window, on the window *before* any cancellation — the per-code profile
+  // a human compares against the thresholds when a detection goes wrong.
+  // Strictly probe-gated: the hot path neither allocates nor computes this.
+  if (probe::enabled()) {
+    const auto back = static_cast<std::size_t>(config_.search_back_chips * spc);
+    const auto ahead = static_cast<std::size_t>(config_.search_ahead_chips * spc);
+    const std::size_t pbegin = coarse_start > back ? coarse_start - back : 0;
+    const std::size_t pend = coarse_start + ahead + 1;
+    std::vector<double> profile;
+    profile.reserve(pend - pbegin);
+    for (std::size_t i = 0; i < templates_.size(); ++i) {
+      profile.clear();
+      for (std::size_t off = pbegin; off < pend; ++off) {
+        profile.push_back(std::abs(pn::complex_correlate_folded_at(
+            scratch.fold_re, scratch.fold_im, chip_templates_[i],
+            samples_per_chip_, off)));
+      }
+      probe::record_tap(probe::Tap::kCorrelationProfile,
+                        static_cast<std::uint32_t>(i), profile);
+    }
+  }
+
   std::vector<DetectedUser> out;
   double anchor_correlation = 0.0;
   for (std::size_t round = 0; round < templates_.size(); ++round) {
@@ -117,7 +141,11 @@ std::vector<DetectedUser> UserDetector::detect(std::span<const double> re,
           res_re, res_im, scratch.fold_re, scratch.fold_im, chip_templates_[i],
           samples_per_chip_, begin, end);
       if (peak.value > best.correlation) {
-        best = DetectedUser{i, peak.offset, peak.value, peak.phase};
+        // The displaced leader becomes the runner-up this code had to beat.
+        const double displaced = best.correlation;
+        best = DetectedUser{i, peak.offset, peak.value, peak.phase, displaced};
+      } else if (peak.value > best.runner_up) {
+        best.runner_up = peak.value;
       }
     }
     if (best.correlation < config_.threshold) break;

@@ -55,6 +55,11 @@ struct DetectedUser {
   std::size_t offset_samples = 0;  ///< start of the user's preamble in the window
   double correlation = 0.0;        ///< normalized |correlation| at the peak
   double phase = 0.0;              ///< carrier-phase estimate (radians)
+  /// Best peak among the *other* still-unassigned codes in the same
+  /// detection round — the runner-up this code had to beat. 0 when no other
+  /// code was in contention. correlation − runner_up is the detection
+  /// margin the flight recorder and link-quality reports consume.
+  double runner_up = 0.0;
 };
 
 class UserDetector {

@@ -1,0 +1,138 @@
+// Signal-probe capture: bounded per-stage waveform taps and per-tag
+// link-quality samples, recorded by the pipeline and exported as a binary
+// dump + JSON manifest (core::ProbeSession owns the file format). The
+// logic-analyzer counterpart of util/telemetry.h — telemetry answers *how
+// long* each stage took, the probe answers *what the signal looked like*.
+//
+// The contract mirrors telemetry exactly: **disabled probing is a strict
+// identity**. When enabled() is false (the default), every record_* call
+// returns before touching anything, no storage is allocated, no clock is
+// read, and no RNG is ever drawn (the probe never draws randomness at
+// all) — every bench table and BENCH_*.json stays byte-identical. Enable
+// with CBMA_PROBE=<dump-path> or SystemConfig::probe.
+//
+// Unlike telemetry's lock-free per-thread sinks, capture goes through one
+// mutex-guarded registry: a probe run is a debugging instrument recording
+// kilobyte-scale waveforms at bounded depth, not a hot-path counter, and a
+// single ordered store is what the dump reader wants. The bounds make a
+// runaway sweep degrade to "first N records per tap" instead of exhausting
+// memory. See DESIGN.md §8 for the full signal-probe contract.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cbma::probe {
+
+/// Every tapped stage of the pipeline, in signal-flow order. Names
+/// (tap_name) are the wire format the manifest and probe_inspect.py speak.
+enum class Tap : std::uint8_t {
+  kExcitationEnvelope,   ///< post-impairment excitation envelope (rfsim::Channel)
+  kCompositeIq,          ///< fully composed antenna window after distort_rx
+  kSyncEnergy,           ///< magnitude envelope frame sync runs on (rx::Receiver)
+  kCorrelationProfile,   ///< per-code |correlation| vs lag (rx::UserDetector)
+  kSoftBits,             ///< per-bit coherent soft values (rx::Decoder output)
+  kCount
+};
+inline constexpr std::size_t kTapCount = static_cast<std::size_t>(Tap::kCount);
+const char* tap_name(Tap t);
+
+/// Capture bounds: per-tap record cap and per-record sample cap (longer
+/// traces are truncated, never dropped). Kilobyte-scale by construction.
+inline constexpr std::size_t kMaxRecordsPerTap = 256;
+inline constexpr std::size_t kMaxSamplesPerRecord = 1u << 16;
+inline constexpr std::size_t kMaxLinkQualitySamples = 4096;
+
+/// One captured trace: real data holds `data.size()` samples, complex data
+/// interleaves re/im pairs (`data.size() / 2` samples).
+struct TapRecord {
+  Tap tap = Tap::kExcitationEnvelope;
+  std::uint64_t seq = 0;      ///< global capture order
+  std::uint64_t point = 0;    ///< sweep point (ScopedPoint), 0 outside sweeps
+  std::uint32_t context = 0;  ///< tag/code index; 0 for window-level taps
+  bool complex_iq = false;
+  std::vector<double> data;
+};
+
+/// One per-tag link-quality row, recorded by rx::Receiver per processed
+/// window. Field semantics are defined by rx::LinkQualityReport (the util
+/// layer deliberately does not depend on rx); this mirror struct is what
+/// the registry stores and the dump exports.
+struct LinkQualitySample {
+  std::uint64_t seq = 0;
+  std::uint64_t point = 0;
+  std::uint32_t tag = 0;
+  bool detected = false;
+  bool decoded = false;
+  double snr_db = 0.0;
+  double evm = 0.0;
+  double soft_margin = 0.0;
+  double margin_ratio = 0.0;
+  double power_norm = 0.0;
+  double correlation = 0.0;
+};
+
+// --- master switch ---------------------------------------------------------
+
+/// Initialized once from CBMA_PROBE (unset/empty = off, anything else =
+/// the dump path); flip programmatically with set_enabled().
+bool enabled();
+void set_enabled(bool on);
+
+/// Where write_dump_if_requested should put the binary dump: the CBMA_PROBE
+/// value, unless overridden via set_dump_path (SystemConfig::probe does).
+std::string dump_path();
+void set_dump_path(std::string path);
+
+// --- hot-path recording (all strict no-ops when disabled) ------------------
+
+void record_tap(Tap t, std::uint32_t context, std::span<const double> samples);
+void record_tap_iq(Tap t, std::uint32_t context,
+                   std::span<const std::complex<double>> iq);
+void record_link_quality(const LinkQualitySample& sample);
+
+/// Labels every record made on this thread while alive with a sweep-point
+/// index (SweepRunner wraps each grid-point body in one). Zero work when
+/// probing is disabled at construction.
+class ScopedPoint {
+ public:
+  explicit ScopedPoint(std::uint64_t point);
+  ~ScopedPoint();
+  ScopedPoint(const ScopedPoint&) = delete;
+  ScopedPoint& operator=(const ScopedPoint&) = delete;
+
+ private:
+  bool active_;
+  std::uint64_t previous_ = 0;
+};
+
+/// The point label record_* currently stamps on this thread (0 = none).
+std::uint64_t current_point();
+
+// --- aggregation -----------------------------------------------------------
+
+struct Capture {
+  std::vector<TapRecord> taps;           ///< capture (seq) order
+  std::vector<LinkQualitySample> link;   ///< capture (seq) order
+  std::size_t dropped_taps = 0;          ///< records lost to kMaxRecordsPerTap
+  std::size_t dropped_link = 0;          ///< rows lost to kMaxLinkQualitySamples
+};
+
+/// Copy of everything captured so far. Safe to call concurrently with
+/// recording (single registry lock), though exports normally run after the
+/// workers joined.
+Capture snapshot();
+
+/// Drop every captured record and reset the sequence counter. The enabled
+/// flag and dump path are unchanged.
+void reset();
+
+/// Captured tap records so far — 0 proves the off path never stored
+/// anything (the probe-off identity test asserts this).
+std::size_t tap_count();
+
+}  // namespace cbma::probe

@@ -13,6 +13,9 @@ namespace cbma {
 class RunningStats {
  public:
   void add(double x);
+  /// Combine another accumulator into this one (Chan's parallel update):
+  /// the result is as if every sample of both had been add()ed here.
+  void merge(const RunningStats& other);
   std::size_t count() const { return n_; }
   double mean() const;
   double variance() const;  ///< Sample variance (n-1 denominator).

@@ -55,6 +55,38 @@ TEST(RunningStats, TracksMinMaxThroughNegatives) {
   EXPECT_DOUBLE_EQ(s.max(), 10.0);
 }
 
+TEST(RunningStats, MergeMatchesSequentialAdds) {
+  // Chan's parallel combine must be indistinguishable from add()ing every
+  // sample into one accumulator — RoundStats::merge (and through it the
+  // fig9b margin plumbing) relies on this.
+  RunningStats a, b, all;
+  for (const double v : {2.0, 4.0, 4.0, 4.0}) { a.add(v); all.add(v); }
+  for (const double v : {5.0, 5.0, 7.0, 9.0}) { b.add(v); all.add(v); }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+  RunningStats empty, filled;
+  filled.add(1.0);
+  filled.add(3.0);
+  // empty.merge(filled) adopts the other side wholesale...
+  empty.merge(filled);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+  // ...and merging an empty accumulator changes nothing.
+  RunningStats none;
+  filled.merge(none);
+  EXPECT_EQ(filled.count(), 2u);
+  EXPECT_DOUBLE_EQ(filled.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(filled.min(), 1.0);
+  EXPECT_DOUBLE_EQ(filled.max(), 3.0);
+}
+
 TEST(EmpiricalCdf, RejectsEmpty) {
   EXPECT_THROW(EmpiricalCdf({}), std::invalid_argument);
 }

@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
 """Validate the BENCH_*.json artifacts the bench suite emits.
 
-Usage: check_bench_json.py [--require-telemetry] <dir> <bench-name>...
+Usage: check_bench_json.py [--require-telemetry] [--require-link-quality]
+                           <dir> <bench-name>...
 
 For every listed bench the script requires <dir>/BENCH_<name>.json to
 exist, parse, and carry the recorder schema (schema_version 1): bench
@@ -10,10 +11,13 @@ grid, per-point metrics, captured tables, and shape-check verdicts.
 A `telemetry` section (present when the run had CBMA_TELEMETRY=1) is
 validated against the observability schema of DESIGN.md §7 whenever it
 appears; `--require-telemetry` additionally fails documents without one
-(CI's telemetry-enabled smoke run uses this). `kernels` is special-cased:
-bench_kernels emits google-benchmark's own JSON, which is validated as
-such. Exits non-zero on the first failure so CI fails loudly on a
-missing or malformed document.
+(CI's telemetry-enabled smoke run uses this). Likewise a `link_quality`
+section (present when the run had CBMA_PROBE=<path>) and a `watchdog`
+warning array are validated against DESIGN.md §8 whenever they appear;
+`--require-link-quality` fails documents without the probe sections.
+`kernels` is special-cased: bench_kernels emits google-benchmark's own
+JSON, which is validated as such. Exits non-zero on the first failure so
+CI fails loudly on a missing or malformed document.
 """
 import json
 import sys
@@ -82,8 +86,64 @@ def check_telemetry_section(name: str, tel: dict) -> None:
         prev_seq = frame["seq"]
 
 
+TAG_AGG_KEYS = ("tag", "frames", "decoded", "snr_db_mean", "evm_mean",
+                "soft_margin_mean", "margin_ratio_mean", "power_norm_mean",
+                "correlation_mean")
+WATCHDOG_KEYS = ("metric", "point", "kind", "value", "reference", "detail")
+
+
+def check_link_quality_section(name: str, lq: dict) -> None:
+    """Signal-probe schema (DESIGN.md §8): capture totals plus per-tag
+    aggregates of the receiver's link-quality rows."""
+    for key in ("samples", "dropped", "tags"):
+        if key not in lq:
+            fail(f"{name}: link_quality section missing key '{key}'")
+    for key in ("samples", "dropped"):
+        if not isinstance(lq[key], int) or lq[key] < 0:
+            fail(f"{name}: link_quality.{key} {lq[key]!r} is not a "
+                 "non-negative integer")
+    if not isinstance(lq["tags"], list):
+        fail(f"{name}: link_quality.tags is not an array")
+    frames_total = 0
+    for entry in lq["tags"]:
+        for key in TAG_AGG_KEYS:
+            if key not in entry:
+                fail(f"{name}: link_quality tag entry missing key '{key}': "
+                     f"{entry}")
+        if entry["frames"] < 1:
+            fail(f"{name}: link_quality tag {entry['tag']} aggregated over "
+                 "0 frames (empty tags are omitted)")
+        if entry["decoded"] > entry["frames"]:
+            fail(f"{name}: link_quality tag {entry['tag']} decoded more "
+                 "frames than it saw")
+        frames_total += entry["frames"]
+    if frames_total != lq["samples"]:
+        fail(f"{name}: link_quality per-tag frames sum to {frames_total}, "
+             f"samples says {lq['samples']}")
+
+
+def check_watchdog_section(name: str, warnings: list) -> None:
+    """Anomaly-watchdog schema (DESIGN.md §8): structured warnings from
+    scan_sweep_anomalies — floor breaches and neighbor deviations."""
+    if not isinstance(warnings, list):
+        fail(f"{name}: watchdog section is not an array")
+    for warning in warnings:
+        for key in WATCHDOG_KEYS:
+            if key not in warning:
+                fail(f"{name}: watchdog warning missing key '{key}': "
+                     f"{warning}")
+        if warning["kind"] not in ("floor", "neighbor"):
+            fail(f"{name}: watchdog warning kind {warning['kind']!r} is "
+                 "neither 'floor' nor 'neighbor'")
+        if not isinstance(warning["detail"], str) or not warning["detail"]:
+            fail(f"{name}: watchdog warning without a detail line")
+        print(f"check_bench_json: note: {name}: watchdog warning: "
+              f"{warning['detail']}")
+
+
 def check_recorder_doc(name: str, doc: dict,
-                       require_telemetry: bool = False) -> None:
+                       require_telemetry: bool = False,
+                       require_link_quality: bool = False) -> None:
     for key in ("schema_version", "bench", "title", "paper_ref", "config",
                 "base_seed", "trials_per_point", "axes", "points", "tables",
                 "checks", "notes"):
@@ -133,6 +193,15 @@ def check_recorder_doc(name: str, doc: dict,
     elif require_telemetry:
         fail(f"{name}: no telemetry section but --require-telemetry given — "
              "was the bench run without CBMA_TELEMETRY=1?")
+    if "link_quality" in doc:
+        check_link_quality_section(name, doc["link_quality"])
+    elif require_link_quality:
+        fail(f"{name}: no link_quality section but --require-link-quality "
+             "given — was the bench run without CBMA_PROBE=<path>?")
+    if "watchdog" in doc:
+        check_watchdog_section(name, doc["watchdog"])
+    elif require_link_quality:
+        fail(f"{name}: no watchdog section but --require-link-quality given")
 
 
 def check_google_benchmark_doc(name: str, doc: dict) -> None:
@@ -145,10 +214,12 @@ def check_google_benchmark_doc(name: str, doc: dict) -> None:
 def main() -> None:
     args = sys.argv[1:]
     require_telemetry = "--require-telemetry" in args
-    args = [a for a in args if a != "--require-telemetry"]
+    require_link_quality = "--require-link-quality" in args
+    args = [a for a in args
+            if a not in ("--require-telemetry", "--require-link-quality")]
     if len(args) < 2:
         fail("usage: check_bench_json.py [--require-telemetry] "
-             "<dir> <bench-name>...")
+             "[--require-link-quality] <dir> <bench-name>...")
     directory, names = args[0], args[1:]
     for name in names:
         path = f"{directory}/BENCH_{name}.json"
@@ -162,7 +233,8 @@ def main() -> None:
         if name == "kernels":
             check_google_benchmark_doc(name, doc)
         else:
-            check_recorder_doc(name, doc, require_telemetry)
+            check_recorder_doc(name, doc, require_telemetry,
+                               require_link_quality)
         print(f"check_bench_json: OK: {path}")
     print(f"check_bench_json: validated {len(names)} documents")
 

@@ -1,0 +1,269 @@
+#!/usr/bin/env python3
+"""Validate, summarize and slice the signal-probe dumps (CBPROBE1).
+
+Usage:
+  probe_inspect.py --check [--expect-taps a,b,c] <dump>
+  probe_inspect.py --summary <dump>
+  probe_inspect.py [--stage NAME] [--tag N] [--point N] <dump>
+
+The dump is the binary file CBMA_PROBE=<path> (or --probe / SystemConfig::
+probe) produced; its manifest is expected at <dump>.json. Layout
+(schema_version 1, everything little-endian — DESIGN.md §8):
+
+  file   = "CBPROBE1" then records back-to-back
+  record = u64 seq | u32 tap | u32 context | u64 point | u32 iq(0/1)
+           | u32 n_doubles | n_doubles x f64
+
+--check re-walks the binary from its own framing and cross-checks every
+record against the manifest (offsets, headers, totals) — the two were
+written independently enough that agreement validates both. --summary
+prints per-tap and per-tag link-quality aggregates. The slicing flags
+print matching records (stage = tap name, tag = context for the per-code
+taps, point = sweep grid label). Exits non-zero on the first check
+failure so CI fails loudly.
+"""
+import json
+import math
+import struct
+import sys
+
+MAGIC = b"CBPROBE1"
+HEADER = struct.Struct("<QIIQII")  # seq, tap, context, point, iq, n_doubles
+TAP_NAMES = (
+    "excitation_envelope",
+    "composite_iq",
+    "sync_energy",
+    "correlation_profile",
+    "soft_bits",
+)
+LINK_KEYS = ("seq", "point", "tag", "detected", "decoded", "snr_db", "evm",
+             "soft_margin", "margin_ratio", "power_norm", "correlation")
+
+
+def fail(msg: str) -> None:
+    print(f"probe_inspect: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def tap_name(tap: int) -> str:
+    return TAP_NAMES[tap] if tap < len(TAP_NAMES) else "unknown"
+
+
+def read_dump(path: str):
+    """Parse the binary from its own framing: (records, total_bytes)."""
+    try:
+        with open(path, "rb") as f:
+            blob = f.read()
+    except FileNotFoundError:
+        fail(f"{path} missing")
+    if blob[:len(MAGIC)] != MAGIC:
+        fail(f"{path}: bad magic {blob[:8]!r} (want {MAGIC!r})")
+    records = []
+    pos = len(MAGIC)
+    while pos < len(blob):
+        if pos + HEADER.size > len(blob):
+            fail(f"{path}: truncated record header at offset {pos}")
+        seq, tap, context, point, iq, n_doubles = HEADER.unpack_from(blob, pos)
+        if iq not in (0, 1):
+            fail(f"{path}: record at offset {pos} has iq={iq} (want 0/1)")
+        if iq and n_doubles % 2:
+            fail(f"{path}: IQ record at offset {pos} has odd double count "
+                 f"{n_doubles}")
+        payload = pos + HEADER.size
+        end = payload + 8 * n_doubles
+        if end > len(blob):
+            fail(f"{path}: record at offset {pos} runs past end of file")
+        data = struct.unpack_from(f"<{n_doubles}d", blob, payload)
+        if any(not math.isfinite(v) for v in data):
+            fail(f"{path}: record seq {seq} carries non-finite samples")
+        records.append({
+            "offset": pos, "payload_offset": payload, "seq": seq, "tap": tap,
+            "context": context, "point": point, "iq": bool(iq),
+            "doubles": n_doubles,
+            "samples": n_doubles // 2 if iq else n_doubles, "data": data,
+        })
+        pos = end
+    return records, len(blob)
+
+
+def read_manifest(path: str) -> dict:
+    manifest_path = path + ".json"
+    try:
+        with open(manifest_path, encoding="utf-8") as f:
+            manifest = json.load(f)
+    except FileNotFoundError:
+        fail(f"{manifest_path} missing — dump written without its manifest?")
+    except json.JSONDecodeError as e:
+        fail(f"{manifest_path} is not valid JSON: {e}")
+    for key in ("magic", "schema_version", "dump", "dump_bytes", "records",
+                "dropped_taps", "dropped_link", "taps", "link_quality"):
+        if key not in manifest:
+            fail(f"{manifest_path}: missing key '{key}'")
+    if manifest["magic"] != MAGIC.decode():
+        fail(f"{manifest_path}: magic says {manifest['magic']!r}")
+    if manifest["schema_version"] != 1:
+        fail(f"{manifest_path}: unexpected schema_version "
+             f"{manifest['schema_version']}")
+    return manifest
+
+
+def check(path: str, expect_taps) -> None:
+    records, total = read_dump(path)
+    manifest = read_manifest(path)
+
+    if manifest["dump_bytes"] != total:
+        fail(f"{path}: file is {total} bytes, manifest says "
+             f"{manifest['dump_bytes']}")
+    if manifest["records"] != len(records):
+        fail(f"{path}: binary frames {len(records)} records, manifest says "
+             f"{manifest['records']}")
+    if len(manifest["taps"]) != len(records):
+        fail(f"{path}: manifest lists {len(manifest['taps'])} tap entries "
+             f"for {len(records)} records")
+
+    prev_seq = -1
+    for i, (rec, entry) in enumerate(zip(records, manifest["taps"])):
+        for key, got in (("seq", rec["seq"]), ("context", rec["context"]),
+                         ("point", rec["point"]), ("iq", rec["iq"]),
+                         ("doubles", rec["doubles"]),
+                         ("samples", rec["samples"]),
+                         ("offset", rec["offset"]),
+                         ("payload_offset", rec["payload_offset"])):
+            if entry.get(key) != got:
+                fail(f"{path}: record {i} {key}: binary {got}, manifest "
+                     f"{entry.get(key)!r}")
+        if entry.get("tap") != tap_name(rec["tap"]):
+            fail(f"{path}: record {i} tap: binary {tap_name(rec['tap'])!r}, "
+                 f"manifest {entry.get('tap')!r}")
+        if rec["seq"] <= prev_seq:
+            fail(f"{path}: record {i} seq {rec['seq']} not strictly "
+                 "increasing")
+        prev_seq = rec["seq"]
+
+    for i, row in enumerate(manifest["link_quality"]):
+        for key in LINK_KEYS:
+            if key not in row:
+                fail(f"{path}: link_quality row {i} missing key '{key}'")
+        for key in ("snr_db", "evm", "soft_margin", "margin_ratio",
+                    "power_norm", "correlation"):
+            if not isinstance(row[key], (int, float)) or \
+                    not math.isfinite(row[key]):
+                fail(f"{path}: link_quality row {i} {key} is "
+                     f"{row[key]!r}")
+        if row["decoded"] and not row["detected"]:
+            fail(f"{path}: link_quality row {i} decoded without detection")
+
+    if expect_taps:
+        seen = {tap_name(r["tap"]) for r in records}
+        for want in expect_taps:
+            if want not in TAP_NAMES:
+                fail(f"--expect-taps: unknown tap '{want}' "
+                     f"(known: {', '.join(TAP_NAMES)})")
+            if want not in seen:
+                fail(f"{path}: no '{want}' records captured "
+                     f"(saw: {', '.join(sorted(seen)) or 'none'})")
+
+    print(f"probe_inspect: OK: {path}: {len(records)} records "
+          f"({total} bytes), {len(manifest['link_quality'])} link-quality "
+          f"rows, {manifest['dropped_taps']} dropped taps")
+
+
+def summary(path: str) -> None:
+    records, total = read_dump(path)
+    manifest = read_manifest(path)
+    print(f"{path}: {len(records)} records, {total} bytes, "
+          f"dropped taps {manifest['dropped_taps']}, "
+          f"dropped link rows {manifest['dropped_link']}")
+    by_tap = {}
+    for rec in records:
+        entry = by_tap.setdefault(tap_name(rec["tap"]), [0, 0])
+        entry[0] += 1
+        entry[1] += rec["samples"]
+    for name in TAP_NAMES:
+        if name in by_tap:
+            count, samples = by_tap[name]
+            print(f"  {name:20s} {count:6d} records {samples:9d} samples")
+    by_tag = {}
+    for row in manifest["link_quality"]:
+        agg = by_tag.setdefault(row["tag"], [0, 0, 0.0, 0.0])
+        agg[0] += 1
+        agg[1] += 1 if row["decoded"] else 0
+        agg[2] += row["snr_db"]
+        agg[3] += row["margin_ratio"]
+    for tag in sorted(by_tag):
+        frames, decoded, snr, ratio = by_tag[tag]
+        print(f"  tag {tag}: {frames} frames, {decoded} decoded, "
+              f"mean SNR {snr / frames:.1f} dB, "
+              f"mean margin ratio {ratio / frames:.2f}")
+
+
+def slice_dump(path: str, stage, tag, point) -> None:
+    records, _ = read_dump(path)
+    manifest = read_manifest(path)
+    shown = 0
+    for rec in records:
+        name = tap_name(rec["tap"])
+        if stage is not None and name != stage:
+            continue
+        if tag is not None and rec["context"] != tag:
+            continue
+        if point is not None and rec["point"] != point:
+            continue
+        head = ", ".join(f"{v:.4g}" for v in rec["data"][:6])
+        more = " ..." if rec["doubles"] > 6 else ""
+        print(f"seq {rec['seq']:6d} {name:20s} context {rec['context']:3d} "
+              f"point {rec['point']:4d} {rec['samples']:6d} samples "
+              f"[{head}{more}]")
+        shown += 1
+    for row in manifest["link_quality"]:
+        if stage is not None:
+            continue  # link rows have no stage
+        if tag is not None and row["tag"] != tag:
+            continue
+        if point is not None and row["point"] != point:
+            continue
+        print(f"seq {row['seq']:6d} {'link_quality':20s} tag {row['tag']:3d} "
+              f"point {row['point']:4d} snr {row['snr_db']:.1f} dB "
+              f"evm {row['evm']:.3f} margin-ratio {row['margin_ratio']:.2f} "
+              f"decoded {row['decoded']}")
+        shown += 1
+    print(f"probe_inspect: {shown} matching entries")
+
+
+def main() -> None:
+    args = sys.argv[1:]
+    mode_check = "--check" in args
+    mode_summary = "--summary" in args
+    args = [a for a in args if a not in ("--check", "--summary")]
+
+    def take_value(flag):
+        if flag not in args:
+            return None
+        i = args.index(flag)
+        if i + 1 >= len(args):
+            fail(f"{flag} requires a value")
+        value = args[i + 1]
+        del args[i:i + 2]
+        return value
+
+    expect = take_value("--expect-taps")
+    stage = take_value("--stage")
+    tag = take_value("--tag")
+    point = take_value("--point")
+    if len(args) != 1:
+        fail("usage: probe_inspect.py [--check [--expect-taps a,b,c] | "
+             "--summary | [--stage NAME] [--tag N] [--point N]] <dump>")
+    path = args[0]
+
+    if mode_check:
+        check(path, expect.split(",") if expect else None)
+    elif mode_summary:
+        summary(path)
+    else:
+        slice_dump(path, stage,
+                   int(tag) if tag is not None else None,
+                   int(point) if point is not None else None)
+
+
+if __name__ == "__main__":
+    main()

@@ -17,6 +17,7 @@
 #include "phy/spreader.h"
 #include "pn/correlation.h"
 #include "rfsim/channel.h"
+#include "rx/correlation_engine.h"
 #include "rx/decoder.h"
 #include "util/telemetry.h"
 #include "util/timer.h"
@@ -166,11 +167,9 @@ void BM_DecodeFrame(benchmark::State& state) {
 }
 BENCHMARK(BM_DecodeFrame);
 
-/// Legacy entry point: transmit_round() allocates a fresh TransmitScratch
-/// per packet. Kept as the before/after reference for the batched path —
-/// benchmarking the deprecated shim is the point here.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+/// Per-packet-allocating entry point: transmit(options, rng) builds a fresh
+/// TransmitScratch each packet. Kept as the before/after reference for the
+/// batched path — the allocation cost is the point here.
 void BM_EndToEndRound(benchmark::State& state) {
   core::SystemConfig cfg;
   cfg.max_tags = static_cast<std::size_t>(state.range(0));
@@ -180,12 +179,12 @@ void BM_EndToEndRound(benchmark::State& state) {
   }
   const core::CbmaSystem sys(cfg, dep);
   Rng rng(4);
+  const core::TransmitOptions options;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(sys.transmit_round(rng));
+    benchmark::DoNotOptimize(sys.transmit(options, rng));
   }
   finish_rate(state, state.range(0));
 }
-#pragma GCC diagnostic pop
 BENCHMARK(BM_EndToEndRound)->Arg(2)->Arg(5)->Arg(10);
 
 /// The batched pipeline: transmit(options, rng, scratch) with one scratch
@@ -238,6 +237,75 @@ void BM_EndToEndBatchedManualClock(benchmark::State& state) {
   finish_rate(state, state.range(0));
 }
 BENCHMARK(BM_EndToEndBatchedManualClock)->Arg(5)->UseManualTime();
+
+// --- detection correlation engines (DESIGN.md §9) --------------------------
+//
+// One batched peaks() call — every code of the family over one anchor
+// window — per iteration, the unit UserDetector pays once per detection
+// round. The three registrations share a (K codes, L chips/bit, W lags)
+// grid so tools/check_perf_regression.py --crossover can reconstruct the
+// naive-vs-FFT crossover curves and verify the auto engine's cost model
+// picks the faster side wherever the gap is decisive. ns_per_packet here is
+// ns per peaks() batch.
+
+constexpr std::size_t kDetectSpc = 4;
+constexpr std::size_t kDetectPreambleBits = 8;
+
+void run_detect_peaks(benchmark::State& state, rx::DetectEngine kind) {
+  const auto n_codes = static_cast<std::size_t>(state.range(0));
+  const auto code_len = static_cast<std::size_t>(state.range(1));
+  const auto lags = static_cast<std::size_t>(state.range(2));
+  Rng rng(5);
+  // Synthetic bipolar chip templates of the detector's shape (preamble bits
+  // × code length); timing does not depend on the code family.
+  std::vector<std::vector<double>> tmpls(n_codes);
+  for (auto& t : tmpls) {
+    t.resize(kDetectPreambleBits * code_len);
+    for (auto& v : t) v = rng.bernoulli(0.5) ? 1.0 : -1.0;
+  }
+  const std::size_t n = tmpls.front().size() * kDetectSpc;
+  std::vector<double> re(n + lags), im(n + lags);
+  for (std::size_t i = 0; i < re.size(); ++i) {
+    rng.gaussian_pair(re[i], im[i]);
+  }
+  std::vector<double> fold_re, fold_im;
+  pn::fold_chip_sums(re, kDetectSpc, fold_re);
+  pn::fold_chip_sums(im, kDetectSpc, fold_im);
+  const auto engine = rx::make_correlation_engine(kind, tmpls, kDetectSpc, lags);
+  const auto scratch = engine->make_scratch();
+  std::vector<std::size_t> code_idx(n_codes);
+  for (std::size_t i = 0; i < n_codes; ++i) code_idx[i] = i;
+  std::vector<pn::ComplexCorrelationPeak> peaks(n_codes);
+  const rx::CorrelationWindow window{re, im, fold_re, fold_im, kDetectSpc};
+  for (auto _ : state) {
+    engine->peaks(window, code_idx, 0, lags, peaks, *scratch);
+    benchmark::DoNotOptimize(peaks.data());
+  }
+  finish_rate(state, 1);
+}
+
+void BM_DetectPeaksNaive(benchmark::State& state) {
+  run_detect_peaks(state, rx::DetectEngine::kNaive);
+}
+void BM_DetectPeaksFft(benchmark::State& state) {
+  run_detect_peaks(state, rx::DetectEngine::kFft);
+}
+void BM_DetectPeaksAuto(benchmark::State& state) {
+  run_detect_peaks(state, rx::DetectEngine::kAuto);
+}
+
+void detect_peaks_grid(benchmark::internal::Benchmark* b) {
+  for (const std::int64_t k : {4, 16, 64}) {
+    for (const std::int64_t l : {32, 128}) {
+      for (const std::int64_t w : {64, 512}) {
+        b->Args({k, l, w});
+      }
+    }
+  }
+}
+BENCHMARK(BM_DetectPeaksNaive)->Apply(detect_peaks_grid);
+BENCHMARK(BM_DetectPeaksFft)->Apply(detect_peaks_grid);
+BENCHMARK(BM_DetectPeaksAuto)->Apply(detect_peaks_grid);
 
 }  // namespace
 

@@ -218,11 +218,11 @@ rx::RxReport CbmaSystem::transmit(const TransmitOptions& options, Rng& rng,
     return whole_group ? k : options.slots[k];
   };
 
-  // RNG draw order is contractual: the legacy transmit_round_* entry points
-  // are shims over this function, and the determinism test pins their
-  // historical streams. Whole-group rounds draw payloads as a block, then
-  // delays as a block, then (phase, cfo) per slot; subset rounds draw
-  // payloads as a block, then (phase, delay, cfo) per slot.
+  // RNG draw order is contractual: seeds recorded by earlier experiments
+  // must keep replaying the same streams, and the determinism test pins the
+  // order. Whole-group rounds draw payloads as a block, then delays as a
+  // block, then (phase, cfo) per slot; subset rounds draw payloads as a
+  // block, then (phase, delay, cfo) per slot.
   scratch.chip_seqs.resize(n);
   {
     const telemetry::ScopedSpan span_spread(telemetry::Span::kTransmitSpread);
@@ -322,38 +322,6 @@ rx::RxReport CbmaSystem::transmit(const TransmitOptions& options, Rng& rng,
   return report;
 }
 
-rx::RxReport CbmaSystem::transmit_round(
-    std::span<const std::vector<std::uint8_t>> payloads, Rng& rng) const {
-  CBMA_REQUIRE(payloads.size() == group_.size(), "one payload per active tag");
-  TransmitOptions options;
-  options.payloads = payloads;
-  return transmit(options, rng);
-}
-
-rx::RxReport CbmaSystem::transmit_round_with_delays(
-    std::span<const std::vector<std::uint8_t>> payloads,
-    std::span<const double> delay_chips, Rng& rng) const {
-  CBMA_REQUIRE(payloads.size() == group_.size(), "one payload per active tag");
-  CBMA_REQUIRE(delay_chips.size() == group_.size(), "one delay per active tag");
-  TransmitOptions options;
-  options.payloads = payloads;
-  options.delay_chips = delay_chips;
-  return transmit(options, rng);
-}
-
-rx::RxReport CbmaSystem::transmit_round(Rng& rng) const {
-  return transmit(TransmitOptions{}, rng);
-}
-
-rx::RxReport CbmaSystem::transmit_round_subset(std::span<const std::size_t> slots,
-                                               Rng& rng) const {
-  // The new API reads an empty slot list as "whole group transmits", so the
-  // historical contract of this shim stays an explicit requirement here.
-  CBMA_REQUIRE(!slots.empty(), "at least one slot must transmit");
-  TransmitOptions options;
-  options.slots = slots;
-  return transmit(options, rng);
-}
 
 RoundStats CbmaSystem::run_packets(std::size_t n_packets, Rng& rng) const {
   RoundStats stats(group_.size());

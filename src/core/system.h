@@ -114,8 +114,10 @@ class CbmaSystem {
   // --- transmission ---
   /// One collided transmission, fully described by `options` (payloads,
   /// delays and the transmitting subset all optional — see TransmitOptions).
-  /// This is the single transmit entry point; the transmit_round_* overloads
-  /// below are thin shims over it.
+  /// This is the single transmit entry point. (The pre-TransmitOptions
+  /// transmit_round_* shims served their deprecation release and are gone;
+  /// the RNG draw order they pinned is contractual on this function — see
+  /// the draw-order comment in system.cpp and the determinism test.)
   rx::RxReport transmit(const TransmitOptions& options, Rng& rng) const;
 
   /// transmit() with caller-owned scratch — the zero-allocation batched
@@ -123,32 +125,6 @@ class CbmaSystem {
   /// the pipeline (chips, window, split re/im, residuals) warm.
   rx::RxReport transmit(const TransmitOptions& options, Rng& rng,
                         TransmitScratch& scratch) const;
-
-  /// Deprecated shim for transmit(): every active tag sends one frame with
-  /// the given payload (payloads.size() == group size).
-  [[deprecated("use transmit(TransmitOptions) with .payloads")]]
-  rx::RxReport transmit_round(std::span<const std::vector<std::uint8_t>> payloads,
-                              Rng& rng) const;
-  /// Deprecated shim for transmit(): random payloads.
-  [[deprecated("use transmit(TransmitOptions{})")]]
-  rx::RxReport transmit_round(Rng& rng) const;
-
-  /// Deprecated shim for transmit(): explicit per-tag start offsets (chips,
-  /// added to the configured lead-in) instead of random jitter — the
-  /// Fig. 11 asynchronization study drives this directly.
-  [[deprecated("use transmit(TransmitOptions) with .payloads and .delay_chips")]]
-  rx::RxReport transmit_round_with_delays(
-      std::span<const std::vector<std::uint8_t>> payloads,
-      std::span<const double> delay_chips, Rng& rng) const;
-
-  /// Deprecated shim for transmit(): only a subset of the active group
-  /// transmits this round (slot indices into the active group); the
-  /// receiver still probes every group code — the §VII-B2 user-detection
-  /// experiment. Requires a non-empty subset (the new API reads an empty
-  /// slot list as "whole group").
-  [[deprecated("use transmit(TransmitOptions) with .slots")]]
-  rx::RxReport transmit_round_subset(std::span<const std::size_t> slots,
-                                     Rng& rng) const;
 
   /// `n_packets` collided transmissions with random payloads, batched over
   /// one TransmitScratch so the sweep allocates only on the first packet.

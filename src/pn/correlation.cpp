@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "pn/simd.h"
 #include "util/expect.h"
 
 namespace cbma::pn {
@@ -276,12 +277,12 @@ void refold_chip_sums(std::span<const double> x, std::size_t samples_per_chip,
                       std::size_t begin, std::size_t end, std::vector<double>& out) {
   // Direct per-entry sums (not a running window) so refolding a subrange
   // reproduces exactly what a full fold computes — no accumulated drift.
+  // simd::fold_sums keeps the same ascending-j per-entry order in every
+  // variant, so the result is bit-identical on any dispatch path.
   end = std::min(end, out.size());
-  for (std::size_t i = begin; i < end; ++i) {
-    double s = x[i];
-    for (std::size_t j = 1; j < samples_per_chip; ++j) s += x[i + j];
-    out[i] = s;
-  }
+  if (begin >= end) return;
+  simd::fold_sums(x.data() + begin, end - begin, samples_per_chip,
+                  out.data() + begin);
 }
 
 std::complex<double> complex_correlate_folded_at(std::span<const double> fold_re,

@@ -1,0 +1,91 @@
+#include "pn/fft.h"
+
+#include <cmath>
+
+#include "util/expect.h"
+#include "util/units.h"
+
+namespace cbma::pn {
+
+std::size_t FftPlan::next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+FftPlan::FftPlan(std::size_t n) : n_(n) {
+  CBMA_REQUIRE(n >= 1 && (n & (n - 1)) == 0, "FFT size must be a power of two");
+  while ((std::size_t{1} << log2n_) < n_) ++log2n_;
+
+  bitrev_.resize(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    std::uint32_t r = 0;
+    for (std::uint32_t b = 0; b < log2n_; ++b) {
+      r |= ((i >> b) & 1u) << (log2n_ - 1 - b);
+    }
+    bitrev_[i] = r;
+  }
+
+  // Stage with half-size h stores its h twiddles at offset h − 1; summed
+  // over stages that is n − 1 entries.
+  tw_re_.resize(n_ > 1 ? n_ - 1 : 0);
+  tw_im_.resize(tw_re_.size());
+  for (std::size_t h = 1; h < n_; h <<= 1) {
+    const double step = -units::kPi / static_cast<double>(h);
+    for (std::size_t k = 0; k < h; ++k) {
+      const double a = step * static_cast<double>(k);
+      tw_re_[h - 1 + k] = std::cos(a);
+      tw_im_[h - 1 + k] = std::sin(a);
+    }
+  }
+}
+
+void FftPlan::transform(double* re, double* im, bool inverse) const {
+  // Bit-reversal permutation (swap once per pair).
+  for (std::size_t i = 0; i < n_; ++i) {
+    const std::size_t j = bitrev_[i];
+    if (j > i) {
+      const double tr = re[i];
+      re[i] = re[j];
+      re[j] = tr;
+      const double ti = im[i];
+      im[i] = im[j];
+      im[j] = ti;
+    }
+  }
+  // Danielson–Lanczos butterflies; the inverse conjugates the twiddles.
+  const double sgn = inverse ? -1.0 : 1.0;
+  for (std::size_t h = 1; h < n_; h <<= 1) {
+    const double* twr = tw_re_.data() + (h - 1);
+    const double* twi = tw_im_.data() + (h - 1);
+    for (std::size_t base = 0; base < n_; base += 2 * h) {
+      for (std::size_t k = 0; k < h; ++k) {
+        const std::size_t a = base + k;
+        const std::size_t b = a + h;
+        const double wr = twr[k];
+        const double wi = sgn * twi[k];
+        const double xr = re[b] * wr - im[b] * wi;
+        const double xi = re[b] * wi + im[b] * wr;
+        re[b] = re[a] - xr;
+        im[b] = im[a] - xi;
+        re[a] += xr;
+        im[a] += xi;
+      }
+    }
+  }
+}
+
+void FftPlan::forward(double* re, double* im) const {
+  transform(re, im, /*inverse=*/false);
+}
+
+void FftPlan::inverse(double* re, double* im) const {
+  transform(re, im, /*inverse=*/true);
+  const double inv = 1.0 / static_cast<double>(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    re[i] *= inv;
+    im[i] *= inv;
+  }
+}
+
+}  // namespace cbma::pn

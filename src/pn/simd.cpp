@@ -1,0 +1,168 @@
+// SIMD kernel variants + the dispatch switch. This TU is compiled with
+// -ffp-contract=off (see src/CMakeLists.txt): the bit-exactness contract in
+// simd.h relies on the scalar fallback not being contracted into FMAs,
+// since the AVX2 variants deliberately use separate multiply and add so
+// both paths round identically.
+#include "pn/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#if !defined(CBMA_FORCE_SCALAR) && (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define CBMA_SIMD_HAVE_AVX2 1
+#include <immintrin.h>
+#else
+#define CBMA_SIMD_HAVE_AVX2 0
+#endif
+
+namespace cbma::pn::simd {
+namespace {
+
+// -1 unresolved, 0 allow detection, 1 force scalar.
+std::atomic<int>& force_scalar_state() {
+  static std::atomic<int> state{-1};
+  return state;
+}
+
+bool force_scalar_resolved() {
+  auto& state = force_scalar_state();
+  int v = state.load(std::memory_order_relaxed);
+  if (v < 0) {
+    const char* env = std::getenv("CBMA_FORCE_SCALAR");
+    const bool forced =
+        env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0');
+    v = forced ? 1 : 0;
+    state.store(v, std::memory_order_relaxed);
+  }
+  return v == 1;
+}
+
+bool cpu_has_avx2() {
+#if CBMA_SIMD_HAVE_AVX2
+  static const bool has = __builtin_cpu_supports("avx2");
+  return has;
+#else
+  return false;
+#endif
+}
+
+// --- scalar variants -------------------------------------------------------
+
+void fold_sums_scalar(const double* x, std::size_t count, std::size_t spc,
+                      double* out) {
+  for (std::size_t i = 0; i < count; ++i) {
+    double s = x[i];
+    for (std::size_t j = 1; j < spc; ++j) s += x[i + j];
+    out[i] = s;
+  }
+}
+
+void cmul_acc_scalar(const double* a_re, const double* a_im, const double* b_re,
+                     const double* b_im, double* acc_re, double* acc_im,
+                     std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double rr = a_re[i] * b_re[i];
+    const double ii = a_im[i] * b_im[i];
+    const double ri = a_re[i] * b_im[i];
+    const double ir = a_im[i] * b_re[i];
+    acc_re[i] += rr - ii;
+    acc_im[i] += ri + ir;
+  }
+}
+
+// --- AVX2 variants ---------------------------------------------------------
+//
+// Each vector lane is one output element; per-lane operation order matches
+// the scalar variant exactly (same adds in the same order, no FMA), so the
+// two paths are bit-identical — tests/pn_simd_test.cpp asserts it.
+
+#if CBMA_SIMD_HAVE_AVX2
+
+__attribute__((target("avx2"))) void fold_sums_avx2(const double* x,
+                                                    std::size_t count,
+                                                    std::size_t spc,
+                                                    double* out) {
+  std::size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    __m256d acc = _mm256_loadu_pd(x + i);
+    for (std::size_t j = 1; j < spc; ++j) {
+      acc = _mm256_add_pd(acc, _mm256_loadu_pd(x + i + j));
+    }
+    _mm256_storeu_pd(out + i, acc);
+  }
+  if (i < count) fold_sums_scalar(x + i, count - i, spc, out + i);
+}
+
+__attribute__((target("avx2"))) void cmul_acc_avx2(
+    const double* a_re, const double* a_im, const double* b_re,
+    const double* b_im, double* acc_re, double* acc_im, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d ar = _mm256_loadu_pd(a_re + i);
+    const __m256d ai = _mm256_loadu_pd(a_im + i);
+    const __m256d br = _mm256_loadu_pd(b_re + i);
+    const __m256d bi = _mm256_loadu_pd(b_im + i);
+    const __m256d rr = _mm256_mul_pd(ar, br);
+    const __m256d ii = _mm256_mul_pd(ai, bi);
+    const __m256d ri = _mm256_mul_pd(ar, bi);
+    const __m256d ir = _mm256_mul_pd(ai, br);
+    _mm256_storeu_pd(
+        acc_re + i,
+        _mm256_add_pd(_mm256_loadu_pd(acc_re + i), _mm256_sub_pd(rr, ii)));
+    _mm256_storeu_pd(
+        acc_im + i,
+        _mm256_add_pd(_mm256_loadu_pd(acc_im + i), _mm256_add_pd(ri, ir)));
+  }
+  if (i < n) {
+    cmul_acc_scalar(a_re + i, a_im + i, b_re + i, b_im + i, acc_re + i,
+                    acc_im + i, n - i);
+  }
+}
+
+#endif  // CBMA_SIMD_HAVE_AVX2
+
+}  // namespace
+
+const char* isa_name(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar: return "scalar";
+    case Isa::kAvx2: return "avx2";
+  }
+  return "unknown";
+}
+
+Isa active_isa() {
+  if (force_scalar_resolved()) return Isa::kScalar;
+  return cpu_has_avx2() ? Isa::kAvx2 : Isa::kScalar;
+}
+
+void set_force_scalar(bool force) {
+  force_scalar_state().store(force ? 1 : 0, std::memory_order_relaxed);
+}
+
+bool avx2_supported() { return cpu_has_avx2(); }
+
+void fold_sums(const double* x, std::size_t count, std::size_t spc, double* out) {
+#if CBMA_SIMD_HAVE_AVX2
+  if (active_isa() == Isa::kAvx2) {
+    fold_sums_avx2(x, count, spc, out);
+    return;
+  }
+#endif
+  fold_sums_scalar(x, count, spc, out);
+}
+
+void cmul_acc(const double* a_re, const double* a_im, const double* b_re,
+              const double* b_im, double* acc_re, double* acc_im,
+              std::size_t n) {
+#if CBMA_SIMD_HAVE_AVX2
+  if (active_isa() == Isa::kAvx2) {
+    cmul_acc_avx2(a_re, a_im, b_re, b_im, acc_re, acc_im, n);
+    return;
+  }
+#endif
+  cmul_acc_scalar(a_re, a_im, b_re, b_im, acc_re, acc_im, n);
+}
+
+}  // namespace cbma::pn::simd

@@ -146,7 +146,7 @@ RxReport Receiver::process_iq(std::span<const std::complex<double>> iq,
 
     const auto detections = [&] {
       const telemetry::ScopedSpan span_detect(telemetry::Span::kRxDetect);
-      return detector_.detect(re, im, *trigger, scratch.detect);
+      return detector_.detect(DetectionInput{re, im, *trigger}, scratch.detect);
     }();
     telemetry::count(telemetry::Counter::kRxDetections, detections.size());
     RxReport candidate;

@@ -54,6 +54,13 @@ UserDetector::UserDetector(UserDetectConfig config, std::span<const pn::PnCode> 
     for (const double v : templates_.back()) e += v * v;
     tmpl_norm2_.push_back(e);
   }
+  // The FFT engine sizes its overlap-save plan for the anchor round's
+  // search window — the wide all-codes batch where the fast path pays off.
+  const auto spc = static_cast<double>(samples_per_chip_);
+  const auto anchor_lags = static_cast<std::size_t>(
+      (config_.search_back_chips + config_.search_ahead_chips) * spc) + 1;
+  engine_ = make_correlation_engine(config_.engine, chip_templates_,
+                                    samples_per_chip_, anchor_lags);
 }
 
 DetectedUser UserDetector::probe(std::span<const std::complex<double>> iq,
@@ -73,19 +80,28 @@ std::vector<DetectedUser> UserDetector::detect(std::span<const std::complex<doub
   std::vector<double> re, im;
   pn::split_iq(iq, re, im);
   Scratch scratch;
-  return detect(re, im, coarse_start, scratch);
+  return detect(DetectionInput{re, im, coarse_start}, scratch);
 }
 
 std::vector<DetectedUser> UserDetector::detect(std::span<const double> re,
                                                std::span<const double> im,
                                                std::size_t coarse_start,
                                                Scratch& scratch) const {
+  return detect(DetectionInput{re, im, coarse_start}, scratch);
+}
+
+std::vector<DetectedUser> UserDetector::detect(const DetectionInput& input,
+                                               Scratch& scratch) const {
+  const auto re = input.re;
+  const auto im = input.im;
+  const std::size_t coarse_start = input.coarse_start;
   CBMA_REQUIRE(re.size() == im.size(), "split window components disagree");
   // Successive detection with interference cancellation on a residual copy.
   scratch.residual_re.assign(re.begin(), re.end());
   scratch.residual_im.assign(im.begin(), im.end());
   pn::fold_chip_sums(scratch.residual_re, samples_per_chip_, scratch.fold_re);
   pn::fold_chip_sums(scratch.residual_im, samples_per_chip_, scratch.fold_im);
+  if (!scratch.engine) scratch.engine = engine_->make_scratch();
   std::span<const double> res_re = scratch.residual_re;
   std::span<const double> res_im = scratch.residual_im;
   std::vector<bool> taken(templates_.size(), false);
@@ -98,6 +114,7 @@ std::vector<DetectedUser> UserDetector::detect(std::span<const double> re,
   // window, on the window *before* any cancellation — the per-code profile
   // a human compares against the thresholds when a detection goes wrong.
   // Strictly probe-gated: the hot path neither allocates nor computes this.
+  // Computed from the exact folded dot, so the profile is engine-invariant.
   if (probe::enabled()) {
     const auto back = static_cast<std::size_t>(config_.search_back_chips * spc);
     const auto ahead = static_cast<std::size_t>(config_.search_ahead_chips * spc);
@@ -134,12 +151,22 @@ std::vector<DetectedUser> UserDetector::detect(std::span<const double> re,
       end = anchor + group_span + 1;
     }
 
-    DetectedUser best;
+    // One engine batch per round: every still-unassigned code over the
+    // round's window, against the current residual.
+    scratch.code_idx.clear();
     for (std::size_t i = 0; i < templates_.size(); ++i) {
-      if (taken[i]) continue;
-      const auto peak = pn::sliding_complex_peak_folded(
-          res_re, res_im, scratch.fold_re, scratch.fold_im, chip_templates_[i],
-          samples_per_chip_, begin, end);
+      if (!taken[i]) scratch.code_idx.push_back(i);
+    }
+    scratch.peaks.resize(scratch.code_idx.size());
+    const CorrelationWindow window{res_re, res_im, scratch.fold_re,
+                                   scratch.fold_im, samples_per_chip_};
+    engine_->peaks(window, scratch.code_idx, begin, end, scratch.peaks,
+                   *scratch.engine);
+
+    DetectedUser best;
+    for (std::size_t k = 0; k < scratch.code_idx.size(); ++k) {
+      const std::size_t i = scratch.code_idx[k];
+      const auto& peak = scratch.peaks[k];
       if (peak.value > best.correlation) {
         // The displaced leader becomes the runner-up this code had to beat.
         const double displaced = best.correlation;

@@ -13,15 +13,22 @@
 // anchor. Without this interference cancellation a weak user's aligned
 // peak is regularly beaten by the *sum* of the other users' correlation
 // sidelobes at a nearby lag once several tags collide.
+//
+// The batched peak search itself runs on a pluggable CorrelationEngine
+// (DESIGN.md §9): naive sliding dots, an overlap-save FFT fast path sharing
+// forward transforms across all codes, or a cost-model auto pick — selected
+// via UserDetectConfig::engine.
 #pragma once
 
 #include <complex>
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "phy/tag.h"
 #include "pn/code.h"
+#include "rx/correlation_engine.h"
 
 namespace cbma::rx {
 
@@ -48,6 +55,11 @@ struct UserDetectConfig {
   /// §4.4). Disable only for ablation studies: without it the sum of other
   /// users' sidelobes regularly beats a weak user's aligned peak.
   bool enable_sic = true;
+  /// Which correlation engine runs the batched peak search (DESIGN.md §9.2).
+  /// kNaive is the bit-exact reference and the default; kFft shares forward
+  /// transforms across all codes (equivalent up to the §9.3 tolerance);
+  /// kAuto picks per call from the crossover cost model.
+  DetectEngine engine = DetectEngine::kNaive;
 };
 
 struct DetectedUser {
@@ -62,16 +74,29 @@ struct DetectedUser {
   double runner_up = 0.0;
 };
 
+/// The detector's view of one frame: the split-re/im window and the frame
+/// synchronizer's coarse trigger the anchor search centres on. A view only —
+/// the caller keeps the arrays alive through the detect() call.
+struct DetectionInput {
+  std::span<const double> re;
+  std::span<const double> im;
+  std::size_t coarse_start = 0;
+};
+
 class UserDetector {
  public:
   /// Reusable successive-cancellation buffers (the residual copy of the
-  /// window and its per-chip folded sums); sized once per window length and
-  /// reused across packets.
+  /// window, its per-chip folded sums, the per-round engine batch, and the
+  /// engine's own work buffers); sized once per window length and reused
+  /// across packets — detect() is allocation-free in steady state.
   struct Scratch {
     std::vector<double> residual_re;
     std::vector<double> residual_im;
     std::vector<double> fold_re;  ///< pn::fold_chip_sums of residual_re
     std::vector<double> fold_im;  ///< pn::fold_chip_sums of residual_im
+    std::vector<std::size_t> code_idx;  ///< untaken codes of the round
+    std::vector<pn::ComplexCorrelationPeak> peaks;  ///< engine batch output
+    std::unique_ptr<CorrelationEngine::Scratch> engine;  ///< lazily created
   };
 
   /// `codes`: the group's PN codes (receiver knows all of them);
@@ -81,14 +106,25 @@ class UserDetector {
 
   const UserDetectConfig& config() const { return config_; }
   std::size_t group_size() const { return templates_.size(); }
+  /// The configured correlation engine (crossover introspection for tests
+  /// and the watchdog bench).
+  const CorrelationEngine& engine() const { return *engine_; }
 
-  /// Detect users around `coarse_start` (the frame synchronizer's trigger).
-  /// Returns every code whose correlation peak clears both thresholds.
+  /// Detect users around `input.coarse_start` (the frame synchronizer's
+  /// trigger). Returns every code whose correlation peak clears both
+  /// thresholds. The zero-allocation hot path: `scratch` is caller-owned
+  /// and reused across packets.
+  std::vector<DetectedUser> detect(const DetectionInput& input,
+                                   Scratch& scratch) const;
+
+  /// Pre-DetectionInput interleaved-IQ spelling. Shim for one release:
+  /// split with pn::split_iq and call detect(DetectionInput, Scratch&).
+  [[deprecated("split with pn::split_iq and use detect(DetectionInput, scratch)")]]
   std::vector<DetectedUser> detect(std::span<const std::complex<double>> iq,
                                    std::size_t coarse_start) const;
 
-  /// detect() on a window already deinterleaved into split re/im arrays,
-  /// with caller-owned cancellation buffers — the zero-allocation hot path.
+  /// Pre-DetectionInput spelling of the hot path.
+  [[deprecated("use detect(DetectionInput{re, im, coarse_start}, scratch)")]]
   std::vector<DetectedUser> detect(std::span<const double> re,
                                    std::span<const double> im,
                                    std::size_t coarse_start, Scratch& scratch) const;
@@ -107,6 +143,7 @@ class UserDetector {
   /// lag's dot product by samples_per_chip×.
   std::vector<std::vector<double>> chip_templates_;
   std::vector<double> tmpl_norm2_;              ///< template energies (gain fits)
+  std::unique_ptr<CorrelationEngine> engine_;   ///< immutable after ctor
 };
 
 }  // namespace cbma::rx

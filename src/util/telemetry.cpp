@@ -179,6 +179,8 @@ const char* counter_name(Counter c) {
     case Counter::kNodeSelectAbandoned: return "node_select.abandoned";
     case Counter::kNodeSelectReplaced: return "node_select.replaced";
     case Counter::kNodeSelectAnnealed: return "node_select.annealed";
+    case Counter::kRxDetectNaiveBatches: return "rx.detect.naive_batches";
+    case Counter::kRxDetectFftBatches: return "rx.detect.fft_batches";
     case Counter::kCount: break;
   }
   return "unknown";

@@ -83,6 +83,8 @@ enum class Counter : std::uint8_t {
   kNodeSelectAbandoned,   ///< slots below the bad-ACK threshold
   kNodeSelectReplaced,    ///< slots actually swapped for a candidate
   kNodeSelectAnnealed,    ///< non-improving candidates accepted
+  kRxDetectNaiveBatches,  ///< detection peak batches run on the naive engine
+  kRxDetectFftBatches,    ///< detection peak batches run on the FFT engine
   kCount
 };
 inline constexpr std::size_t kCounterCount =

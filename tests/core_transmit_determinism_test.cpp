@@ -1,21 +1,19 @@
-// The unified transmit(TransmitOptions) entry point must reproduce the
-// legacy transmit_round_* overloads bit-for-bit: the shims forward to it,
-// and its RNG draw order is contractual (whole-group rounds draw payloads
-// as a block, then delays as a block, then per-slot phase/CFO; subset
-// rounds draw payloads as a block, then per-slot phase/delay/CFO). These
-// tests pin that contract so a refactor that silently reorders draws —
-// changing every seeded experiment in the repo — fails loudly.
+// transmit(TransmitOptions)'s RNG draw order is contractual: whole-group
+// rounds draw payloads as a block, then delays as a block, then per-slot
+// phase/CFO; subset rounds draw payloads as a block, then per-slot
+// phase/delay/CFO; channel noise follows on the same stream. These tests
+// pin the contract without any legacy shim: they replicate the leading
+// draw blocks by hand, feed the values back as explicit options on the
+// *continuing* RNG, and require a bit-identical report to a fully random
+// round from a fresh same-seed RNG. That equality holds only if the blocks
+// sit exactly where the contract says — a refactor that silently reorders
+// draws (changing every seeded experiment in the repo) fails loudly.
 #include "core/system.h"
 
 #include <gtest/gtest.h>
 
 #include <cstdint>
 #include <vector>
-
-// This file exists to exercise the deprecated transmit_round_* shims
-// against the unified entry point; the deprecation warnings are expected.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 namespace cbma::core {
 namespace {
@@ -47,6 +45,29 @@ std::vector<std::vector<std::uint8_t>> fixed_payloads(std::size_t n,
   return out;
 }
 
+/// The payload block exactly as transmit() draws it for `n` random-payload
+/// slots: one uniform_int(0, 255) per byte, slots in ascending order.
+std::vector<std::vector<std::uint8_t>> draw_payload_block(std::size_t n,
+                                                          std::size_t bytes,
+                                                          Rng& rng) {
+  std::vector<std::vector<std::uint8_t>> out(n);
+  for (auto& payload : out) {
+    payload.resize(bytes);
+    for (auto& b : payload) {
+      b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    }
+  }
+  return out;
+}
+
+/// The whole-group delay block exactly as transmit() draws it.
+std::vector<double> draw_delay_block(std::size_t n, double max_jitter_chips,
+                                     Rng& rng) {
+  std::vector<double> out(n);
+  for (auto& d : out) d = rng.uniform(0.0, max_jitter_chips);
+  return out;
+}
+
 /// Full structural equality of two receiver reports, including the soft
 /// quantities — "same decoder output" means every field, not just the ACK.
 void expect_identical(const rx::RxReport& a, const rx::RxReport& b) {
@@ -68,61 +89,92 @@ void expect_identical(const rx::RxReport& a, const rx::RxReport& b) {
   }
 }
 
-TEST(TransmitDeterminism, RandomRoundMatchesLegacyOverload) {
+TEST(TransmitDeterminism, WholeGroupDrawOrderPinned) {
   const CbmaSystem sys(fast_config(4), deployment(4));
+  const auto& cfg = sys.config();
   for (std::uint64_t seed : {1u, 7u, 42u}) {
-    Rng rng_new(seed);
-    Rng rng_old(seed);
-    const auto via_transmit = sys.transmit(TransmitOptions{}, rng_new);
-    const auto via_legacy = sys.transmit_round(rng_old);
-    expect_identical(via_transmit, via_legacy);
+    Rng rng_random(seed);
+    const auto random_round = sys.transmit(TransmitOptions{}, rng_random);
+
+    // Replicate the leading blocks by hand on a same-seed RNG, then hand
+    // the values back as explicit options on the *same* stream. Equality
+    // requires payloads drawn first (byte by byte, slots ascending), then
+    // the delay block, with per-slot phase/CFO and noise following.
+    Rng rng_manual(seed);
+    const auto payloads =
+        draw_payload_block(sys.group_size(), cfg.payload_bytes, rng_manual);
+    const auto delays = draw_delay_block(sys.group_size(),
+                                         cfg.max_async_jitter_chips, rng_manual);
+    TransmitOptions options;
+    options.payloads = payloads;
+    options.delay_chips = delays;
+    const auto manual_round = sys.transmit(options, rng_manual);
+    expect_identical(random_round, manual_round);
+
     // Both RNGs must also land in the same state: a second round stays
     // identical only if the first consumed identical draw sequences.
-    const auto second_new = sys.transmit(TransmitOptions{}, rng_new);
-    const auto second_old = sys.transmit_round(rng_old);
-    expect_identical(second_new, second_old);
+    expect_identical(sys.transmit(TransmitOptions{}, rng_random),
+                     sys.transmit(TransmitOptions{}, rng_manual));
   }
 }
 
-TEST(TransmitDeterminism, ExplicitPayloadsMatchLegacyOverload) {
+TEST(TransmitDeterminism, ExplicitDelaysReplaceTheJitterBlock) {
+  // Explicit whole-group delays must skip the jitter draws entirely (the
+  // Fig. 11 study depends on it): two explicit-delay rounds from one seed
+  // with different delay values must consume identical RNG streams.
   const CbmaSystem sys(fast_config(3), deployment(3));
   const auto payloads = fixed_payloads(3, 4);
-  Rng rng_new(11);
-  Rng rng_old(11);
-  TransmitOptions options;
-  options.payloads = payloads;
-  expect_identical(sys.transmit(options, rng_new),
-                   sys.transmit_round(payloads, rng_old));
-  expect_identical(sys.transmit(options, rng_new),
-                   sys.transmit_round(payloads, rng_old));
+  // Equal maxima: the channel sizes its window (and thus the noise draw
+  // count) by the latest tail, so only the jitter draws may differ here.
+  const std::vector<double> delays_a{0.0, 0.6, 1.9};
+  const std::vector<double> delays_b{1.9, 0.1, 0.8};
+  Rng rng_a(23);
+  Rng rng_b(23);
+  TransmitOptions options_a;
+  options_a.payloads = payloads;
+  options_a.delay_chips = delays_a;
+  TransmitOptions options_b = options_a;
+  options_b.delay_chips = delays_b;
+  (void)sys.transmit(options_a, rng_a);
+  (void)sys.transmit(options_b, rng_b);
+  // Next rounds see identical streams only if neither first round drew
+  // delay jitter.
+  expect_identical(sys.transmit(options_a, rng_a),
+                   sys.transmit(options_a, rng_b));
 }
 
-TEST(TransmitDeterminism, ExplicitDelaysMatchLegacyOverload) {
-  const CbmaSystem sys(fast_config(3), deployment(3));
-  const auto payloads = fixed_payloads(3, 4);
-  const std::vector<double> delays{0.0, 0.6, 1.9};
-  Rng rng_new(23);
-  Rng rng_old(23);
-  TransmitOptions options;
-  options.payloads = payloads;
-  options.delay_chips = delays;
-  expect_identical(sys.transmit(options, rng_new),
-                   sys.transmit_round_with_delays(payloads, delays, rng_old));
-  expect_identical(sys.transmit(options, rng_new),
-                   sys.transmit_round_with_delays(payloads, delays, rng_old));
-}
-
-TEST(TransmitDeterminism, SubsetMatchesLegacyOverload) {
+TEST(TransmitDeterminism, SubsetPayloadBlockDrawnFirst) {
   const CbmaSystem sys(fast_config(5), deployment(5));
+  const auto& cfg = sys.config();
   const std::vector<std::size_t> slots{0, 2, 4};
-  Rng rng_new(31);
-  Rng rng_old(31);
-  TransmitOptions options;
-  options.slots = slots;
-  expect_identical(sys.transmit(options, rng_new),
-                   sys.transmit_round_subset(slots, rng_old));
-  expect_identical(sys.transmit(options, rng_new),
-                   sys.transmit_round_subset(slots, rng_old));
+  TransmitOptions random_subset;
+  random_subset.slots = slots;
+  Rng rng_random(31);
+  const auto random_round = sys.transmit(random_subset, rng_random);
+
+  // Subset rounds draw the payload block first, then per-slot
+  // phase/delay/CFO: pre-drawing the payloads and injecting them on the
+  // continuing stream must reproduce the random round bit-for-bit.
+  Rng rng_manual(31);
+  const auto payloads =
+      draw_payload_block(slots.size(), cfg.payload_bytes, rng_manual);
+  TransmitOptions manual_subset;
+  manual_subset.slots = slots;
+  manual_subset.payloads = payloads;
+  expect_identical(random_round, sys.transmit(manual_subset, rng_manual));
+  expect_identical(sys.transmit(random_subset, rng_random),
+                   sys.transmit(random_subset, rng_manual));
+}
+
+TEST(TransmitDeterminism, EmptySlotListMeansWholeGroup) {
+  const CbmaSystem sys(fast_config(3), deployment(3));
+  Rng rng_empty(5);
+  Rng rng_whole(5);
+  TransmitOptions empty_slots;  // slots left empty
+  const auto via_empty = sys.transmit(empty_slots, rng_empty);
+  const auto via_default = sys.transmit(TransmitOptions{}, rng_whole);
+  EXPECT_EQ(via_empty.results.size(), sys.group_size());
+  expect_identical(via_empty, via_default);
 }
 
 TEST(TransmitDeterminism, ScratchReuseDoesNotPerturbResults) {
@@ -158,7 +210,7 @@ TEST(TransmitDeterminism, BatchedRunPacketsMatchesPerRoundLoop) {
   const auto stats = sys.run_packets(5, rng_batched);
   RoundStats expected(sys.group_size());
   for (int p = 0; p < 5; ++p) {
-    const auto report = sys.transmit_round(rng_loop);
+    const auto report = sys.transmit(TransmitOptions{}, rng_loop);
     for (std::size_t slot = 0; slot < sys.group_size(); ++slot) {
       expected.record(slot, report.results[slot].crc_ok);
     }
@@ -184,12 +236,7 @@ TEST(TransmitDeterminism, OptionValidation) {
   const std::vector<double> delays{-1.0, 0.0, 0.0};
   negative_delay.delay_chips = delays;
   EXPECT_THROW(sys.transmit(negative_delay, rng), std::invalid_argument);
-
-  // Legacy subset shim keeps its non-empty contract.
-  EXPECT_THROW(sys.transmit_round_subset({}, rng), std::invalid_argument);
 }
 
 }  // namespace
 }  // namespace cbma::core
-
-#pragma GCC diagnostic pop

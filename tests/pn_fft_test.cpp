@@ -1,0 +1,148 @@
+#include "pn/fft.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace cbma::pn {
+namespace {
+
+/// Textbook O(n²) DFT — the reference the plan must match.
+void naive_dft(const std::vector<double>& in_re, const std::vector<double>& in_im,
+               std::vector<double>& out_re, std::vector<double>& out_im) {
+  const std::size_t n = in_re.size();
+  out_re.assign(n, 0.0);
+  out_im.assign(n, 0.0);
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t t = 0; t < n; ++t) {
+      const double a = -2.0 * units::kPi * static_cast<double>(k * t) /
+                       static_cast<double>(n);
+      out_re[k] += in_re[t] * std::cos(a) - in_im[t] * std::sin(a);
+      out_im[k] += in_re[t] * std::sin(a) + in_im[t] * std::cos(a);
+    }
+  }
+}
+
+TEST(FftPlan, RejectsNonPowerOfTwo) {
+  EXPECT_THROW(FftPlan(0), std::invalid_argument);
+  EXPECT_THROW(FftPlan(3), std::invalid_argument);
+  EXPECT_THROW(FftPlan(96), std::invalid_argument);
+}
+
+TEST(FftPlan, NextPow2) {
+  EXPECT_EQ(FftPlan::next_pow2(0), 1u);
+  EXPECT_EQ(FftPlan::next_pow2(1), 1u);
+  EXPECT_EQ(FftPlan::next_pow2(2), 2u);
+  EXPECT_EQ(FftPlan::next_pow2(3), 4u);
+  EXPECT_EQ(FftPlan::next_pow2(64), 64u);
+  EXPECT_EQ(FftPlan::next_pow2(65), 128u);
+}
+
+TEST(FftPlan, MatchesNaiveDft) {
+  Rng rng(1);
+  for (const std::size_t n : {1u, 2u, 4u, 8u, 32u, 128u}) {
+    const FftPlan plan(n);
+    EXPECT_EQ(plan.size(), n);
+    std::vector<double> re(n), im(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      re[i] = rng.gaussian();
+      im[i] = rng.gaussian();
+    }
+    std::vector<double> want_re, want_im;
+    naive_dft(re, im, want_re, want_im);
+    plan.forward(re.data(), im.data());
+    for (std::size_t k = 0; k < n; ++k) {
+      EXPECT_NEAR(re[k], want_re[k], 1e-9 * static_cast<double>(n)) << "n=" << n;
+      EXPECT_NEAR(im[k], want_im[k], 1e-9 * static_cast<double>(n)) << "n=" << n;
+    }
+  }
+}
+
+TEST(FftPlan, InverseRoundTrips) {
+  Rng rng(2);
+  for (const std::size_t n : {1u, 4u, 64u, 512u}) {
+    const FftPlan plan(n);
+    std::vector<double> re(n), im(n), orig_re(n), orig_im(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      orig_re[i] = re[i] = rng.gaussian();
+      orig_im[i] = im[i] = rng.gaussian();
+    }
+    plan.forward(re.data(), im.data());
+    plan.inverse(re.data(), im.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(re[i], orig_re[i], 1e-12 * static_cast<double>(n));
+      EXPECT_NEAR(im[i], orig_im[i], 1e-12 * static_cast<double>(n));
+    }
+  }
+}
+
+TEST(FftPlan, ImpulseTransformsToConstant) {
+  const std::size_t n = 64;
+  const FftPlan plan(n);
+  std::vector<double> re(n, 0.0), im(n, 0.0);
+  re[0] = 1.0;
+  plan.forward(re.data(), im.data());
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(re[k], 1.0, 1e-12);
+    EXPECT_NEAR(im[k], 0.0, 1e-12);
+  }
+}
+
+TEST(FftPlan, FrequencyDomainProductIsCircularConvolution) {
+  // The engine's core identity: IFFT(FFT(x) ⊙ conj(FFT(t))) is the
+  // circular cross-correlation of x against t.
+  const std::size_t n = 32;
+  const FftPlan plan(n);
+  Rng rng(3);
+  std::vector<double> x(n), t(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = rng.gaussian();
+    t[i] = rng.gaussian();
+  }
+  std::vector<double> xr = x, xi(n, 0.0), tr = t, ti(n, 0.0);
+  plan.forward(xr.data(), xi.data());
+  plan.forward(tr.data(), ti.data());
+  std::vector<double> pr(n), pi(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    // x · conj(t)
+    pr[k] = xr[k] * tr[k] + xi[k] * ti[k];
+    pi[k] = xi[k] * tr[k] - xr[k] * ti[k];
+  }
+  plan.inverse(pr.data(), pi.data());
+  for (std::size_t lag = 0; lag < n; ++lag) {
+    double want = 0.0;
+    for (std::size_t i = 0; i < n; ++i) want += t[i] * x[(lag + i) % n];
+    EXPECT_NEAR(pr[lag], want, 1e-10) << "lag " << lag;
+    EXPECT_NEAR(pi[lag], 0.0, 1e-10) << "lag " << lag;
+  }
+}
+
+TEST(FftPlan, PlansOfSameSizeAreBitIdentical) {
+  // Determinism across plan instances: twiddles are computed at
+  // construction only, so two plans must transform identically.
+  const std::size_t n = 256;
+  const FftPlan a(n), b(n);
+  Rng rng(4);
+  std::vector<double> re1(n), im1(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    re1[i] = rng.gaussian();
+    im1[i] = rng.gaussian();
+  }
+  auto re2 = re1;
+  auto im2 = im1;
+  a.forward(re1.data(), im1.data());
+  b.forward(re2.data(), im2.data());
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(re1[i], re2[i]);
+    EXPECT_EQ(im1[i], im2[i]);
+  }
+}
+
+}  // namespace
+}  // namespace cbma::pn

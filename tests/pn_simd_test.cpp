@@ -1,0 +1,125 @@
+// The SIMD dispatch contract (pn/simd.h): every kernel's AVX2 and scalar
+// variants are bit-identical, and the dispatch switch actually selects each
+// path. On hosts without AVX2 (or builds with CBMA_FORCE_SCALAR defined)
+// the cross-variant tests collapse to scalar-vs-scalar and pass trivially.
+#include "pn/simd.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace cbma::pn::simd {
+namespace {
+
+/// Pins the dispatch to one path for the test's scope, then re-enables CPU
+/// detection (the process default) on exit.
+class ForceScalarGuard {
+ public:
+  explicit ForceScalarGuard(bool force) { set_force_scalar(force); }
+  ~ForceScalarGuard() { set_force_scalar(false); }
+};
+
+std::vector<double> random_vector(std::size_t n, Rng& rng) {
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.gaussian();
+  return v;
+}
+
+TEST(Simd, IsaNamesAreStable) {
+  EXPECT_STREQ(isa_name(Isa::kScalar), "scalar");
+  EXPECT_STREQ(isa_name(Isa::kAvx2), "avx2");
+}
+
+TEST(Simd, ForceScalarPinsDispatch) {
+  {
+    const ForceScalarGuard guard(true);
+    EXPECT_EQ(active_isa(), Isa::kScalar);
+  }
+  // After the guard, dispatch follows CPU support again.
+  EXPECT_EQ(active_isa(), avx2_supported() ? Isa::kAvx2 : Isa::kScalar);
+}
+
+TEST(Simd, FoldSumsMatchesReference) {
+  Rng rng(1);
+  for (const std::size_t spc : {1u, 2u, 4u, 7u}) {
+    for (const std::size_t count : {1u, 3u, 4u, 5u, 64u, 1001u}) {
+      const auto x = random_vector(count + spc - 1, rng);
+      std::vector<double> got(count, 0.0);
+      fold_sums(x.data(), count, spc, got.data());
+      for (std::size_t i = 0; i < count; ++i) {
+        double want = x[i];
+        for (std::size_t j = 1; j < spc; ++j) want += x[i + j];
+        // Reference accumulates in the same ascending-j order, so equality
+        // is exact on every dispatch path.
+        EXPECT_EQ(got[i], want) << "spc=" << spc << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(Simd, CmulAccMatchesComplexArithmetic) {
+  Rng rng(2);
+  const std::size_t n = 257;  // odd: exercises the vector tail
+  const auto ar = random_vector(n, rng), ai = random_vector(n, rng);
+  const auto br = random_vector(n, rng), bi = random_vector(n, rng);
+  std::vector<double> acc_re(n, 1.5), acc_im(n, -0.5);
+  cmul_acc(ar.data(), ai.data(), br.data(), bi.data(), acc_re.data(),
+           acc_im.data(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double want_re = 1.5 + (ar[i] * br[i] - ai[i] * bi[i]);
+    const double want_im = -0.5 + (ar[i] * bi[i] + ai[i] * br[i]);
+    EXPECT_NEAR(acc_re[i], want_re, 1e-15);
+    EXPECT_NEAR(acc_im[i], want_im, 1e-15);
+  }
+}
+
+/// The bit-exactness contract: the scalar and dispatched (possibly AVX2)
+/// variants produce byte-identical outputs, forcing each path explicitly.
+TEST(Simd, FoldSumsBitIdenticalAcrossDispatchPaths) {
+  Rng rng(3);
+  for (const std::size_t spc : {1u, 3u, 4u, 8u}) {
+    const std::size_t count = 1003;  // not a multiple of the vector width
+    const auto x = random_vector(count + spc - 1, rng);
+    std::vector<double> scalar_out(count), native_out(count);
+    {
+      const ForceScalarGuard guard(true);
+      ASSERT_EQ(active_isa(), Isa::kScalar);
+      fold_sums(x.data(), count, spc, scalar_out.data());
+    }
+    fold_sums(x.data(), count, spc, native_out.data());
+    EXPECT_EQ(std::memcmp(scalar_out.data(), native_out.data(),
+                          count * sizeof(double)),
+              0)
+        << "spc=" << spc << " native isa=" << isa_name(active_isa());
+  }
+}
+
+TEST(Simd, CmulAccBitIdenticalAcrossDispatchPaths) {
+  Rng rng(4);
+  for (const std::size_t n : {1u, 4u, 5u, 256u, 999u}) {
+    const auto ar = random_vector(n, rng), ai = random_vector(n, rng);
+    const auto br = random_vector(n, rng), bi = random_vector(n, rng);
+    const auto seed_re = random_vector(n, rng), seed_im = random_vector(n, rng);
+    auto scalar_re = seed_re, scalar_im = seed_im;
+    auto native_re = seed_re, native_im = seed_im;
+    {
+      const ForceScalarGuard guard(true);
+      ASSERT_EQ(active_isa(), Isa::kScalar);
+      cmul_acc(ar.data(), ai.data(), br.data(), bi.data(), scalar_re.data(),
+               scalar_im.data(), n);
+    }
+    cmul_acc(ar.data(), ai.data(), br.data(), bi.data(), native_re.data(),
+             native_im.data(), n);
+    EXPECT_EQ(
+        std::memcmp(scalar_re.data(), native_re.data(), n * sizeof(double)), 0);
+    EXPECT_EQ(
+        std::memcmp(scalar_im.data(), native_im.data(), n * sizeof(double)), 0);
+  }
+}
+
+}  // namespace
+}  // namespace cbma::pn::simd

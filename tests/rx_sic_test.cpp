@@ -21,6 +21,16 @@ std::vector<pn::PnCode> group_codes(std::size_t n) {
   return pn::make_code_set(pn::CodeFamily::kTwoNC, n, 20);
 }
 
+/// detect() through the unified DetectionInput entry point.
+std::vector<DetectedUser> detect_iq(const UserDetector& det,
+                                    std::span<const std::complex<double>> iq,
+                                    std::size_t coarse_start) {
+  std::vector<double> re, im;
+  pn::split_iq(iq, re, im);
+  UserDetector::Scratch scratch;
+  return det.detect(DetectionInput{re, im, coarse_start}, scratch);
+}
+
 rfsim::Channel quiet_channel(double noise = 0.0) {
   rfsim::ChannelConfig cfg;
   cfg.samples_per_chip = kSpc;
@@ -58,7 +68,7 @@ std::vector<std::complex<double>> crowd(const std::vector<pn::PnCode>& codes,
 std::size_t correct_detections(const UserDetector& det,
                                const std::vector<std::complex<double>>& iq,
                                std::size_t n_active) {
-  const auto hits = det.detect(iq, static_cast<std::size_t>(kLead) * kSpc);
+  const auto hits = detect_iq(det, iq, static_cast<std::size_t>(kLead) * kSpc);
   std::size_t good = 0;
   for (const auto& h : hits) {
     // Offset must land within the true jitter span (±1 chip of the lead-in,
@@ -129,7 +139,7 @@ TEST(SicDetection, NearFarWeakUserRecoveredByCancellation) {
     txs[1].phase = rng.phase();
     txs[1].delay_chips = kLead + 0.5;
     const auto iq = quiet_channel(1e-6).receive(txs, rng);
-    for (const auto& h : det.detect(iq, static_cast<std::size_t>(kLead) * kSpc)) {
+    for (const auto& h : detect_iq(det, iq, static_cast<std::size_t>(kLead) * kSpc)) {
       if (h.tag_index == 1) ++weak_found;
     }
   }
@@ -146,8 +156,8 @@ TEST(SicDetection, SingleUserIdenticalWithAndWithoutSic) {
   cbma::Rng r1(4), r2(4);
   const auto iq1 = crowd(codes, 1, r1);
   const auto iq2 = crowd(codes, 1, r2);
-  const auto h1 = with.detect(iq1, static_cast<std::size_t>(kLead) * kSpc);
-  const auto h2 = without.detect(iq2, static_cast<std::size_t>(kLead) * kSpc);
+  const auto h1 = detect_iq(with, iq1, static_cast<std::size_t>(kLead) * kSpc);
+  const auto h2 = detect_iq(without, iq2, static_cast<std::size_t>(kLead) * kSpc);
   ASSERT_FALSE(h1.empty());
   ASSERT_FALSE(h2.empty());
   EXPECT_EQ(h1.front().tag_index, h2.front().tag_index);
@@ -182,7 +192,7 @@ TEST(SicDetection, CancellationKeepsPhaseEstimateHonest) {
   txs[1].delay_chips = kLead + 0.75;
   const auto iq = quiet_channel(1e-8).receive(txs, rng);
 
-  const auto hits = det.detect(iq, static_cast<std::size_t>(kLead) * kSpc);
+  const auto hits = detect_iq(det, iq, static_cast<std::size_t>(kLead) * kSpc);
   ASSERT_EQ(hits.size(), 2u);
   for (const auto& h : hits) {
     const double want = h.tag_index == 0 ? 0.4 : -1.1;

@@ -27,6 +27,17 @@ phy::Tag make_tag(std::size_t index, const std::vector<pn::PnCode>& codes) {
   return phy::Tag(cfg);
 }
 
+/// detect() through the unified DetectionInput entry point (the tests keep
+/// interleaved IQ; the detector API takes split views).
+std::vector<DetectedUser> detect_iq(const UserDetector& det,
+                                    std::span<const std::complex<double>> iq,
+                                    std::size_t coarse_start) {
+  std::vector<double> re, im;
+  pn::split_iq(iq, re, im);
+  UserDetector::Scratch scratch;
+  return det.detect(DetectionInput{re, im, coarse_start}, scratch);
+}
+
 rfsim::Channel quiet_channel() {
   rfsim::ChannelConfig cfg;
   cfg.samples_per_chip = kSpc;
@@ -77,7 +88,7 @@ TEST(UserDetector, SingleUserDetectedAtExactOffset) {
   cbma::Rng rng(1);
   const auto iq = synthesize(codes, {{1, 1.0, 0.0}}, rng);
   const UserDetector det(UserDetectConfig{}, codes, kPreambleBits, kSpc);
-  const auto hits = det.detect(iq, 16 * kSpc);
+  const auto hits = detect_iq(det, iq, 16 * kSpc);
   // The transmitting code must be present, at the exact offset, and be the
   // strongest hit by a clear margin. (Asynchronous sidelobes of other
   // codes may clear the raw threshold — the decode+id stage rejects them.)
@@ -89,7 +100,9 @@ TEST(UserDetector, SingleUserDetectedAtExactOffset) {
   EXPECT_EQ(best.offset_samples, 16u * kSpc);
   EXPECT_GT(best.correlation, 0.9);
   for (const auto& h : hits) {
-    if (h.tag_index != 1) EXPECT_LT(h.correlation, 0.6 * best.correlation);
+    if (h.tag_index != 1) {
+      EXPECT_LT(h.correlation, 0.6 * best.correlation);
+    }
   }
 }
 
@@ -116,7 +129,7 @@ TEST(UserDetector, TwoConcurrentUsersBothDetected) {
   cbma::Rng rng(3);
   const auto iq = synthesize(codes, {{0, 1.0, 0.3}, {2, 1.0, 0.9}}, rng);
   const UserDetector det(UserDetectConfig{}, codes, kPreambleBits, kSpc);
-  const auto hits = det.detect(iq, 16 * kSpc);
+  const auto hits = detect_iq(det, iq, 16 * kSpc);
   bool has0 = false, has2 = false;
   for (const auto& h : hits) {
     has0 |= (h.tag_index == 0 && h.correlation > 0.4);
@@ -164,7 +177,7 @@ TEST(UserDetector, WeakUserSuppressedByRelativeThreshold) {
   // 12 dB weaker second user.
   const auto iq = synthesize(codes, {{0, 1.0, 0.0}, {1, 0.25, 0.5}}, rng);
   const UserDetector det(cfg, codes, kPreambleBits, kSpc);
-  const auto hits = det.detect(iq, 16 * kSpc);
+  const auto hits = detect_iq(det, iq, 16 * kSpc);
   ASSERT_EQ(hits.size(), 1u);
   EXPECT_EQ(hits[0].tag_index, 0u);
 }
@@ -201,7 +214,7 @@ TEST(UserDetector, GoldCodesAlsoDetect) {
   tx.delay_chips = 16.0;
   const auto iq = quiet_channel().receive(std::span(&tx, 1), rng);
   const UserDetector det(UserDetectConfig{}, codes, kPreambleBits, kSpc);
-  const auto hits = det.detect(iq, 16 * kSpc);
+  const auto hits = detect_iq(det, iq, 16 * kSpc);
   ASSERT_EQ(hits.size(), 1u);
   EXPECT_EQ(hits[0].tag_index, 2u);
 }

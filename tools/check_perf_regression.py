@@ -4,6 +4,7 @@
 Usage:
   check_perf_regression.py <BENCH_kernels.json> <baseline.json> [--tolerance F]
   check_perf_regression.py <BENCH_kernels.json> <baseline.json> --update
+  check_perf_regression.py <BENCH_kernels.json> --crossover
 
 Compares the ns_per_packet counter of every benchmark present in both the
 fresh google-benchmark document and the baseline, and fails when any is
@@ -18,11 +19,26 @@ A speed-up beyond the same tolerance prints a note suggesting a baseline
 refresh; `--update` rewrites the baseline from the fresh run (commit the
 result; the file records the machine's numbers, so refresh it from the
 same class of machine CI uses).
+
+`--crossover` checks the detection-engine crossover policy instead of the
+baseline: it groups the BM_DetectPeaks{Naive,Fft,Auto}/K/L/W rows of a
+fresh run by grid point and, wherever the naive and FFT engines are
+clearly separated (>= CROSSOVER_SEPARATION apart), requires the auto
+engine to land within CROSSOVER_SLACK of the winner. That pins the auto
+cost model (rx::CorrelationEngine, DESIGN.md §9.2) to measured reality
+without hard-coding machine-dependent absolute times.
 """
 import json
+import re
 import sys
 
 DEFAULT_TOLERANCE = 0.30
+
+# --crossover: only grid points where the engines differ by at least this
+# factor are judged (near the crossover either choice is fine) ...
+CROSSOVER_SEPARATION = 1.5
+# ... and there the auto engine must be within this factor of the winner.
+CROSSOVER_SLACK = 1.3
 
 
 def fail(msg: str) -> None:
@@ -54,8 +70,63 @@ def load(path: str) -> dict:
         fail(f"{path} is not valid JSON: {e}")
 
 
+def check_crossover(current_path: str) -> None:
+    """Validate auto-engine selection against measured naive/FFT times."""
+    current = ns_per_packet_by_name(load(current_path))
+    pattern = re.compile(r"^BM_DetectPeaks(Naive|Fft|Auto)/(\d+/\d+/\d+)$")
+    grid = {}  # "K/L/W" -> {"Naive": ns, "Fft": ns, "Auto": ns}
+    for name, ns in current.items():
+        m = pattern.match(name)
+        if m:
+            grid.setdefault(m.group(2), {})[m.group(1)] = ns
+    judged = 0
+    failures = []
+    for point in sorted(grid, key=lambda p: [int(x) for x in p.split("/")]):
+        engines = grid[point]
+        if not all(k in engines for k in ("Naive", "Fft", "Auto")):
+            print(f"check_perf_regression: note: grid point {point} missing "
+                  "an engine row — skipped")
+            continue
+        naive, fft, auto = engines["Naive"], engines["Fft"], engines["Auto"]
+        best = min(naive, fft)
+        separation = max(naive, fft) / best
+        winner = "naive" if naive <= fft else "fft"
+        if separation < CROSSOVER_SEPARATION:
+            print(f"check_perf_regression: crossover {point}: naive {naive:.0f}"
+                  f" vs fft {fft:.0f} ns within {CROSSOVER_SEPARATION}x — "
+                  "either choice fine, skipped")
+            continue
+        judged += 1
+        ratio = auto / best
+        verdict = "ok" if ratio <= CROSSOVER_SLACK else "WRONG ENGINE"
+        print(f"check_perf_regression: crossover {point}: winner {winner} "
+              f"({best:.0f} ns), auto {auto:.0f} ns "
+              f"({ratio:.2f}x winner): {verdict}")
+        if ratio > CROSSOVER_SLACK:
+            failures.append((point, winner, best, auto, ratio))
+    if not grid:
+        fail(f"{current_path} has no BM_DetectPeaks rows — run bench_kernels "
+             "with --benchmark_filter=BM_DetectPeaks")
+    for point, winner, best, auto, ratio in failures:
+        print(f"check_perf_regression: FAIL: auto engine picked the losing "
+              f"path at {point}: winner {winner} {best:.0f} ns, auto "
+              f"{auto:.0f} ns ({ratio:.2f}x > {CROSSOVER_SLACK}x allowed)",
+              file=sys.stderr)
+    if failures:
+        sys.exit(1)
+    print(f"check_perf_regression: crossover policy ok at {judged} separated "
+          f"grid points ({len(grid)} total)")
+
+
 def main() -> None:
     args = sys.argv[1:]
+    if "--crossover" in args:
+        args = [a for a in args if a != "--crossover"]
+        if len(args) != 1:
+            fail("usage: check_perf_regression.py <BENCH_kernels.json> "
+                 "--crossover")
+        check_crossover(args[0])
+        return
     update = "--update" in args
     args = [a for a in args if a != "--update"]
     tolerance = DEFAULT_TOLERANCE

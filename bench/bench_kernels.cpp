@@ -238,6 +238,70 @@ void BM_EndToEndBatchedManualClock(benchmark::State& state) {
 }
 BENCHMARK(BM_EndToEndBatchedManualClock)->Arg(5)->UseManualTime();
 
+/// The chunked streaming receiver on a continuous stream of Arg(0) decodable
+/// rounds (round + noise gap, fed in 4096-sample chunks through one warm
+/// session). Two counters feed the CI gates: ns_per_sample is the
+/// steady-state ingest cost, and rx_ring_bytes is the resident ring
+/// footprint — which must be identical between the 1x and 10x stream
+/// lengths, the O(window) memory claim of DESIGN.md §10
+/// (check_perf_regression.py --ring-flat).
+void BM_StreamingRx(benchmark::State& state) {
+  rx::ReceiverConfig cfg;
+  cfg.samples_per_chip = 4;
+  cfg.preamble_bits = 8;
+  cfg.max_payload_bytes = 4;  // tight lookahead: rounds finalize back to back
+  const auto codes = pn::make_code_set(pn::CodeFamily::kTwoNC, 2, 20);
+  const rx::Receiver receiver(cfg, codes);
+
+  Rng rng(5);
+  phy::TagConfig tc;
+  tc.id = 0;
+  tc.code = codes[0];
+  tc.preamble_bits = 8;
+  const std::vector<std::uint8_t> payload{0x5A, 0xC3, 0x3C};
+  const auto chips = phy::Tag(tc).chip_sequence(payload);
+  rfsim::ChannelConfig cc;
+  cc.samples_per_chip = 4;
+  cc.chip_rate_hz = 32e6;
+  cc.noise_power_w = 1e-4;
+  rfsim::TagTransmission tx;
+  tx.chips = chips;
+  tx.amplitude = 1.0;
+  tx.phase = rng.phase();
+  tx.delay_chips = 64.0;
+  auto unit = rfsim::Channel(cc).receive(std::span(&tx, 1), rng);
+  std::vector<std::complex<double>> gap(3000, {0.0, 0.0});
+  rfsim::AwgnSource(1e-4).add_to(gap, rng);
+  unit.insert(unit.end(), gap.begin(), gap.end());
+
+  std::vector<std::complex<double>> stream;
+  for (std::int64_t k = 0; k < state.range(0); ++k) {
+    stream.insert(stream.end(), unit.begin(), unit.end());
+  }
+
+  std::uint64_t decoded = 0;
+  rx::StreamingReceiver session(
+      receiver, [&](rx::RxReport r) { decoded += r.decoded_count(); });
+  const std::span<const std::complex<double>> samples(stream);
+  for (auto _ : state) {
+    session.reset();
+    for (std::size_t off = 0; off < samples.size(); off += 4096) {
+      session.feed(samples.subspan(
+          off, std::min<std::size_t>(4096, samples.size() - off)));
+    }
+    session.flush();
+  }
+  benchmark::DoNotOptimize(decoded);
+  state.counters["rx_ring_bytes"] =
+      static_cast<double>(session.ring_bytes());
+  state.counters["ns_per_sample"] = benchmark::Counter(
+      static_cast<double>(samples.size()) * 1e-9,
+      benchmark::Counter::kIsIterationInvariantRate | benchmark::Counter::kInvert);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(samples.size()));
+}
+BENCHMARK(BM_StreamingRx)->Arg(1)->Arg(10);
+
 // --- detection correlation engines (DESIGN.md §9) --------------------------
 //
 // One batched peaks() call — every code of the family over one anchor

@@ -39,6 +39,7 @@ struct CliOptions {
   bool ofdm = false;
   bool multipath = false;
   std::string probe;  ///< signal-probe dump path ("" = probing off)
+  std::size_t stream_chunk = 0;  ///< rx ingestion chunk (0 = whole rounds)
   std::uint64_t seed = 1;
 };
 
@@ -59,6 +60,9 @@ void usage(const char* argv0) {
       "  --ofdm           use an intermittent OFDM excitation source\n"
       "  --multipath      enable Rician multipath echoes\n"
       "  --probe PATH     capture signal probes to PATH (+ PATH.json manifest)\n"
+      "  --stream CHUNK   feed the receiver in CHUNK-sample pieces through the\n"
+      "                   streaming session (identical results; default: whole\n"
+      "                   rounds)\n"
       "  --seed S         RNG seed (default 1)\n",
       argv0);
 }
@@ -119,6 +123,10 @@ bool parse(int argc, char** argv, CliOptions& opt) {
       const char* v = need_value("--probe");
       if (!v) return false;
       opt.probe = v;
+    } else if (arg == "--stream") {
+      const char* v = need_value("--stream");
+      if (!v) return false;
+      opt.stream_chunk = static_cast<std::size_t>(std::atol(v));
     } else if (arg == "--seed") {
       const char* v = need_value("--seed");
       if (!v) return false;
@@ -161,6 +169,7 @@ int main(int argc, char** argv) {
   config.payload_bytes = opt.payload;
   config.multipath.enabled = opt.multipath;
   config.probe = opt.probe;  // "" keeps probing off (strict identity)
+  config.rx_chunk_samples = opt.stream_chunk;  // 0 keeps whole-round feeds
 
   auto deployment = rfsim::Deployment::paper_frame();
   for (std::size_t k = 0; k < opt.tags; ++k) {

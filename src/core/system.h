@@ -27,6 +27,7 @@
 #include "rfsim/interference.h"
 #include "rfsim/obstacle.h"
 #include "rx/receiver.h"
+#include "rx/streaming_receiver.h"
 #include "util/rng.h"
 
 namespace cbma::core {
@@ -67,7 +68,11 @@ struct TransmitScratch {
   std::vector<const rfsim::Interferer*> interferers;
   rfsim::ChannelScratch channel;
   std::vector<std::complex<double>> iq;
-  rx::RxScratch rx;
+  /// Persistent streaming Rx session (DESIGN.md §10) — the receiver-side
+  /// state that used to be RxScratch. Lazily bound to the system's receiver
+  /// on first transmit and rebound if the scratch moves between systems;
+  /// its rings and window buffers stay warm across packets.
+  std::unique_ptr<rx::StreamingReceiver> rx_session;
 };
 
 class CbmaSystem {

@@ -44,6 +44,49 @@ std::optional<std::size_t> FrameSynchronizer::detect(std::span<const double> mag
   return std::nullopt;
 }
 
+FrameSynchronizer::Stream::Stream(const FrameSynchronizer& sync)
+    : sync_(&sync), ratio_(units::from_db(sync.config().threshold_db)) {
+  reset();
+}
+
+void FrameSynchronizer::Stream::reset() {
+  prefix_.clear();
+  prefix_.push(0.0);  // P(0)
+  acc_ = 0.0;
+  pushed_ = 0;
+  cursor_ = sync_->config().window;
+}
+
+void FrameSynchronizer::Stream::push(double magnitude) {
+  // Same arithmetic as detect()'s prefix loop: acc_ holds prefix[i], the
+  // push appends prefix[i+1] = prefix[i] + m².
+  acc_ += magnitude * magnitude;
+  prefix_.push(acc_);
+  ++pushed_;
+}
+
+void FrameSynchronizer::Stream::rearm(std::uint64_t begin) {
+  cursor_ = begin + sync_->config().window;
+}
+
+std::optional<std::uint64_t> FrameSynchronizer::Stream::scan() {
+  const std::size_t w = sync_->config().window;
+  const std::size_t h = sync_->config().head_average;
+  const double floor = sync_->config().min_baseline;
+  const auto avg = [&](std::uint64_t lo, std::uint64_t hi) {
+    return (prefix_[hi] - prefix_[lo]) / static_cast<double>(hi - lo);
+  };
+  while (cursor_ + 2 * h <= pushed_) {
+    const double base_avg = std::max(avg(cursor_ - w, cursor_), floor);
+    const double head1 = avg(cursor_, cursor_ + h);
+    const double head2 = avg(cursor_ + h, cursor_ + 2 * h);
+    if (std::min(head1, head2) > ratio_ * base_avg) return cursor_;
+    ++cursor_;
+    prefix_.release(cursor_ - w);
+  }
+  return std::nullopt;
+}
+
 std::vector<std::size_t> FrameSynchronizer::detect_all(std::span<const double> magnitude,
                                                        std::size_t refractory) const {
   std::vector<std::size_t> out;

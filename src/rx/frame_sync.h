@@ -6,9 +6,12 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <span>
 #include <vector>
+
+#include "util/ring_buffer.h"
 
 namespace cbma::rx {
 
@@ -37,6 +40,46 @@ class FrameSynchronizer {
   /// samples of a previous detection (one detection per frame).
   std::vector<std::size_t> detect_all(std::span<const double> magnitude,
                                       std::size_t refractory) const;
+
+  /// Incremental spelling of detect() for the streaming receiver
+  /// (DESIGN.md §10). push() extends the same power prefix sums detect()
+  /// builds — the identical sequence of additions, so the stored values are
+  /// bit-for-bit the batch prefix array — and scan() advances the comparator
+  /// over every position whose baseline and both head windows are complete,
+  /// parking the cursor on a trigger until rearm() moves it (the streaming
+  /// counterpart of calling detect(magnitude, begin) with a later begin).
+  /// Fed the same envelope, scan() fires at exactly the positions detect()
+  /// returns, regardless of how the pushes were chunked.
+  class Stream {
+   public:
+    explicit Stream(const FrameSynchronizer& sync);
+
+    /// Consume one envelope sample P(t) = √(I²+Q²).
+    void push(double magnitude);
+    /// Advance the comparator; returns the trigger position if it fired
+    /// before running out of lookahead (2×head_average samples past the
+    /// cursor). The cursor stays on the trigger until rearm().
+    std::optional<std::uint64_t> scan();
+    /// Restart the walk at `begin` (absolute stream position): the next
+    /// trigger is the first s >= begin + window where the comparator fires.
+    void rearm(std::uint64_t begin);
+    /// Samples pushed so far (absolute stream position of the next sample).
+    std::uint64_t position() const { return pushed_; }
+    /// The comparator cursor — nothing before cursor − window is ever read
+    /// again, which bounds what callers must retain.
+    std::uint64_t cursor() const { return cursor_; }
+    /// Back to position 0 with an empty prefix (capacity is kept).
+    void reset();
+    std::size_t bytes() const { return prefix_.bytes(); }
+
+   private:
+    const FrameSynchronizer* sync_;
+    util::RingBuffer<double> prefix_;  ///< P(i) = Σ_{j<i} m_j² at absolute i
+    double acc_ = 0.0;                 ///< running P(position())
+    double ratio_ = 0.0;               ///< linear threshold, from_db(P_th)
+    std::uint64_t pushed_ = 0;
+    std::uint64_t cursor_ = 0;
+  };
 
  private:
   FrameSyncConfig config_;

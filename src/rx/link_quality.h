@@ -34,6 +34,8 @@ struct LinkQualityReport {
   double power_norm = 0.0;
   /// The detection correlation peak the ratios are anchored on.
   double correlation = 0.0;
+
+  bool operator==(const LinkQualityReport&) const = default;
 };
 
 /// Cap applied to margin_ratio when the runner-up correlation is ~0.

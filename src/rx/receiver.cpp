@@ -1,12 +1,11 @@
 #include "rx/receiver.h"
 
 #include <algorithm>
-#include <cmath>
+#include <string>
 
-#include "pn/correlation.h"
+#include "phy/frame.h"
+#include "rx/streaming_receiver.h"
 #include "util/expect.h"
-#include "util/probe.h"
-#include "util/telemetry.h"
 
 namespace cbma::rx {
 
@@ -28,7 +27,10 @@ bool AckMessage::contains(std::size_t tag_index) const {
 }
 
 const TagDecodeResult& RxReport::for_tag(std::size_t tag_index) const {
-  CBMA_REQUIRE(tag_index < results.size(), "tag index out of report");
+  CBMA_REQUIRE(tag_index < results.size(),
+               "tag index " + std::to_string(tag_index) +
+                   " outside report covering " + std::to_string(results.size()) +
+                   " group codes");
   return results[tag_index];
 }
 
@@ -44,6 +46,9 @@ Receiver::Receiver(ReceiverConfig config, std::vector<pn::PnCode> group_codes)
       sync_(config.sync),
       detector_(config.detect, codes_, config.preamble_bits, config.samples_per_chip) {
   CBMA_REQUIRE(!codes_.empty(), "receiver needs a tag group");
+  CBMA_REQUIRE(config_.max_payload_bytes >= 1 &&
+                   config_.max_payload_bytes <= phy::kMaxPayloadBytes,
+               "max_payload_bytes outside the frame format's [1, 126]");
   decoders_.reserve(codes_.size());
   for (const auto& c : codes_) {
     decoders_.emplace_back(c, config_.preamble_bits, config_.samples_per_chip,
@@ -57,174 +62,18 @@ const pn::PnCode& Receiver::code(std::size_t i) const {
 }
 
 RxReport Receiver::process_iq(std::span<const std::complex<double>> iq) const {
-  RxScratch scratch;
-  return process_iq(iq, scratch);
+  // One whole-buffer feed through the streaming core (DESIGN.md §10). The
+  // pipeline itself — envelope sync walk, detection, decoding, telemetry
+  // and probe taps — lives in StreamingReceiver; chunk invariance makes
+  // this wrapper behaviorally identical to any chunked replay.
+  StreamingReceiver session(*this);
+  return session.process(iq);
 }
-
-namespace {
-
-/// Per-round DecodeOutcome tallies into the telemetry counters — one call
-/// per group code, so the counters mirror RxReport::outcome_count exactly.
-void count_outcomes(const RxReport& report) {
-  using telemetry::Counter;
-  for (const auto& r : report.results) {
-    switch (r.outcome) {
-      case DecodeOutcome::kOk: telemetry::count(Counter::kRxOutcomeOk); break;
-      case DecodeOutcome::kNoFrameSync:
-        telemetry::count(Counter::kRxOutcomeNoFrameSync);
-        break;
-      case DecodeOutcome::kNotDetected:
-        telemetry::count(Counter::kRxOutcomeNotDetected);
-        break;
-      case DecodeOutcome::kTruncated:
-        telemetry::count(Counter::kRxOutcomeTruncated);
-        break;
-      case DecodeOutcome::kBadCrc:
-        telemetry::count(Counter::kRxOutcomeBadCrc);
-        break;
-      case DecodeOutcome::kIdMismatch:
-        telemetry::count(Counter::kRxOutcomeIdMismatch);
-        break;
-    }
-  }
-}
-
-}  // namespace
 
 RxReport Receiver::process_iq(std::span<const std::complex<double>> iq,
                               RxScratch& scratch) const {
-  const telemetry::ScopedSpan span_rx(telemetry::Span::kRxProcess);
-  RxReport report;
-  report.results.resize(codes_.size());
-  for (std::size_t i = 0; i < codes_.size(); ++i) report.results[i].tag_index = i;
-
-  // Deinterleave the window once; every downstream stage (magnitude,
-  // detection, cancellation, decoding) works on the split arrays.
-  pn::split_iq(iq, scratch.re, scratch.im);
-  const std::span<const double> re = scratch.re;
-  const std::span<const double> im = scratch.im;
-
-  // Frame synchronization operates on the energy envelope (§III-B).
-  scratch.magnitude.resize(iq.size());
-  std::span<double> magnitude = scratch.magnitude;
-  {
-    const telemetry::ScopedSpan span_sync(telemetry::Span::kRxFrameSync);
-    for (std::size_t i = 0; i < iq.size(); ++i) {
-      magnitude[i] = std::sqrt(re[i] * re[i] + im[i] * im[i]);
-    }
-  }
-
-  // Signal-probe captures (strict no-ops when probing is off): the energy
-  // trace frame sync runs on, plus the window RMS every link-quality
-  // power_norm is anchored on.
-  const bool probing = probe::enabled();
-  double window_rms = 0.0;
-  if (probing) {
-    probe::record_tap(probe::Tap::kSyncEnergy, 0, magnitude);
-    double sum2 = 0.0;
-    for (const double m : magnitude) sum2 += m * m;
-    window_rms = magnitude.empty()
-                     ? 0.0
-                     : std::sqrt(sum2 / static_cast<double>(magnitude.size()));
-  }
-
-  // A noise spike can fire the energy comparator ahead of the true frame
-  // and a partially-overlapping search window then locks onto a sidelobe;
-  // real receivers keep listening after a CRC failure. Walk successive sync
-  // triggers, decode each candidate, and keep the attempt that validated
-  // the most frames (bounded, so an empty window stays cheap).
-  constexpr int kMaxSyncAttempts = 4;
-  std::size_t begin = 0;
-  for (int attempt = 0; attempt < kMaxSyncAttempts; ++attempt) {
-    const auto trigger = [&] {
-      const telemetry::ScopedSpan span_sync(telemetry::Span::kRxFrameSync);
-      return sync_.detect(magnitude, begin);
-    }();
-    if (!trigger) break;
-    telemetry::count(telemetry::Counter::kRxSyncAttempts);
-    if (!report.frame_start) report.frame_start = trigger;
-
-    const auto detections = [&] {
-      const telemetry::ScopedSpan span_detect(telemetry::Span::kRxDetect);
-      return detector_.detect(DetectionInput{re, im, *trigger}, scratch.detect);
-    }();
-    telemetry::count(telemetry::Counter::kRxDetections, detections.size());
-    RxReport candidate;
-    candidate.frame_start = trigger;
-    candidate.results.resize(codes_.size());
-    if (probing) candidate.link_quality.resize(codes_.size());
-    for (std::size_t i = 0; i < codes_.size(); ++i) {
-      candidate.results[i].tag_index = i;
-      // Sync fired for this candidate; codes the detector skips below stay
-      // at "not detected".
-      candidate.results[i].outcome = DecodeOutcome::kNotDetected;
-    }
-
-    for (const auto& d : detections) {
-      auto& r = candidate.results[d.tag_index];
-      r.detected = true;
-      r.correlation = d.correlation;
-      r.correlation_margin = d.correlation - d.runner_up;
-      r.offset_samples = d.offset_samples;
-
-      const auto decoded = [&] {
-        const telemetry::ScopedSpan span_decode(telemetry::Span::kRxDecode);
-        return decoders_[d.tag_index].decode(re, im, d.offset_samples, d.phase);
-      }();
-      if (probing) {
-        probe::record_tap(probe::Tap::kSoftBits,
-                          static_cast<std::uint32_t>(d.tag_index), decoded.soft);
-        candidate.link_quality[d.tag_index] = compute_link_quality(
-            decoded.soft, d.correlation, d.runner_up, window_rms);
-      }
-      // The frame's identity must match the code that decoded it: a wrong
-      // code at a lucky lag reproduces another tag's bits sign-consistently
-      // (CRC included), so the in-frame tag id is the discriminator.
-      if (decoded.crc_ok &&
-          decoded.frame->tag_id == static_cast<std::uint8_t>(d.tag_index)) {
-        r.crc_ok = true;
-        r.outcome = DecodeOutcome::kOk;
-        r.payload = decoded.frame->payload;
-        candidate.ack.decoded_tags.push_back(d.tag_index);
-      } else if (decoded.truncated) {
-        r.outcome = DecodeOutcome::kTruncated;
-      } else if (decoded.crc_ok) {
-        r.outcome = DecodeOutcome::kIdMismatch;
-      } else {
-        r.outcome = DecodeOutcome::kBadCrc;
-      }
-    }
-
-    if (candidate.decoded_count() > report.decoded_count() ||
-        (attempt == 0 && !detections.empty())) {
-      report = std::move(candidate);
-    }
-    if (report.decoded_count() > 0) break;
-    // Skip ahead past this trigger before re-arming.
-    begin = *trigger + config_.sync.window;
-  }
-  if (telemetry::enabled()) count_outcomes(report);
-  // Record the *winning* candidate's link quality (rows therefore always
-  // match the report the caller sees, which probe_inspect.py cross-checks).
-  if (probing && !report.link_quality.empty()) {
-    for (std::size_t i = 0; i < report.results.size(); ++i) {
-      const auto& r = report.results[i];
-      if (!r.detected) continue;
-      const auto& q = report.link_quality[i];
-      probe::LinkQualitySample sample;
-      sample.tag = static_cast<std::uint32_t>(i);
-      sample.detected = true;
-      sample.decoded = r.crc_ok;
-      sample.snr_db = q.snr_db;
-      sample.evm = q.evm;
-      sample.soft_margin = q.soft_margin;
-      sample.margin_ratio = q.margin_ratio;
-      sample.power_norm = q.power_norm;
-      sample.correlation = q.correlation;
-      probe::record_link_quality(sample);
-    }
-  }
-  return report;
+  (void)scratch;  // folded into StreamingReceiver's session state
+  return process_iq(iq);
 }
 
 }  // namespace cbma::rx

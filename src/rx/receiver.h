@@ -24,6 +24,12 @@ struct ReceiverConfig {
   std::size_t samples_per_chip = 4;
   std::size_t preamble_bits = 8;
   double phase_tracking_gain = 0.25;  ///< decoder's decision-directed loop gain
+  /// Longest payload the decoder will chase before a streaming session
+  /// finalizes a detection window. The default (the frame-format limit)
+  /// preserves exact batch semantics; a continuous-stream deployment that
+  /// knows its payload sizes tightens it to shrink the per-trigger
+  /// lookahead — and with it latency and ring memory (DESIGN.md §10).
+  std::size_t max_payload_bytes = phy::kMaxPayloadBytes;
 };
 
 /// Why a tag's frame did or did not come through this round. The receiver
@@ -52,6 +58,8 @@ struct TagDecodeResult {
   double correlation_margin = 0.0;
   std::size_t offset_samples = 0;
   std::vector<std::uint8_t> payload;  ///< valid only when crc_ok
+
+  bool operator==(const TagDecodeResult&) const = default;
 };
 
 /// The acknowledgement the receiver broadcasts: IDs (group indices) of the
@@ -60,6 +68,7 @@ struct AckMessage {
   std::vector<std::size_t> decoded_tags;
 
   bool contains(std::size_t tag_index) const;
+  bool operator==(const AckMessage&) const = default;
 };
 
 struct RxReport {
@@ -71,22 +80,31 @@ struct RxReport {
   /// hot path performs zero extra allocations (DESIGN.md §8).
   std::vector<LinkQualityReport> link_quality;
 
+  /// Result for one group code; throws std::invalid_argument naming the
+  /// offending index when `tag_index` is outside the report.
   const TagDecodeResult& for_tag(std::size_t tag_index) const;
   std::size_t decoded_count() const { return ack.decoded_tags.size(); }
   /// How many of this round's codes ended in the given outcome — the
   /// per-frame failure accounting the robustness benches aggregate.
   std::size_t outcome_count(DecodeOutcome outcome) const;
+
+  /// Field-wise equality — what the batch-vs-streaming equivalence suite
+  /// means by "byte-identical reports" (doubles compare exactly).
+  bool operator==(const RxReport&) const = default;
 };
 
-/// Reusable window-length buffers for the receiver pipeline: the split
-/// re/im copies of the window, the magnitude envelope and the detector's
-/// cancellation residual. Sized once and reused across packets.
+/// Pre-streaming reusable buffer bundle. The streaming redesign folded
+/// every buffer here into rx::StreamingReceiver's session state; the struct
+/// remains only so the deprecated process_iq overload keeps compiling for
+/// one release.
 struct RxScratch {
   std::vector<double> re;
   std::vector<double> im;
   std::vector<double> magnitude;
   UserDetector::Scratch detect;
 };
+
+class StreamingReceiver;
 
 class Receiver {
  public:
@@ -98,16 +116,23 @@ class Receiver {
 
   /// Full pipeline on a complex-baseband window. Frame sync runs on the
   /// magnitude envelope P(t) = √(I²+Q²) (the paper's §V-B quantity);
-  /// detection and decoding are coherent.
+  /// detection and decoding are coherent. This is the batch entry: it feeds
+  /// the whole window through a streaming session (DESIGN.md §10), so a
+  /// chunked replay of the same window is byte-identical. Callers that
+  /// process many windows should hold a rx::StreamingReceiver instead —
+  /// the session keeps its rings and scratch warm across rounds.
   RxReport process_iq(std::span<const std::complex<double>> iq) const;
 
-  /// Same pipeline with caller-owned scratch buffers — the zero-allocation
-  /// path a batched sweep drives. The window is deinterleaved once into
-  /// split re/im arrays; every downstream correlation streams them.
+  /// Pre-streaming spelling with caller-owned scratch. The scratch folded
+  /// into the streaming session state; the argument is ignored. Shim for
+  /// one release.
+  [[deprecated("use process_iq(iq), or hold a rx::StreamingReceiver session")]]
   RxReport process_iq(std::span<const std::complex<double>> iq,
                       RxScratch& scratch) const;
 
  private:
+  friend class StreamingReceiver;  ///< the session drives the stages directly
+
   ReceiverConfig config_;
   std::vector<pn::PnCode> codes_;
   FrameSynchronizer sync_;

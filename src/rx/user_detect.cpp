@@ -75,21 +75,6 @@ DetectedUser UserDetector::probe(std::span<const std::complex<double>> iq,
   return DetectedUser{tag_index, peak.offset, peak.value, peak.phase};
 }
 
-std::vector<DetectedUser> UserDetector::detect(std::span<const std::complex<double>> iq,
-                                               std::size_t coarse_start) const {
-  std::vector<double> re, im;
-  pn::split_iq(iq, re, im);
-  Scratch scratch;
-  return detect(DetectionInput{re, im, coarse_start}, scratch);
-}
-
-std::vector<DetectedUser> UserDetector::detect(std::span<const double> re,
-                                               std::span<const double> im,
-                                               std::size_t coarse_start,
-                                               Scratch& scratch) const {
-  return detect(DetectionInput{re, im, coarse_start}, scratch);
-}
-
 std::vector<DetectedUser> UserDetector::detect(const DetectionInput& input,
                                                Scratch& scratch) const {
   const auto re = input.re;

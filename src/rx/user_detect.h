@@ -117,18 +117,6 @@ class UserDetector {
   std::vector<DetectedUser> detect(const DetectionInput& input,
                                    Scratch& scratch) const;
 
-  /// Pre-DetectionInput interleaved-IQ spelling. Shim for one release:
-  /// split with pn::split_iq and call detect(DetectionInput, Scratch&).
-  [[deprecated("split with pn::split_iq and use detect(DetectionInput, scratch)")]]
-  std::vector<DetectedUser> detect(std::span<const std::complex<double>> iq,
-                                   std::size_t coarse_start) const;
-
-  /// Pre-DetectionInput spelling of the hot path.
-  [[deprecated("use detect(DetectionInput{re, im, coarse_start}, scratch)")]]
-  std::vector<DetectedUser> detect(std::span<const double> re,
-                                   std::span<const double> im,
-                                   std::size_t coarse_start, Scratch& scratch) const;
-
   /// Peak correlation (offset + phase) for one specific code, with no
   /// thresholding — used by tests and calibration.
   DetectedUser probe(std::span<const std::complex<double>> iq,

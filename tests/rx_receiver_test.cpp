@@ -170,6 +170,19 @@ TEST(Receiver, ForTagValidatesIndex) {
   EXPECT_THROW(report.for_tag(2), std::invalid_argument);
 }
 
+TEST(Receiver, ForTagFailureNamesTheMissingIndex) {
+  RxReport report;
+  report.results.resize(3);
+  try {
+    report.for_tag(7);
+    FAIL() << "for_tag(7) on a 3-code report must throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("tag index 7"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("3 group codes"), std::string::npos) << msg;
+  }
+}
+
 TEST(Receiver, GoldCodeGroupWorksToo) {
   const auto codes = pn::make_code_set(pn::CodeFamily::kGold, 4, 31);
   ReceiverConfig cfg = rx_config();

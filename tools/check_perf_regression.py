@@ -5,9 +5,11 @@ Usage:
   check_perf_regression.py <BENCH_kernels.json> <baseline.json> [--tolerance F]
   check_perf_regression.py <BENCH_kernels.json> <baseline.json> --update
   check_perf_regression.py <BENCH_kernels.json> --crossover
+  check_perf_regression.py <BENCH_kernels.json> --ring-flat
 
-Compares the ns_per_packet counter of every benchmark present in both the
-fresh google-benchmark document and the baseline, and fails when any is
+Compares the ns_per_packet counter (and, for the streaming-receiver rows,
+ns_per_sample) of every benchmark present in both the fresh
+google-benchmark document and the baseline, and fails when any is
 slower than baseline * (1 + tolerance). The default tolerance is
 deliberately generous (±30 %): shared CI runners are noisy, and the gate
 exists to catch real regressions (an accidental O(n²), a debug build, a
@@ -19,6 +21,13 @@ A speed-up beyond the same tolerance prints a note suggesting a baseline
 refresh; `--update` rewrites the baseline from the fresh run (commit the
 result; the file records the machine's numbers, so refresh it from the
 same class of machine CI uses).
+
+`--ring-flat` checks the streaming receiver's O(window) memory claim
+instead of the baseline: every BM_StreamingRx row exports an
+rx_ring_bytes counter (resident ring footprint after the run), and the
+gate requires the value to be byte-identical across all stream lengths —
+a ring that grows with the 10x stream means per-sample state is being
+retained (DESIGN.md §10).
 
 `--crossover` checks the detection-engine crossover policy instead of the
 baseline: it groups the BM_DetectPeaks{Naive,Fft,Auto}/K/L/W rows of a
@@ -46,18 +55,22 @@ def fail(msg: str) -> None:
     sys.exit(1)
 
 
-def ns_per_packet_by_name(doc: dict) -> dict:
-    """benchmark name -> ns_per_packet from a google-benchmark JSON doc."""
+def counter_by_name(doc: dict, counter: str, positive: bool = True) -> dict:
+    """benchmark name -> `counter` value from a google-benchmark JSON doc."""
     out = {}
     for bench in doc.get("benchmarks", []):
         # Skip aggregate rows (mean/median/stddev of --benchmark_repetitions).
         if bench.get("run_type") == "aggregate":
             continue
         name = bench.get("name")
-        value = bench.get("ns_per_packet")
-        if name and isinstance(value, (int, float)) and value > 0:
+        value = bench.get(counter)
+        if name and isinstance(value, (int, float)) and (value > 0 or not positive):
             out[name] = float(value)
     return out
+
+
+def ns_per_packet_by_name(doc: dict) -> dict:
+    return counter_by_name(doc, "ns_per_packet")
 
 
 def load(path: str) -> dict:
@@ -118,8 +131,40 @@ def check_crossover(current_path: str) -> None:
           f"grid points ({len(grid)} total)")
 
 
+def check_ring_flat(current_path: str) -> None:
+    """Require rx_ring_bytes to be identical across BM_StreamingRx rows."""
+    rings = {
+        name: bytes_
+        for name, bytes_ in counter_by_name(load(current_path),
+                                            "rx_ring_bytes").items()
+        if name.startswith("BM_StreamingRx")
+    }
+    if len(rings) < 2:
+        fail(f"{current_path} has {len(rings)} BM_StreamingRx rows with "
+             "rx_ring_bytes — need at least two stream lengths to judge "
+             "flatness (run bench_kernels with "
+             "--benchmark_filter=BM_StreamingRx)")
+    for name in sorted(rings):
+        print(f"check_perf_regression: ring-flat: {name}: "
+              f"{rings[name]:.0f} resident ring bytes")
+    distinct = set(rings.values())
+    if len(distinct) != 1:
+        fail("rx_ring_bytes differs across stream lengths "
+             f"({sorted(distinct)}) — the streaming receiver is retaining "
+             "per-sample state instead of O(window) rings")
+    print(f"check_perf_regression: ring-flat ok: {len(rings)} stream lengths, "
+          f"{next(iter(distinct)):.0f} bytes resident in every run")
+
+
 def main() -> None:
     args = sys.argv[1:]
+    if "--ring-flat" in args:
+        args = [a for a in args if a != "--ring-flat"]
+        if len(args) != 1:
+            fail("usage: check_perf_regression.py <BENCH_kernels.json> "
+                 "--ring-flat")
+        check_ring_flat(args[0])
+        return
     if "--crossover" in args:
         args = [a for a in args if a != "--crossover"]
         if len(args) != 1:
@@ -142,56 +187,71 @@ def main() -> None:
              "<baseline.json> [--tolerance F | --update]")
     current_path, baseline_path = args
 
-    current = ns_per_packet_by_name(load(current_path))
-    if not current:
+    doc = load(current_path)
+    # Two gated counters: ns_per_packet (the kernel/end-to-end benches) and
+    # ns_per_sample (the streaming-receiver ingest benches). Each lives in
+    # its own baseline section so a name appearing in both is disambiguated.
+    sections = {
+        "ns_per_packet": ns_per_packet_by_name(doc),
+        "ns_per_sample": counter_by_name(doc, "ns_per_sample"),
+    }
+    if not sections["ns_per_packet"]:
         fail(f"{current_path} has no ns_per_packet counters")
 
     if update:
         baseline_doc = {
-            "comment": "ns_per_packet baseline for tools/check_perf_regression"
-                       ".py — refresh with --update on a CI-class machine",
-            "ns_per_packet": dict(sorted(current.items())),
+            "comment": "ns_per_packet / ns_per_sample baselines for "
+                       "tools/check_perf_regression.py — refresh with "
+                       "--update on a CI-class machine",
         }
+        for section, current in sections.items():
+            if current:
+                baseline_doc[section] = dict(sorted(current.items()))
         with open(baseline_path, "w", encoding="utf-8") as f:
             json.dump(baseline_doc, f, indent=2)
             f.write("\n")
-        print(f"check_perf_regression: wrote {len(current)} baselines "
+        total = sum(len(v) for k, v in baseline_doc.items() if k != "comment")
+        print(f"check_perf_regression: wrote {total} baselines "
               f"to {baseline_path}")
         return
 
-    baseline = load(baseline_path).get("ns_per_packet", {})
-    if not baseline:
+    baseline_doc = load(baseline_path)
+    if not baseline_doc.get("ns_per_packet"):
         fail(f"{baseline_path} has no 'ns_per_packet' object — "
              "generate it with --update")
 
     regressions = []
-    for name in sorted(baseline):
-        if name not in current:
-            print(f"check_perf_regression: note: '{name}' in baseline but "
-                  "not in this run (filtered out or retired?)")
-            continue
-        base, now = baseline[name], current[name]
-        ratio = now / base
-        verdict = "ok"
-        if ratio > 1.0 + tolerance:
-            verdict = "REGRESSION"
-            regressions.append((name, base, now, ratio))
-        elif ratio < 1.0 - tolerance:
-            verdict = "faster (consider --update)"
-        print(f"check_perf_regression: {name}: {base:.1f} -> {now:.1f} ns "
-              f"({ratio:.2f}x baseline): {verdict}")
-    for name in sorted(set(current) - set(baseline)):
-        print(f"check_perf_regression: note: '{name}' not in baseline — "
-              "refresh with --update to start gating it")
+    checked = 0
+    for section, current in sections.items():
+        baseline = baseline_doc.get(section, {})
+        for name in sorted(baseline):
+            if name not in current:
+                print(f"check_perf_regression: note: '{name}' in baseline "
+                      "but not in this run (filtered out or retired?)")
+                continue
+            checked += 1
+            base, now = baseline[name], current[name]
+            ratio = now / base
+            verdict = "ok"
+            if ratio > 1.0 + tolerance:
+                verdict = "REGRESSION"
+                regressions.append((section, name, base, now, ratio))
+            elif ratio < 1.0 - tolerance:
+                verdict = "faster (consider --update)"
+            print(f"check_perf_regression: {name}: {base:.1f} -> {now:.1f} "
+                  f"ns ({ratio:.2f}x baseline {section}): {verdict}")
+        for name in sorted(set(current) - set(baseline)):
+            print(f"check_perf_regression: note: '{name}' has no {section} "
+                  "baseline — refresh with --update to start gating it")
 
     if regressions:
-        for name, base, now, ratio in regressions:
+        for section, name, base, now, ratio in regressions:
             print(f"check_perf_regression: FAIL: {name} regressed "
-                  f"{base:.1f} -> {now:.1f} ns_per_packet "
+                  f"{base:.1f} -> {now:.1f} {section} "
                   f"({ratio:.2f}x > {1.0 + tolerance:.2f}x allowed)",
                   file=sys.stderr)
         sys.exit(1)
-    print(f"check_perf_regression: {len(baseline)} baselines checked, "
+    print(f"check_perf_regression: {checked} baselines checked, "
           f"no regression beyond {tolerance:.0%}")
 
 

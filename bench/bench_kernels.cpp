@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/system.h"
+#include "net/network.h"
 #include "phy/spreader.h"
 #include "pn/correlation.h"
 #include "rfsim/channel.h"
@@ -370,6 +371,36 @@ void detect_peaks_grid(benchmark::internal::Benchmark* b) {
 BENCHMARK(BM_DetectPeaksNaive)->Apply(detect_peaks_grid);
 BENCHMARK(BM_DetectPeaksFft)->Apply(detect_peaks_grid);
 BENCHMARK(BM_DetectPeaksAuto)->Apply(detect_peaks_grid);
+
+/// One multi-cell network round on an Arg(0) x Arg(0) gateway grid with 4
+/// tags per cell: association/roaming, per-cell CBMA MAC (one packet per
+/// cell round to isolate the network layer's overhead around the
+/// per-packet pipeline), inter-cell leakage summation. Runs the cells on
+/// one worker so the figure is a stable single-thread cost; ns_per_round
+/// is per *cell* round — the entry tools/perf_baseline.json gates.
+void BM_NetMulticellRound(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  net::NetworkConfig cfg;
+  cfg.cell.code_family = pn::CodeFamily::kGold;
+  cfg.cell.max_tags = 4;
+  cfg.cell.tx_power_dbm = 30.0;
+  cfg.reuse.family_size = 64;
+  cfg.packets_per_round = 1;
+  auto network = net::Network::grid(cfg, 6.0 * static_cast<double>(side),
+                                    4.0 * static_cast<double>(side), side, side);
+  Rng rng(6);
+  network.place_random_tags(side * side * 4, rng);
+  network.run_round(7, /*max_workers=*/1);  // warm-up: builds every cell
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(network.run_round(7, /*max_workers=*/1));
+  }
+  const auto cells = static_cast<std::int64_t>(side * side);
+  state.counters["ns_per_round"] = benchmark::Counter(
+      static_cast<double>(cells) * 1e-9,
+      benchmark::Counter::kIsIterationInvariantRate | benchmark::Counter::kInvert);
+  state.SetItemsProcessed(state.iterations() * cells);
+}
+BENCHMARK(BM_NetMulticellRound)->Arg(2);
 
 }  // namespace
 

@@ -3,11 +3,16 @@
 //   cbma_cli [--tags N] [--radius M] [--distance M] [--packets P]
 //            [--family gold|2nc] [--bitrate MBPS] [--power DBM]
 //            [--payload BYTES] [--pc] [--wifi] [--bluetooth] [--ofdm]
-//            [--multipath] [--probe PATH] [--seed S]
+//            [--multipath] [--probe PATH] [--cells N] [--seed S]
 //
 // Tags are placed on a ring of the given radius centred `--distance`
 // metres from the receiver side of the paper frame. Reports per-tag SNR,
 // delivery and the aggregate FER/goodput, optionally after Algorithm 1.
+//
+// With `--cells N` the CLI switches to the net:: multi-cell layer: an
+// N x N gateway grid over 6 m x 4 m bays, `--tags` tags per cell, shared
+// 64-code family sliced by the spatial-reuse scheduler. Ring geometry and
+// the probe/stream/interferer flags do not apply in that mode.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -17,6 +22,8 @@
 #include "core/probe_session.h"
 #include "core/system.h"
 #include "mac/throughput.h"
+#include "net/network.h"
+#include "util/parallel.h"
 #include "util/table.h"
 #include "util/units.h"
 
@@ -40,6 +47,7 @@ struct CliOptions {
   bool multipath = false;
   std::string probe;  ///< signal-probe dump path ("" = probing off)
   std::size_t stream_chunk = 0;  ///< rx ingestion chunk (0 = whole rounds)
+  std::size_t cells = 0;  ///< cells per side (0 = single-cell ring mode)
   std::uint64_t seed = 1;
 };
 
@@ -63,6 +71,8 @@ void usage(const char* argv0) {
       "  --stream CHUNK   feed the receiver in CHUNK-sample pieces through the\n"
       "                   streaming session (identical results; default: whole\n"
       "                   rounds)\n"
+      "  --cells N        multi-cell mode: N x N gateway grid, --tags tags per\n"
+      "                   cell, spatial code reuse over a shared 64-code family\n"
       "  --seed S         RNG seed (default 1)\n",
       argv0);
 }
@@ -127,6 +137,10 @@ bool parse(int argc, char** argv, CliOptions& opt) {
       const char* v = need_value("--stream");
       if (!v) return false;
       opt.stream_chunk = static_cast<std::size_t>(std::atol(v));
+    } else if (arg == "--cells") {
+      const char* v = need_value("--cells");
+      if (!v) return false;
+      opt.cells = static_cast<std::size_t>(std::atol(v));
     } else if (arg == "--seed") {
       const char* v = need_value("--seed");
       if (!v) return false;
@@ -150,6 +164,72 @@ bool parse(int argc, char** argv, CliOptions& opt) {
   return true;
 }
 
+// Multi-cell mode (`--cells N`): the net:: layer over an N x N bay grid.
+int run_multicell(const CliOptions& opt) {
+  constexpr double kBayWidth = 6.0;
+  constexpr double kBayHeight = 4.0;
+  constexpr std::size_t kRounds = 3;
+
+  net::NetworkConfig cfg;
+  cfg.cell.max_tags = opt.tags;
+  cfg.cell.code_family = opt.family;
+  cfg.cell.code_min_length = opt.family == pn::CodeFamily::kGold ? 31 : 20;
+  cfg.cell.bitrate_bps = opt.bitrate_mbps * 1e6;
+  cfg.cell.tx_power_dbm = opt.power_dbm;
+  cfg.cell.payload_bytes = opt.payload;
+  cfg.cell.multipath.enabled = opt.multipath;
+  cfg.packets_per_round = opt.packets;
+
+  const auto side = opt.cells;
+  auto network = net::Network::grid(cfg,
+                                    kBayWidth * static_cast<double>(side),
+                                    kBayHeight * static_cast<double>(side),
+                                    side, side);
+  Rng rng(opt.seed);
+  network.place_random_tags(side * side * opt.tags, rng);
+
+  std::printf("scenario: %s\n", network.config().cell.summary().c_str());
+  std::printf("%zux%zu gateway grid over %.0fm x %.0fm, %zu tags, "
+              "%zu reuse colors; %zu packets/cell/round; seed %llu\n\n",
+              side, side, kBayWidth * static_cast<double>(side),
+              kBayHeight * static_cast<double>(side), network.tag_count(),
+              network.colors_used(), opt.packets,
+              static_cast<unsigned long long>(opt.seed));
+
+  net::NetworkRoundResult result;
+  std::size_t roamed = 0;
+  for (std::size_t round = 0; round < kRounds; ++round) {
+    result = network.run_round(util::point_seed(opt.seed, 100 + round));
+    roamed += result.roamed;
+  }
+
+  Table table({"cell", "color", "codes", "tags", "FER", "goodput Mbps",
+               "intercell dBm"});
+  for (const auto& cell : result.cells) {
+    const auto& gw = network.gateways()[cell.gateway_id];
+    table.add_row(
+        {std::to_string(cell.gateway_id), std::to_string(gw.color),
+         "[" + std::to_string(gw.code_offset) + "," +
+             std::to_string(gw.code_offset + gw.code_count) + ")",
+         std::to_string(cell.tags_served) + "/" +
+             std::to_string(cell.tags_total),
+         cell.stats.total_sent() > 0
+             ? Table::percent(cell.stats.frame_error_rate(), 1)
+             : "-",
+         Table::num(cell.goodput_bps / 1e6, 2),
+         Table::num(cell.interference_dbm, 1)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("tags served        : %zu/%zu\n", result.tags_served,
+              result.tags_total);
+  std::printf("tags roamed        : %zu (over %zu rounds)\n", roamed, kRounds);
+  std::printf("aggregate goodput  : %.2f Mbps\n",
+              result.aggregate_goodput_bps / 1e6);
+  std::printf("Jain fairness      : %.3f\n", result.jain_fairness);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -158,6 +238,14 @@ int main(int argc, char** argv) {
   if (opt.tags < 1 || opt.packets < 1) {
     std::fprintf(stderr, "--tags and --packets must be positive\n");
     return 1;
+  }
+  if (opt.cells > 0) {
+    try {
+      return run_multicell(opt);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "multi-cell setup failed: %s\n", e.what());
+      return 1;
+    }
   }
 
   core::SystemConfig config;

@@ -1,0 +1,70 @@
+// Warehouse scenario: the multi-cell network layer end to end. A 3 x 3
+// grid of gateways covers an 18 m x 12 m warehouse floor (nine 6 m x 4 m
+// bays); 72 roaming asset tags associate to the strongest gateway by the
+// obstacle-shadowed two-hop link budget, the code-reuse scheduler
+// partitions one 64-code Gold family across the cell interference graph,
+// and every round runs all nine cells' CBMA MAC concurrently with foreign
+// gateways' excitation leakage summed into each cell's channel.
+#include <cstdio>
+#include <string>
+
+#include "net/network.h"
+#include "util/parallel.h"
+#include "util/table.h"
+
+using namespace cbma;
+
+int main() {
+  net::NetworkConfig config;
+  config.cell.code_family = pn::CodeFamily::kGold;
+  config.cell.max_tags = 8;          // codes per cell slice
+  config.cell.tx_power_dbm = 30.0;   // AP-class excitation per bay
+  config.reuse.family_size = 64;
+  config.packets_per_round = 10;
+  config.tag_step_m = 0.4;  // forklifts move the stock around
+  net::Network warehouse = net::Network::grid(config, 18.0, 12.0, 3, 3);
+
+  // Racking rows between the bays: steel shelving, heavy penetration loss.
+  rfsim::ObstacleMap racks;
+  racks.add({{-9.0, 2.0}, {-1.0, 2.0}, 12.0});
+  racks.add({{1.0, -2.0}, {9.0, -2.0}, 12.0});
+  warehouse.set_obstacles(racks);
+
+  Rng rng(20190707);
+  warehouse.place_random_tags(72, rng);
+
+  std::printf("warehouse: %zu gateways over an 18 m x 12 m floor, %zu tags\n",
+              warehouse.cell_count(), warehouse.tag_count());
+  std::printf("code reuse: %zu colors x %zu codes from a %zu-code Gold family\n\n",
+              warehouse.colors_used(), config.cell.max_tags,
+              config.reuse.family_size);
+
+  for (std::size_t round = 0; round < 3; ++round) {
+    const auto result = warehouse.run_round(1000 + round);
+    Table table({"cell", "color", "codes", "tags", "FER", "goodput Mbps",
+                 "intercell dBm"});
+    for (const auto& cell : result.cells) {
+      const auto& gw = warehouse.gateways()[cell.gateway_id];
+      table.add_row({std::to_string(cell.gateway_id),
+                     std::to_string(gw.color),
+                     "[" + std::to_string(gw.code_offset) + "," +
+                         std::to_string(gw.code_offset + gw.code_count) + ")",
+                     std::to_string(cell.tags_served) + "/" +
+                         std::to_string(cell.tags_total),
+                     Table::percent(cell.stats.frame_error_rate(), 1),
+                     Table::num(cell.goodput_bps / 1e6, 2),
+                     Table::num(cell.interference_dbm, 1)});
+    }
+    std::printf("round %zu (%zu tags roamed):\n%s\n", round + 1, result.roamed,
+                table.render().c_str());
+    std::printf("aggregate goodput %.2f Mbps over %zu/%zu served tags, "
+                "Jain fairness %.3f\n\n",
+                result.aggregate_goodput_bps / 1e6, result.tags_served,
+                result.tags_total, result.jain_fairness);
+  }
+
+  std::printf("one 64-code family would cap a single cell at 64 concurrent\n"
+              "tags; spatial reuse serves all 72 across nine bays — the\n"
+              "CDMA answer to the code-family ceiling, at network scale.\n");
+  return 0;
+}

@@ -10,7 +10,11 @@ namespace cbma::core {
 
 std::size_t SystemConfig::code_length() const {
   CBMA_REQUIRE(max_tags >= 1, "max_tags must be positive");
-  const auto codes = pn::make_code_set(code_family, max_tags, code_min_length);
+  // The family the cell draws from decides the chips-per-bit, so a sliced
+  // multi-cell config (code_family_size > 0) must size the family, not the
+  // slice — every cell sharing the family then agrees on the code length.
+  const std::size_t family = code_family_size > 0 ? code_family_size : max_tags;
+  const auto codes = pn::make_code_set(code_family, family, code_min_length);
   return codes.front().length();
 }
 
@@ -35,21 +39,33 @@ std::vector<std::string> SystemConfig::validate() const {
 
   // --- PHY / framing ---
   if (max_tags < 1) fail("max_tags must be at least 1");
+  const std::size_t family_size =
+      code_family_size > 0 ? code_family_size : max_tags;
+  if (code_family_size > 0 && code_offset + max_tags > code_family_size) {
+    std::ostringstream os;
+    os << "code slice [" << code_offset << ", " << code_offset + max_tags
+       << ") exceeds code_family_size=" << code_family_size;
+    fail(os.str());
+  }
+  if (code_family_size == 0 && code_offset != 0) {
+    fail("code_offset requires a non-zero code_family_size to slice from");
+  }
   if (code_family == pn::CodeFamily::kGold && max_tags >= 1) {
     // Mirror make_code_set's tabulated-degree search without constructing
     // the family (construction throws; validate reports instead).
     bool fits = false;
     for (const unsigned degree : {5u, 6u, 7u, 9u, 10u}) {
       const std::size_t length = (std::size_t{1} << degree) - 1;
-      if (length + 2 >= max_tags && length >= code_min_length) {
+      if (length + 2 >= family_size && length >= code_min_length) {
         fits = true;
         break;
       }
     }
     if (!fits) {
       std::ostringstream os;
-      os << "no tabulated Gold family supports max_tags=" << max_tags
-         << " with code_min_length=" << code_min_length
+      os << (code_family_size > 0 ? "code_family_size=" : "max_tags=")
+         << family_size << " exceeds every tabulated Gold family with "
+         << "code_min_length=" << code_min_length
          << " (largest available: degree 10, length 1023, 1025 codes)";
       fail(os.str());
     }
@@ -67,6 +83,9 @@ std::vector<std::string> SystemConfig::validate() const {
   if (!(carrier_hz > 0.0)) fail("carrier_hz must be positive");
   if (!(antenna_gain > 0.0)) fail("antenna_gain must be positive");
   if (!(alpha > 0.0) || alpha > 1.0) fail("alpha must be in (0, 1]");
+  if (!(min_node_separation_m > 0.0)) {
+    fail("min_node_separation_m must be positive");
+  }
 
   // --- channel / timing ---
   if (samples_per_chip < 1) fail("samples_per_chip must be at least 1");
@@ -139,6 +158,12 @@ std::string SystemConfig::summary() const {
      << " preamble=" << preamble_bits << "b payload=" << payload_bytes << "B"
      << " bitrate=" << bitrate_bps / 1e6 << "Mbps"
      << " Pt=" << tx_power_dbm << "dBm spc=" << samples_per_chip;
+  // A sliced family changes which codes the cell runs, so it must change
+  // the fingerprint; the default whole-family config keeps its bytes.
+  if (code_family_size > 0) {
+    os << " codes=[" << code_offset << "," << code_offset + max_tags << ")/"
+       << code_family_size;
+  }
   // Impairments change what an experiment measures, so they must change the
   // config fingerprint; a default (all-off) config keeps its summary bytes.
   if (const auto imp = impairments.summary(); !imp.empty()) {

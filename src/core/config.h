@@ -21,6 +21,16 @@ struct SystemConfig {
   pn::CodeFamily code_family = pn::CodeFamily::kTwoNC;
   std::size_t code_min_length = 20;  ///< floor on code length (chips per bit)
   std::size_t max_tags = 10;         ///< group capacity (codes generated)
+  /// Size of the code family to construct before slicing. 0 (default)
+  /// builds exactly max_tags codes — the single-cell behaviour. A
+  /// multi-cell deployment sets this to the shared family size (e.g. the
+  /// paper's 64-code Gold family) so every cell derives its codes from the
+  /// *same* family and the reuse scheduler can hand out disjoint
+  /// [code_offset, code_offset + max_tags) slices.
+  std::size_t code_family_size = 0;
+  /// First family index this cell uses (only meaningful with a non-zero
+  /// code_family_size). Slot k maps to family code code_offset + k.
+  std::size_t code_offset = 0;
   std::size_t preamble_bits = phy::kDefaultPreambleBits;
   std::size_t payload_bytes = 8;
   double bitrate_bps = 1e6;  ///< per-tag data rate (1 µs symbol time)
@@ -37,6 +47,11 @@ struct SystemConfig {
   /// Calibrated so benchmark-geometry SNRs land in the paper's observed
   /// 3–10 dB range (Table II); see DESIGN.md §4.3.
   double noise_margin_db = 24.0;
+  /// Shortest node separation the link budget accepts before declaring the
+  /// placement degenerate (rfsim::LinkBudget::min_separation_m). Hops
+  /// shorter than this throw rfsim::MinSeparationError instead of being
+  /// silently clamped.
+  double min_node_separation_m = 1e-3;
 
   // --- channel / timing ---
   std::size_t samples_per_chip = 4;

@@ -71,9 +71,24 @@ CbmaSystem::CbmaSystem(SystemConfig config, rfsim::Deployment population)
   budget_.carrier_hz = config_.carrier_hz;
   budget_.alpha = config_.alpha;
   budget_.delta_gamma = 1.0;  // impedance factors are applied per tag state
+  budget_.min_separation_m = config_.min_node_separation_m;
 
-  codes_ = pn::make_code_set(config_.code_family, config_.max_tags,
-                             config_.code_min_length);
+  if (config_.code_family_size > 0) {
+    // Multi-cell slice: build the shared family once and keep only this
+    // cell's [code_offset, code_offset + max_tags) window, so cells whose
+    // slices are disjoint are guaranteed distinct family members.
+    auto family = pn::make_code_set(config_.code_family, config_.code_family_size,
+                                    config_.code_min_length);
+    codes_.assign(
+        std::make_move_iterator(family.begin() +
+                                static_cast<std::ptrdiff_t>(config_.code_offset)),
+        std::make_move_iterator(family.begin() + static_cast<std::ptrdiff_t>(
+                                                     config_.code_offset +
+                                                     config_.max_tags)));
+  } else {
+    codes_ = pn::make_code_set(config_.code_family, config_.max_tags,
+                               config_.code_min_length);
+  }
   noise_power_w_ = config_.noise_power_w();
 
   // The frame synchronizer needs a noise-only baseline window plus two

@@ -69,7 +69,7 @@ struct TransmitScratch {
   rfsim::ChannelScratch channel;
   std::vector<std::complex<double>> iq;
   /// Persistent streaming Rx session (DESIGN.md §10) — the receiver-side
-  /// state that used to be RxScratch. Lazily bound to the system's receiver
+  /// scratch state. Lazily bound to the system's receiver
   /// on first transmit and rebound if the scratch moves between systems;
   /// its rings and window buffers stay warm across packets.
   std::unique_ptr<rx::StreamingReceiver> rx_session;

@@ -1,0 +1,89 @@
+#include "net/code_reuse.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/expect.h"
+#include "util/units.h"
+
+namespace cbma::net {
+
+double CodeReuseScheduler::leaked_coupling_db(const Gateway& from, const Gateway& to,
+                                              const rfsim::LinkBudget& budget,
+                                              const rfsim::ObstacleMap& obstacles) const {
+  const double d =
+      std::max(rfsim::distance(from.es, to.rx), budget.min_separation_m);
+  const double loss_db = config_.leakage_rejection_db +
+                         obstacles.path_loss_db(from.es, to.rx);
+  return units::to_db(budget.one_hop_power(d) / budget.tx_power_w) - loss_db;
+}
+
+std::size_t CodeReuseScheduler::assign(std::vector<Gateway>& gateways,
+                                       const rfsim::LinkBudget& budget,
+                                       const rfsim::ObstacleMap& obstacles,
+                                       std::size_t codes_per_cell) {
+  CBMA_REQUIRE(codes_per_cell >= 1, "codes_per_cell must be at least 1");
+  CBMA_REQUIRE(codes_per_cell <= config_.family_size,
+               "codes_per_cell exceeds the code family");
+  const std::size_t n = gateways.size();
+
+  // Interference graph: an edge when either direction's rejected leakage
+  // clears the threshold (interference is treated as mutual — if A's
+  // excitation pollutes B, they must not correlate against shared codes
+  // regardless of the reverse path).
+  adjacency_.assign(n, {});
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double ij = leaked_coupling_db(gateways[i], gateways[j], budget, obstacles);
+      const double ji = leaked_coupling_db(gateways[j], gateways[i], budget, obstacles);
+      if (std::max(ij, ji) > config_.interference_threshold_db) {
+        adjacency_[i].push_back(j);
+        adjacency_[j].push_back(i);
+      }
+    }
+  }
+
+  // Welsh–Powell greedy coloring: visit vertices by descending degree
+  // (id-ascending on ties, so the result is deterministic), give each the
+  // smallest color absent from its already-colored neighbours.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [this](std::size_t a, std::size_t b) {
+                     return adjacency_[a].size() > adjacency_[b].size();
+                   });
+  constexpr std::size_t kUncolored = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> color(n, kUncolored);
+  std::size_t colors_used = 0;
+  std::vector<char> taken;
+  for (const std::size_t v : order) {
+    taken.assign(colors_used + 1, 0);
+    for (const std::size_t u : adjacency_[v]) {
+      if (color[u] != kUncolored && color[u] < taken.size()) taken[color[u]] = 1;
+    }
+    std::size_t c = 0;
+    while (taken[c]) ++c;
+    color[v] = c;
+    colors_used = std::max(colors_used, c + 1);
+  }
+
+  if (colors_used * codes_per_cell > config_.family_size) {
+    std::ostringstream os;
+    os << "code reuse needs " << colors_used << " colors x " << codes_per_cell
+       << " codes = " << colors_used * codes_per_cell
+       << " codes, but the family holds only " << config_.family_size
+       << " — raise family_size, shrink cells, or space the gateways out";
+    throw std::invalid_argument(os.str());
+  }
+
+  for (std::size_t v = 0; v < n; ++v) {
+    gateways[v].color = color[v];
+    gateways[v].code_offset = color[v] * codes_per_cell;
+    gateways[v].code_count = codes_per_cell;
+  }
+  return colors_used;
+}
+
+}  // namespace cbma::net

@@ -1,0 +1,77 @@
+// Spatial code reuse across cells — the CDMA answer to the finite code
+// family. A Gold family of 64 codes caps one cell at 64 concurrent tags;
+// a floor of cells can serve far more by reusing slices of the family in
+// cells that are far enough apart not to interfere. The scheduler builds a
+// cell-interference graph (foreign-ES leakage at a cell's receiver above a
+// threshold ⇒ edge), colors it greedily (Welsh–Powell), and hands each
+// color class a disjoint [offset, offset + codes_per_cell) slice of the
+// family. The invariant downstream layers rely on: two cells joined by an
+// interference edge never share a family index.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/gateway.h"
+#include "rfsim/friis.h"
+#include "rfsim/obstacle.h"
+
+namespace cbma::net {
+
+struct CodeReuseConfig {
+  /// Size of the shared PN family being partitioned (the paper's 64-code
+  /// Gold family by default).
+  std::size_t family_size = 64;
+  /// Receiver rejection of a foreign gateway's excitation carrier at the
+  /// subcarrier offset (dB). Applied to the one-hop ES→RX Friis power both
+  /// here (adjacency metric) and by net::Network when it injects the
+  /// surviving leakage into each cell's channel sum.
+  double leakage_rejection_db = 45.0;
+  /// Two cells are mutual interferers — and must not share codes — when
+  /// the rejected leakage coupling either gateway's ES lands on the
+  /// other's RX (dB relative to that ES's transmit power, so the graph is
+  /// invariant to the deployment's power level) exceeds this threshold.
+  /// Calibrated so a grid of 6 m × 4 m bays colors as a kings graph:
+  /// orthogonal and diagonal neighbours conflict, cells two bays apart
+  /// reuse freely.
+  double interference_threshold_db = -96.5;
+};
+
+class CodeReuseScheduler {
+ public:
+  explicit CodeReuseScheduler(CodeReuseConfig config) : config_(config) {}
+
+  const CodeReuseConfig& config() const { return config_; }
+
+  /// Rejected leakage coupling (dB relative to `from`'s transmit power)
+  /// gateway `from`'s excitation source lands on gateway `to`'s receiver:
+  /// one-hop Friis over the ES→RX distance, minus the rejection factor and
+  /// any obstacle penetration loss. The distance is floored at
+  /// budget.min_separation_m (a planning metric, like
+  /// signal_strength_field — co-located gateways saturate rather than
+  /// throw).
+  double leaked_coupling_db(const Gateway& from, const Gateway& to,
+                            const rfsim::LinkBudget& budget,
+                            const rfsim::ObstacleMap& obstacles) const;
+
+  /// Color the interference graph and stamp every gateway with its slice:
+  /// color c gets [c · codes_per_cell, (c+1) · codes_per_cell). Coloring is
+  /// Welsh–Powell (degree-descending, id-ascending tie break) and fully
+  /// deterministic. Throws std::invalid_argument when the coloring needs
+  /// more codes than the family holds. Returns the number of colors used.
+  std::size_t assign(std::vector<Gateway>& gateways,
+                     const rfsim::LinkBudget& budget,
+                     const rfsim::ObstacleMap& obstacles,
+                     std::size_t codes_per_cell);
+
+  /// Adjacency lists of the last assign() (indexable by gateway id).
+  const std::vector<std::vector<std::size_t>>& adjacency() const {
+    return adjacency_;
+  }
+
+ private:
+  CodeReuseConfig config_;
+  std::vector<std::vector<std::size_t>> adjacency_;
+};
+
+}  // namespace cbma::net

@@ -1,0 +1,31 @@
+// A gateway is one CBMA cell's infrastructure half: the excitation source
+// and the receiver, deployed as a pair (the paper's Fig. 3 frame, ES at
+// (−D, 0) and RX at (+D, 0) relative to the cell centre). The multi-cell
+// network layer places many gateways on one floor; the code-reuse
+// scheduler then stamps each gateway with the slice of the shared PN-code
+// family its cell may use.
+#pragma once
+
+#include <cstddef>
+
+#include "rfsim/geometry.h"
+
+namespace cbma::net {
+
+struct Gateway {
+  std::size_t id = 0;      ///< index into the network's gateway list
+  rfsim::Point es;         ///< excitation-source position
+  rfsim::Point rx;         ///< receiver position
+
+  // Filled in by net::CodeReuseScheduler::assign (zero until then).
+  std::size_t color = 0;        ///< reuse-graph color
+  std::size_t code_offset = 0;  ///< first family index of this cell's slice
+  std::size_t code_count = 0;   ///< slice width (the cell's group capacity)
+
+  /// Cell centre — midpoint of the ES/RX axis.
+  rfsim::Point center() const {
+    return rfsim::Point{(es.x + rx.x) / 2.0, (es.y + rx.y) / 2.0};
+  }
+};
+
+}  // namespace cbma::net

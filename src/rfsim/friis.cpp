@@ -1,16 +1,41 @@
 #include "rfsim/friis.h"
 
+#include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "util/expect.h"
 #include "util/units.h"
 
 namespace cbma::rfsim {
+namespace {
+
+/// One shared validation for every link-budget entry point: distances below
+/// the configured minimum separation fail loudly with the offending hop and
+/// the knob that governs it. `min_separation_m` itself must be positive —
+/// a zero or negative knob would reopen the silent near-field divergence.
+void require_separation(double d, const char* hop, double min_separation_m) {
+  if (!(min_separation_m > 0.0)) {
+    throw MinSeparationError(
+        "LinkBudget::min_separation_m must be positive (got " +
+        std::to_string(min_separation_m) + ")");
+  }
+  if (!(d >= min_separation_m)) {
+    throw MinSeparationError(
+        std::string(hop) + " distance " + std::to_string(d) +
+        " m is below LinkBudget::min_separation_m = " +
+        std::to_string(min_separation_m) +
+        " m — co-located or near-field node placement");
+  }
+}
+
+}  // namespace
 
 double LinkBudget::wavelength() const { return units::wavelength(carrier_hz); }
 
 double LinkBudget::received_power(double d1, double d2) const {
-  CBMA_REQUIRE(d1 > 0.0 && d2 > 0.0, "hop distances must be positive");
+  require_separation(d1, "ES->tag hop", min_separation_m);
+  require_separation(d2, "tag->RX hop", min_separation_m);
   const double lambda = wavelength();
   const double four_pi = 4.0 * units::kPi;
   const double hop1 = tx_power_w * tx_gain / (four_pi * d1 * d1);
@@ -28,6 +53,14 @@ double LinkBudget::received_amplitude(double d1, double d2) const {
   return std::sqrt(received_power(d1, d2));
 }
 
+double LinkBudget::one_hop_power(double d) const {
+  require_separation(d, "ES->RX hop", min_separation_m);
+  const double lambda = wavelength();
+  const double four_pi_d = 4.0 * units::kPi * d;
+  return tx_power_w * tx_gain * rx_gain * lambda * lambda /
+         (four_pi_d * four_pi_d);
+}
+
 SignalStrengthField signal_strength_field(const LinkBudget& budget,
                                           const Point& es, const Point& rx,
                                           double x_min, double x_max,
@@ -35,6 +68,8 @@ SignalStrengthField signal_strength_field(const LinkBudget& budget,
                                           std::size_t nx, std::size_t ny) {
   CBMA_REQUIRE(nx >= 2 && ny >= 2, "grid needs at least 2x2 points");
   CBMA_REQUIRE(x_max > x_min && y_max > y_min, "degenerate grid extent");
+  CBMA_REQUIRE(budget.min_separation_m > 0.0,
+               "LinkBudget::min_separation_m must be positive");
   SignalStrengthField field{x_min, x_max, y_min, y_max, nx, ny, {}};
   field.dbm.resize(nx * ny);
   for (std::size_t iy = 0; iy < ny; ++iy) {
@@ -44,8 +79,11 @@ SignalStrengthField signal_strength_field(const LinkBudget& budget,
       const double x = x_min + (x_max - x_min) * static_cast<double>(ix) /
                                    static_cast<double>(nx - 1);
       const Point tag{x, y};
-      const double d1 = std::max(distance(es, tag), 1e-3);
-      const double d2 = std::max(distance(tag, rx), 1e-3);
+      // Field plots sample arbitrary grid points, including ones that land
+      // on an endpoint; those evaluate at the configured minimum separation
+      // rather than diverging (or throwing on a plot).
+      const double d1 = std::max(distance(es, tag), budget.min_separation_m);
+      const double d2 = std::max(distance(tag, rx), budget.min_separation_m);
       field.dbm[iy * nx + ix] = units::watts_to_dbm(budget.received_power(d1, d2));
     }
   }

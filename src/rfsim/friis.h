@@ -6,14 +6,27 @@
 // middle factor the fraction of incident power re-radiated by the tag, and
 // the last factor propagation from the tag to the receiver. Fig. 5 plots
 // this field over tag positions; the node-selection scheme ranks candidate
-// tags by it.
+// tags by it, and the multi-cell network layer (net::) associates tags to
+// gateways with it.
 #pragma once
 
+#include <stdexcept>
 #include <vector>
 
 #include "rfsim/geometry.h"
 
 namespace cbma::rfsim {
+
+/// Thrown when a link-budget evaluation is asked for a hop shorter than
+/// LinkBudget::min_separation_m. Near-field Friis diverges as d → 0, so a
+/// placement engine that co-locates two nodes must fail loudly here instead
+/// of silently producing a petawatt link (the pre-fix behaviour clamped the
+/// distance to a hidden 1e-3 m constant in one code path and rejected only
+/// d ≤ 0 in the other).
+class MinSeparationError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
 
 struct LinkBudget {
   double tx_power_w = 0.1;        ///< P_t, watts (20 dBm default).
@@ -23,11 +36,17 @@ struct LinkBudget {
   double carrier_hz = 2.0e9;      ///< sets λ.
   double delta_gamma = 1.0;       ///< |ΔΓ|, backscatter coefficient.
   double alpha = 0.5;             ///< scattering efficiency α.
+  /// Shortest hop distance Eq. 1 is valid for. Every evaluation below this
+  /// throws MinSeparationError; signal_strength_field floors its grid
+  /// distances here instead (a field plot legitimately samples points that
+  /// graze the endpoints). The default matches the historical clamp.
+  double min_separation_m = 1e-3;
 
   double wavelength() const;
 
   /// Received backscatter power (watts) for hop distances d1 (ES→tag) and
-  /// d2 (tag→RX), exactly per Eq. 1.
+  /// d2 (tag→RX), exactly per Eq. 1. Throws MinSeparationError when either
+  /// hop is shorter than min_separation_m.
   double received_power(double d1, double d2) const;
 
   /// Received power for tag i of a deployment.
@@ -36,6 +55,12 @@ struct LinkBudget {
   /// Corresponding received *amplitude* (√P) — the quantity that adds
   /// coherently in the baseband simulation.
   double received_amplitude(double d1, double d2) const;
+
+  /// Single-hop Friis power (watts) over distance `d`: P_t G_t G_r λ² /
+  /// (4π d)². This is the direct excitation-source → receiver path — the
+  /// term the multi-cell layer sums as inter-cell excitation leakage.
+  /// Throws MinSeparationError below min_separation_m.
+  double one_hop_power(double d) const;
 };
 
 /// A sampled field of received signal strength over tag positions (Fig. 5).
@@ -48,7 +73,9 @@ struct SignalStrengthField {
 };
 
 /// Evaluate Eq. 1 over a grid of candidate tag positions for a fixed
-/// ES/RX placement.
+/// ES/RX placement. Grid points closer to an endpoint than
+/// budget.min_separation_m evaluate at exactly that separation — the
+/// documented floor of the field plot, not a hidden constant.
 SignalStrengthField signal_strength_field(const LinkBudget& budget,
                                           const Point& es, const Point& rx,
                                           double x_min, double x_max,

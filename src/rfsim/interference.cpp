@@ -45,6 +45,32 @@ void WifiInterferer::add_to(std::vector<std::complex<double>>& iq, double sample
   }
 }
 
+CarrierLeakageInterferer::CarrierLeakageInterferer(double power_w,
+                                                   double freq_offset_hz,
+                                                   std::string source)
+    : power_w_(power_w), freq_offset_hz_(freq_offset_hz), source_(std::move(source)) {
+  CBMA_REQUIRE(power_w >= 0.0, "negative interference power");
+}
+
+void CarrierLeakageInterferer::add_to(std::vector<std::complex<double>>& iq,
+                                      double sample_rate_hz, Rng& rng) const {
+  CBMA_REQUIRE(sample_rate_hz > 0.0, "sample rate must be positive");
+  if (power_w_ <= 0.0) return;
+  const double amplitude = std::sqrt(power_w_);
+  const double phase0 = rng.phase();
+  const double dphi =
+      2.0 * 3.14159265358979323846 * freq_offset_hz_ / sample_rate_hz;
+  // Coherent tone: rotate incrementally instead of calling sin/cos per
+  // sample (the offset is tiny relative to the sample rate, so the
+  // recurrence stays numerically clean over a window).
+  std::complex<double> tone = std::polar(amplitude, phase0);
+  const std::complex<double> rot = std::polar(1.0, dphi);
+  for (auto& s : iq) {
+    s += tone;
+    tone *= rot;
+  }
+}
+
 BluetoothInterferer::BluetoothInterferer(double power_w, unsigned overlap_channels,
                                          double dwell_s)
     : power_w_(power_w), overlap_channels_(overlap_channels), dwell_s_(dwell_s) {

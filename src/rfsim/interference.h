@@ -50,6 +50,34 @@ class WifiInterferer final : public Interferer {
   double mean_idle_s_;
 };
 
+/// Residual excitation-carrier leakage from a *non-serving* gateway — the
+/// inter-cell interference term of the multi-cell network layer (net::).
+/// A neighbouring cell's excitation source is a continuous tone at the
+/// carrier; after the receiver's subcarrier-offset filtering a fraction of
+/// it survives as a near-DC complex tone of `power_w` (one-hop Friis from
+/// the foreign ES to this RX, scaled by the rejection factor). The tone's
+/// phase is drawn per window (the foreign oscillator is not phase-locked to
+/// this cell), and `freq_offset_hz` models the residual offset between the
+/// two gateways' carrier oscillators.
+class CarrierLeakageInterferer final : public Interferer {
+ public:
+  explicit CarrierLeakageInterferer(double power_w, double freq_offset_hz = 0.0,
+                                    std::string source = "gateway");
+
+  std::string name() const override { return "leakage:" + source_; }
+  void add_to(std::vector<std::complex<double>>& iq, double sample_rate_hz,
+              Rng& rng) const override;
+  /// A carrier is always on — the leakage occupies every sample.
+  double occupancy() const override { return 1.0; }
+
+  double power_w() const { return power_w_; }
+
+ private:
+  double power_w_;
+  double freq_offset_hz_;
+  std::string source_;  ///< which gateway leaks (diagnostics)
+};
+
 /// Bluetooth FHSS interferer: fixed 625 µs dwells; each dwell lands on the
 /// backscatter band with probability `overlap_channels / 79`, injecting
 /// `power_w` of narrowband energy for that dwell.

@@ -70,10 +70,4 @@ RxReport Receiver::process_iq(std::span<const std::complex<double>> iq) const {
   return session.process(iq);
 }
 
-RxReport Receiver::process_iq(std::span<const std::complex<double>> iq,
-                              RxScratch& scratch) const {
-  (void)scratch;  // folded into StreamingReceiver's session state
-  return process_iq(iq);
-}
-
 }  // namespace cbma::rx

@@ -93,17 +93,6 @@ struct RxReport {
   bool operator==(const RxReport&) const = default;
 };
 
-/// Pre-streaming reusable buffer bundle. The streaming redesign folded
-/// every buffer here into rx::StreamingReceiver's session state; the struct
-/// remains only so the deprecated process_iq overload keeps compiling for
-/// one release.
-struct RxScratch {
-  std::vector<double> re;
-  std::vector<double> im;
-  std::vector<double> magnitude;
-  UserDetector::Scratch detect;
-};
-
 class StreamingReceiver;
 
 class Receiver {
@@ -122,13 +111,6 @@ class Receiver {
   /// process many windows should hold a rx::StreamingReceiver instead —
   /// the session keeps its rings and scratch warm across rounds.
   RxReport process_iq(std::span<const std::complex<double>> iq) const;
-
-  /// Pre-streaming spelling with caller-owned scratch. The scratch folded
-  /// into the streaming session state; the argument is ignored. Shim for
-  /// one release.
-  [[deprecated("use process_iq(iq), or hold a rx::StreamingReceiver session")]]
-  RxReport process_iq(std::span<const std::complex<double>> iq,
-                      RxScratch& scratch) const;
 
  private:
   friend class StreamingReceiver;  ///< the session drives the stages directly

@@ -105,7 +105,7 @@ class StreamingReceiver {
   std::uint64_t reports_emitted_ = 0;
   std::uint64_t reports_since_mark_ = 0;  ///< since last flush/reset
 
-  // Reusable attempt buffers (the folded-in RxScratch).
+  // Reusable attempt buffers (the pre-streaming receiver scratch, folded in).
   std::vector<double> win_re_;
   std::vector<double> win_im_;
   std::vector<double> win_mag_;

@@ -181,6 +181,10 @@ const char* counter_name(Counter c) {
     case Counter::kNodeSelectAnnealed: return "node_select.annealed";
     case Counter::kRxDetectNaiveBatches: return "rx.detect.naive_batches";
     case Counter::kRxDetectFftBatches: return "rx.detect.fft_batches";
+    case Counter::kNetRoundsRun: return "net.rounds";
+    case Counter::kNetCellRounds: return "net.cell_rounds";
+    case Counter::kNetTagRoams: return "net.roams";
+    case Counter::kNetIntercellInterferers: return "net.intercell_interferers";
     case Counter::kCount: break;
   }
   return "unknown";

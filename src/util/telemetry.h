@@ -85,6 +85,10 @@ enum class Counter : std::uint8_t {
   kNodeSelectAnnealed,    ///< non-improving candidates accepted
   kRxDetectNaiveBatches,  ///< detection peak batches run on the naive engine
   kRxDetectFftBatches,    ///< detection peak batches run on the FFT engine
+  kNetRoundsRun,          ///< multi-cell network MAC rounds completed
+  kNetCellRounds,         ///< per-cell MAC rounds inside network rounds
+  kNetTagRoams,           ///< tags re-associated by the roaming pass
+  kNetIntercellInterferers,  ///< foreign-gateway leakage terms summed in
   kCount
 };
 inline constexpr std::size_t kCounterCount =

@@ -135,6 +135,43 @@ TEST(SystemConfigValidate, ImpedanceLevelBankChecked) {
   EXPECT_TRUE(cfg.validate().empty());
 }
 
+TEST(SystemConfigValidate, CodeSliceBoundsChecked) {
+  // Multi-cell slicing: [code_offset, code_offset + max_tags) must fit the
+  // shared family.
+  SystemConfig cfg;
+  cfg.code_family = pn::CodeFamily::kGold;
+  cfg.max_tags = 8;
+  cfg.code_family_size = 64;
+  cfg.code_offset = 56;
+  EXPECT_TRUE(cfg.validate().empty());
+  cfg.code_offset = 57;  // [57, 65) spills past the 64-code family
+  EXPECT_TRUE(mentions(cfg.validate(), "code_family_size=64"));
+}
+
+TEST(SystemConfigValidate, CodeOffsetNeedsFamily) {
+  SystemConfig cfg;
+  cfg.code_offset = 4;  // no code_family_size to slice from
+  EXPECT_TRUE(mentions(cfg.validate(), "code_offset"));
+}
+
+TEST(SystemConfigValidate, MinNodeSeparationChecked) {
+  SystemConfig cfg;
+  cfg.min_node_separation_m = 0.0;
+  EXPECT_TRUE(mentions(cfg.validate(), "min_node_separation_m"));
+}
+
+TEST(SystemConfigSummary, NamesCodeSlice) {
+  SystemConfig cfg;
+  cfg.code_family = pn::CodeFamily::kGold;
+  cfg.max_tags = 8;
+  cfg.code_family_size = 64;
+  cfg.code_offset = 16;
+  EXPECT_NE(cfg.summary().find("codes=[16,24)/64"), std::string::npos);
+  cfg.code_family_size = 0;
+  cfg.code_offset = 0;
+  EXPECT_EQ(cfg.summary().find("codes="), std::string::npos);
+}
+
 TEST(SystemConfigValidate, ReceiverThresholdsChecked) {
   SystemConfig cfg;
   cfg.detect.threshold = 1.0;  // must be strictly below 1

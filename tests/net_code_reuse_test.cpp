@@ -1,0 +1,138 @@
+#include "net/code_reuse.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "rfsim/friis.h"
+#include "rfsim/obstacle.h"
+
+namespace cbma::net {
+namespace {
+
+// A row of gateways on 6 m centres with the standard ±0.5 m ES/RX split —
+// the geometry the default interference threshold is calibrated for:
+// adjacent bays conflict, bays two apart reuse freely.
+std::vector<Gateway> row_of(std::size_t n, double spacing_m = 6.0) {
+  std::vector<Gateway> gws;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double cx = spacing_m * static_cast<double>(i);
+    gws.push_back(Gateway{i, {cx - 0.5, 0.0}, {cx + 0.5, 0.0}});
+  }
+  return gws;
+}
+
+TEST(CodeReuseScheduler, AdjacentCellsGetDisjointSlices) {
+  CodeReuseScheduler sched{CodeReuseConfig{}};
+  rfsim::LinkBudget budget;
+  rfsim::ObstacleMap free_space;
+  auto gws = row_of(3);
+  const auto colors = sched.assign(gws, budget, free_space, 8);
+
+  // 0-1 and 1-2 conflict; 0-2 (11 m ES→RX) is free ⇒ two colors suffice.
+  EXPECT_EQ(colors, 2u);
+  EXPECT_NE(gws[0].color, gws[1].color);
+  EXPECT_NE(gws[1].color, gws[2].color);
+  EXPECT_EQ(gws[0].color, gws[2].color);
+  EXPECT_EQ(gws[0].code_offset, gws[2].code_offset);
+
+  // The invariant downstream layers rely on: an interference edge means
+  // disjoint [offset, offset + count) family slices.
+  for (std::size_t i = 0; i < gws.size(); ++i) {
+    EXPECT_EQ(gws[i].code_count, 8u);
+    for (const std::size_t j : sched.adjacency()[i]) {
+      const bool disjoint =
+          gws[i].code_offset + gws[i].code_count <= gws[j].code_offset ||
+          gws[j].code_offset + gws[j].code_count <= gws[i].code_offset;
+      EXPECT_TRUE(disjoint) << "cells " << i << " and " << j
+                            << " interfere but share family indices";
+    }
+  }
+}
+
+TEST(CodeReuseScheduler, IsolatedCellsAllShareTheFirstSlice) {
+  CodeReuseScheduler sched{CodeReuseConfig{}};
+  rfsim::LinkBudget budget;
+  rfsim::ObstacleMap free_space;
+  auto gws = row_of(4, /*spacing_m=*/100.0);
+  EXPECT_EQ(sched.assign(gws, budget, free_space, 8), 1u);
+  for (const auto& gw : gws) {
+    EXPECT_EQ(gw.color, 0u);
+    EXPECT_EQ(gw.code_offset, 0u);
+    EXPECT_TRUE(sched.adjacency()[gw.id].empty());
+  }
+}
+
+TEST(CodeReuseScheduler, AssignmentIsDeterministic) {
+  rfsim::LinkBudget budget;
+  rfsim::ObstacleMap free_space;
+  auto a = row_of(5);
+  auto b = row_of(5);
+  CodeReuseScheduler sa{CodeReuseConfig{}}, sb{CodeReuseConfig{}};
+  ASSERT_EQ(sa.assign(a, budget, free_space, 8),
+            sb.assign(b, budget, free_space, 8));
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].color, b[i].color);
+    EXPECT_EQ(a[i].code_offset, b[i].code_offset);
+    EXPECT_EQ(a[i].code_count, b[i].code_count);
+  }
+  EXPECT_EQ(sa.adjacency(), sb.adjacency());
+}
+
+TEST(CodeReuseScheduler, ThrowsWhenTheFamilyRunsOut) {
+  // Nine gateways packed on 1 m centres form a clique — 9 colors × 8 codes
+  // overflows the 64-code family, which must fail loudly, not wrap.
+  CodeReuseScheduler sched{CodeReuseConfig{}};
+  rfsim::LinkBudget budget;
+  rfsim::ObstacleMap free_space;
+  auto gws = row_of(9, /*spacing_m=*/1.0);
+  EXPECT_THROW(sched.assign(gws, budget, free_space, 8),
+               std::invalid_argument);
+}
+
+TEST(CodeReuseScheduler, ObstacleShadowingRemovesEdges) {
+  rfsim::LinkBudget budget;
+  auto gws = row_of(2);  // adjacent in free space
+  {
+    CodeReuseScheduler sched{CodeReuseConfig{}};
+    auto copy = gws;
+    rfsim::ObstacleMap free_space;
+    EXPECT_EQ(sched.assign(copy, budget, free_space, 8), 2u);
+  }
+  {
+    // A heavy wall between the bays drops the coupling below threshold.
+    CodeReuseScheduler sched{CodeReuseConfig{}};
+    auto copy = gws;
+    rfsim::ObstacleMap wall({{{3.0, -10.0}, {3.0, 10.0}, 40.0}});
+    EXPECT_EQ(sched.assign(copy, budget, wall, 8), 1u);
+    EXPECT_EQ(copy[0].color, copy[1].color);
+  }
+}
+
+TEST(CodeReuseScheduler, CouplingIsTxPowerInvariant) {
+  // The adjacency metric is coupling relative to the foreign ES's transmit
+  // power, so raising the deployment's power must not change the graph.
+  CodeReuseScheduler sched{CodeReuseConfig{}};
+  rfsim::ObstacleMap free_space;
+  const auto gws = row_of(2);
+  rfsim::LinkBudget lo, hi;
+  lo.tx_power_w = 0.01;
+  hi.tx_power_w = 10.0;
+  EXPECT_NEAR(sched.leaked_coupling_db(gws[0], gws[1], lo, free_space),
+              sched.leaked_coupling_db(gws[0], gws[1], hi, free_space), 1e-9);
+}
+
+TEST(CodeReuseScheduler, CoLocatedGatewaysSaturateInsteadOfThrowing) {
+  // leaked_coupling_db is a planning metric: co-located gateways floor the
+  // distance at min_separation_m rather than raising MinSeparationError.
+  CodeReuseScheduler sched{CodeReuseConfig{}};
+  rfsim::LinkBudget budget;
+  rfsim::ObstacleMap free_space;
+  const Gateway a{0, {0.0, 0.0}, {1.0, 0.0}};
+  const Gateway b{1, {1.0, 0.0}, {0.0, 0.0}};  // b.rx on top of a.es
+  EXPECT_NO_THROW(sched.leaked_coupling_db(a, b, budget, free_space));
+}
+
+}  // namespace
+}  // namespace cbma::net

@@ -62,6 +62,48 @@ TEST(LinkBudget, RejectsNonPositiveDistance) {
   EXPECT_THROW(b.received_power(1.0, -1.0), std::invalid_argument);
 }
 
+TEST(LinkBudget, ThrowsBelowMinSeparation) {
+  // Regression: the pre-fix Fig. 5 path silently clamped near-field
+  // distances to a hidden 1e-3 m constant; received_power now fails loudly
+  // on any hop below the documented min_separation_m knob.
+  LinkBudget b;
+  EXPECT_THROW(b.received_power(1e-6, 1.0), MinSeparationError);
+  EXPECT_THROW(b.received_power(1.0, 1e-6), MinSeparationError);
+  EXPECT_THROW(b.one_hop_power(1e-6), MinSeparationError);
+  // Exactly at the floor is legal.
+  EXPECT_GT(b.received_power(b.min_separation_m, 1.0), 0.0);
+  EXPECT_GT(b.one_hop_power(b.min_separation_m), 0.0);
+}
+
+TEST(LinkBudget, MinSeparationKnobIsHonoured) {
+  LinkBudget b;
+  b.min_separation_m = 0.25;
+  EXPECT_THROW(b.received_power(0.2, 1.0), MinSeparationError);
+  EXPECT_GT(b.received_power(0.25, 1.0), 0.0);
+  // The knob itself must be positive — zero would reopen the divergence.
+  b.min_separation_m = 0.0;
+  EXPECT_THROW(b.received_power(1.0, 1.0), MinSeparationError);
+}
+
+TEST(LinkBudget, MinSeparationErrorIsInvalidArgument) {
+  // Callers that caught the old std::invalid_argument keep working.
+  LinkBudget b;
+  EXPECT_THROW(b.received_power(0.0, 1.0), std::invalid_argument);
+}
+
+TEST(LinkBudget, OneHopMatchesClosedForm) {
+  LinkBudget b;
+  const double d = 3.7;
+  const double lambda = b.wavelength();
+  const double four_pi_d = 4.0 * units::kPi * d;
+  const double want = b.tx_power_w * b.tx_gain * b.rx_gain * lambda * lambda /
+                      (four_pi_d * four_pi_d);
+  EXPECT_NEAR(b.one_hop_power(d), want, want * 1e-12);
+  // Doubling the distance costs exactly 6 dB (single d² term).
+  EXPECT_NEAR(units::to_db(b.one_hop_power(d) / b.one_hop_power(2.0 * d)),
+              6.02, 0.01);
+}
+
 TEST(LinkBudget, AmplitudeIsSqrtPower) {
   LinkBudget b;
   EXPECT_NEAR(b.received_amplitude(0.7, 1.3),
@@ -110,6 +152,25 @@ TEST(SignalStrengthField, FiniteEvenAtEndpointSingularities) {
   const auto field =
       signal_strength_field(b, {0, 0}, {1, 0}, 0, 1, 0, 0.5, 3, 3);
   for (const double v : field.dbm) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(SignalStrengthField, FloorsGridDistancesAtMinSeparation) {
+  // Regression: the field plot floors near-field grid distances at the
+  // *configured* min_separation_m, not a hidden constant. A grid point on
+  // top of the ES must evaluate exactly as if it sat min_separation_m away.
+  LinkBudget b;
+  b.min_separation_m = 0.1;
+  const auto field =
+      signal_strength_field(b, {0, 0}, {1, 0}, 0, 1, 0, 0.5, 2, 2);
+  const double want = units::watts_to_dbm(b.received_power(0.1, 1.0));
+  EXPECT_NEAR(field.at(0, 0), want, 1e-9);
+}
+
+TEST(SignalStrengthField, RejectsNonPositiveMinSeparation) {
+  LinkBudget b;
+  b.min_separation_m = 0.0;
+  EXPECT_THROW(signal_strength_field(b, {0, 0}, {1, 0}, 0, 1, 0, 1, 3, 3),
+               std::invalid_argument);
 }
 
 }  // namespace

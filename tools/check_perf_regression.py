@@ -188,21 +188,23 @@ def main() -> None:
     current_path, baseline_path = args
 
     doc = load(current_path)
-    # Two gated counters: ns_per_packet (the kernel/end-to-end benches) and
-    # ns_per_sample (the streaming-receiver ingest benches). Each lives in
-    # its own baseline section so a name appearing in both is disambiguated.
+    # Three gated counters: ns_per_packet (the kernel/end-to-end benches),
+    # ns_per_sample (the streaming-receiver ingest benches) and ns_per_round
+    # (the multi-cell network layer's per-cell round). Each lives in its own
+    # baseline section so a name appearing in several is disambiguated.
     sections = {
         "ns_per_packet": ns_per_packet_by_name(doc),
         "ns_per_sample": counter_by_name(doc, "ns_per_sample"),
+        "ns_per_round": counter_by_name(doc, "ns_per_round"),
     }
     if not sections["ns_per_packet"]:
         fail(f"{current_path} has no ns_per_packet counters")
 
     if update:
         baseline_doc = {
-            "comment": "ns_per_packet / ns_per_sample baselines for "
-                       "tools/check_perf_regression.py — refresh with "
-                       "--update on a CI-class machine",
+            "comment": "ns_per_packet / ns_per_sample / ns_per_round "
+                       "baselines for tools/check_perf_regression.py — "
+                       "refresh with --update on a CI-class machine",
         }
         for section, current in sections.items():
             if current:

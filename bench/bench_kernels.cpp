@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "core/metrics_plane.h"
 #include "core/system.h"
 #include "net/network.h"
 #include "phy/spreader.h"
@@ -20,6 +21,7 @@
 #include "rfsim/channel.h"
 #include "rx/correlation_engine.h"
 #include "rx/decoder.h"
+#include "util/metrics.h"
 #include "util/telemetry.h"
 #include "util/timer.h"
 
@@ -401,6 +403,50 @@ void BM_NetMulticellRound(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * cells);
 }
 BENCHMARK(BM_NetMulticellRound)->Arg(2);
+
+/// BM_NetMulticellRound with the metrics plane live: identical workload
+/// plus per-round sampling into the in-memory windowed store (no
+/// Prometheus file — the export path stays empty so the figure measures
+/// sampling, not filesystem I/O). check_perf_regression.py
+/// --metrics-overhead gates this against the metrics-off twin at +2%
+/// ns_per_round. Telemetry's enabled flag is saved/restored because
+/// enabling the plane arms it.
+void BM_NetMulticellRoundMetrics(benchmark::State& state) {
+  const bool telemetry_was_on = telemetry::enabled();
+  const bool metrics_was_on = metrics::enabled();
+  const std::string saved_path = metrics::export_path();
+  metrics::set_export_path("");
+  core::MetricsPlane::enable();
+  core::MetricsPlane::set_cadence(1);
+  core::MetricsPlane::reset();
+
+  const auto side = static_cast<std::size_t>(state.range(0));
+  net::NetworkConfig cfg;
+  cfg.cell.code_family = pn::CodeFamily::kGold;
+  cfg.cell.max_tags = 4;
+  cfg.cell.tx_power_dbm = 30.0;
+  cfg.reuse.family_size = 64;
+  cfg.packets_per_round = 1;
+  auto network = net::Network::grid(cfg, 6.0 * static_cast<double>(side),
+                                    4.0 * static_cast<double>(side), side, side);
+  Rng rng(6);
+  network.place_random_tags(side * side * 4, rng);
+  network.run_round(7, /*max_workers=*/1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(network.run_round(7, /*max_workers=*/1));
+  }
+  const auto cells = static_cast<std::int64_t>(side * side);
+  state.counters["ns_per_round"] = benchmark::Counter(
+      static_cast<double>(cells) * 1e-9,
+      benchmark::Counter::kIsIterationInvariantRate | benchmark::Counter::kInvert);
+  state.SetItemsProcessed(state.iterations() * cells);
+
+  core::MetricsPlane::reset();
+  metrics::set_export_path(saved_path);
+  metrics::set_enabled(metrics_was_on);
+  telemetry::set_enabled(telemetry_was_on);
+}
+BENCHMARK(BM_NetMulticellRoundMetrics)->Arg(2);
 
 }  // namespace
 

@@ -15,6 +15,7 @@
 #include <string>
 
 #include "common.h"
+#include "core/metrics_plane.h"
 #include "net/network.h"
 #include "util/table.h"
 
@@ -91,6 +92,11 @@ int main() {
   core::RunRecorder recorder(spec, header_cfg);
   recorder.print_header();
 
+  // CBMA_METRICS=<path>: one window per network round, so the per-cell
+  // goodput/outcome series chart every round of the sweep (the net::
+  // layer publishes the samples; this bench only picks the cadence).
+  if (core::MetricsPlane::enabled()) core::MetricsPlane::set_cadence(1);
+
   // Grid points run sequentially; each network round parallelizes across
   // its cells (worker-count independent by the net:: determinism contract).
   core::SweepRunner(spec).run(
@@ -117,6 +123,16 @@ int main() {
                         static_cast<double>(out.roamed));
         recorder.record(point.flat(), "count_sent",
                         static_cast<double>(out.sent));
+        // Sweep-point rollups under a "cond=<grid>/t<tags>" scope, so the
+        // exposition distinguishes grid points from per-cell series.
+        const std::string cond = "cond=" + std::to_string(side) + "x" +
+                                 std::to_string(side) + "/t" +
+                                 std::to_string(tpc);
+        core::MetricsPlane::record_value("bench.goodput_mbps", cond,
+                                         out.goodput_mbps, "Mbps");
+        core::MetricsPlane::record_value("bench.network_fer", cond, out.fer);
+        core::MetricsPlane::record_value("bench.tags_roamed", cond,
+                                         static_cast<double>(out.roamed));
       },
       /*workers=*/1);
 

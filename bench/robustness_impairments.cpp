@@ -9,11 +9,13 @@
 // retry budget claws back. Every per-frame failure is a reported
 // DecodeOutcome — an all-failed point records zeros and "n/a", never a
 // crash (the graceful-degradation contract this bench exists to prove).
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <string>
 
 #include "common.h"
+#include "core/metrics_plane.h"
 #include "core/system.h"
 #include "mac/arq.h"
 #include "mac/throughput.h"
@@ -226,6 +228,55 @@ int main() {
   if (fired > 0) {
     std::printf("\nwatchdog: %zu anomaly warning(s) — see stderr / JSON\n",
                 fired);
+  }
+
+  // CBMA_METRICS=<path>: a short *sequential* timeline pass (the sweep
+  // above runs parallel, which the plane's tick() contract forbids) —
+  // per-window PRR and decode-outcome series under "cond=duty<d>/ppm<p>"
+  // scopes, across the dropout axis at the drift extremes.
+  if (core::MetricsPlane::enabled()) {
+    core::MetricsPlane::set_cadence(1);
+    constexpr std::size_t kWindows = 6;
+    const std::size_t packets_per_window =
+        std::max<std::size_t>(1, n_packets / 30);
+    std::size_t condition = 0;
+    for (const double duty : duties) {
+      for (const double ppm : {drifts_ppm.front(), drifts_ppm.back()}) {
+        core::SystemConfig point_cfg = cfg;
+        if (duty < 1.0) {
+          point_cfg.impairments.dropout.enabled = true;
+          point_cfg.impairments.dropout.duty = duty;
+          point_cfg.impairments.dropout.mean_burst_s = 500e-6;
+        }
+        if (ppm > 0.0) {
+          point_cfg.impairments.drift.enabled = true;
+          point_cfg.impairments.drift.max_static_ppm = ppm;
+          point_cfg.impairments.drift.wander_ppm = ppm / 4.0;
+        }
+        core::CbmaSystem sys(point_cfg, make_deployment());
+        Rng rng(util::point_seed(bench::base_seed(), 7000 + condition));
+        char scope[64];
+        std::snprintf(scope, sizeof scope, "cond=duty%g/ppm%g", duty, ppm);
+        for (std::size_t w = 0; w < kWindows; ++w) {
+          const auto stats = sys.run_packets(packets_per_window, rng);
+          const auto sent_w = stats.total_sent();
+          core::MetricsPlane::record_value(
+              "bench.prr", scope,
+              sent_w > 0 ? static_cast<double>(stats.total_acked()) /
+                               static_cast<double>(sent_w)
+                         : 0.0);
+          for (std::size_t o = 0; o < stats.outcomes.size(); ++o) {
+            if (stats.outcomes[o] == 0) continue;
+            core::MetricsPlane::record_value(
+                std::string("rx.outcome.") +
+                    rx::to_string(static_cast<rx::DecodeOutcome>(o)),
+                scope, static_cast<double>(stats.outcomes[o]));
+          }
+          core::MetricsPlane::tick();
+        }
+        ++condition;
+      }
+    }
   }
   return recorder.finish();
 }

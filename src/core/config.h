@@ -98,6 +98,13 @@ struct SystemConfig {
   /// from summary() so a probe-enabled rerun of an experiment keeps the
   /// same config fingerprint as the run it is explaining.
   std::string probe;
+  /// Metrics-plane Prometheus exposition path (DESIGN.md §12). Non-empty =
+  /// enable the windowed time-series plane and rewrite the text exposition
+  /// there at every window boundary — the programmatic equivalent of
+  /// CBMA_METRICS=<path>. Empty (default) leaves the plane strictly off
+  /// under the same identity contract as `probe`, and is likewise excluded
+  /// from summary()/the config fingerprint.
+  std::string metrics;
 
   // --- derived quantities ---
   double chip_rate_hz() const;      ///< bitrate × code length

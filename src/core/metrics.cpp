@@ -13,6 +13,10 @@ void RoundStats::record(std::size_t slot, bool acked_ok) {
   if (acked_ok) ++acked[slot];
 }
 
+void RoundStats::record_outcome(std::size_t outcome_index) {
+  if (outcome_index < outcomes.size()) ++outcomes[outcome_index];
+}
+
 void RoundStats::merge(const RoundStats& other) {
   CBMA_REQUIRE(other.sent.size() == sent.size(), "merging mismatched stats");
   for (std::size_t i = 0; i < sent.size(); ++i) {
@@ -20,6 +24,10 @@ void RoundStats::merge(const RoundStats& other) {
     acked[i] += other.acked[i];
   }
   correlation_margin.merge(other.correlation_margin);
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    outcomes[i] += other.outcomes[i];
+  }
+  quality.merge(other.quality);
 }
 
 std::size_t RoundStats::total_sent() const {

@@ -2,12 +2,19 @@
 // the MAC schemes and the benches.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <vector>
 
+#include "rx/link_quality.h"
 #include "util/stats.h"
 
 namespace cbma::core {
+
+/// Number of rx::DecodeOutcome states (kOk .. kIdMismatch). RoundStats
+/// tallies by index so core/ needs no switch over the rx enum; keep in
+/// sync with rx/receiver.h (core_metrics_test statically cross-checks).
+inline constexpr std::size_t kDecodeOutcomeCount = 6;
 
 /// Outcome of a batch of collided packets for one tag group.
 struct RoundStats {
@@ -18,11 +25,21 @@ struct RoundStats {
   /// how decisively each code beat its runner-up, the paper's PN-code
   /// separation argument as a measured quantity.
   RunningStats correlation_margin;
+  /// Per-outcome packet tally indexed by rx::DecodeOutcome — the decode
+  /// failure taxonomy the metrics plane turns into per-cell series.
+  std::array<std::size_t, kDecodeOutcomeCount> outcomes{};
+  /// Signal-quality rollup over the batch's decoded frames (empty unless
+  /// the probe or metrics plane asked the receiver for quality reports).
+  rx::LinkQualityRollup quality;
 
   explicit RoundStats(std::size_t group_size = 0);
 
   void record(std::size_t slot, bool acked_ok);
   void record_margin(double margin) { correlation_margin.add(margin); }
+  /// Tally one packet's decode outcome (index = rx::DecodeOutcome value;
+  /// out-of-range indices are ignored rather than asserted so a future
+  /// outcome state degrades to "uncounted", not a crash).
+  void record_outcome(std::size_t outcome_index);
   void merge(const RoundStats& other);
 
   std::size_t total_sent() const;

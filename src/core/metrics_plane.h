@@ -1,0 +1,97 @@
+// MetricsPlane: the sampling cadence + export half of the metrics plane
+// (DESIGN.md §12). util/metrics owns the bounded storage; this facade owns
+// *when* samples are taken and *what* they mean:
+//
+//  - tick() is called once per round from a sequential context (after any
+//    parallel_for has joined). Every `cadence` rounds it closes a window:
+//    telemetry counter totals become per-window deltas, span histograms
+//    become per-window count/mean/p50/p90/p99 series (computed from the
+//    histogram *delta*, so each window's percentiles cover only that
+//    window's spans), and the Prometheus snapshot is rewritten if
+//    CBMA_METRICS named a path.
+//  - record_cell() attributes one cell's round result to scope "cell=<id>"
+//    — goodput, FER, code-slice occupancy, per-outcome decode tallies and
+//    the link-quality rollup.
+//  - record_event() feeds the bounded structured event log (roam,
+//    code_slice_overflow, watchdog, decode_failure, ...).
+//
+// Same identity contract as telemetry/probe: when disabled (CBMA_METRICS
+// unset and no enable() call) every entry point returns before touching
+// state — no allocation, no clock read, no RNG draw, byte-identical bench
+// output. Enabling metrics arms util/telemetry too (the counter/span
+// series need it); it never arms the probe.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "core/metrics.h"
+#include "util/metrics.h"
+
+namespace cbma::util {
+class JsonWriter;
+}  // namespace cbma::util
+
+namespace cbma::core {
+
+class MetricsPlane {
+ public:
+  /// One cell's contribution to the current window. net::Network fills one
+  /// per cell each round from its CellRoundResult (sequentially, step 5).
+  struct CellSample {
+    std::size_t cell_id = 0;
+    double goodput_bps = 0.0;
+    double frame_error_rate = 0.0;
+    std::size_t tags_served = 0;
+    std::size_t tags_total = 0;
+    std::size_t sent = 0;
+    std::size_t acked = 0;
+    std::array<std::size_t, kDecodeOutcomeCount> outcomes{};
+    rx::LinkQualityRollup quality;
+  };
+
+  /// True when the plane is live (CBMA_METRICS set, SystemConfig::metrics,
+  /// or enable()). The first true observation arms util/telemetry so the
+  /// counter/span series have a source.
+  static bool enabled();
+
+  /// Turn the plane on; a non-empty path becomes the Prometheus exposition
+  /// target (equivalent to CBMA_METRICS=<path>).
+  static void enable(std::string prometheus_path = "");
+  static void disable();
+
+  /// Drop all recorded series/events and the plane's round counter +
+  /// telemetry baselines. Cadence and the enabled flag are unchanged.
+  static void reset();
+
+  /// Rounds per window (default 1). 0 is clamped to 1.
+  static void set_cadence(std::size_t rounds);
+  static std::size_t cadence();
+
+  /// Per-round heartbeat — MUST be called from a sequential context (no
+  /// telemetry workers recording). Closes a window at each cadence
+  /// boundary.
+  static void tick();
+
+  static void record_cell(const CellSample& sample);
+
+  /// Generic sample into (name, scope) at the current window.
+  static void record_value(std::string_view name, std::string_view scope,
+                           double value, std::string_view unit = {});
+
+  static void record_event(metrics::Severity severity, std::string_view type,
+                           std::string_view scope, double value,
+                           std::string_view detail);
+
+  /// Emit the "timeseries" + "events" sections into an open JSON object
+  /// (RunRecorder::json calls this only when enabled).
+  static void write_json_section(util::JsonWriter& w);
+
+  /// Rewrite the Prometheus snapshot at metrics::export_path(), atomically.
+  /// No-op (true) when disabled or no path is configured.
+  static bool write_prometheus_if_requested();
+};
+
+}  // namespace cbma::core

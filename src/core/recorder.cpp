@@ -6,6 +6,7 @@
 #include <fstream>
 #include <system_error>
 
+#include "core/metrics_plane.h"
 #include "core/probe_session.h"
 #include "core/telemetry.h"
 #include "util/expect.h"
@@ -82,6 +83,11 @@ std::size_t RunRecorder::run_watchdog(const std::vector<WatchdogRule>& rules) {
       rules);
   for (const auto& warning : warnings_) {
     std::fprintf(stderr, "watchdog: %s\n", warning.detail.c_str());
+    // Watchdog firings double as structured events on the metrics plane
+    // (no-op when it is off).
+    MetricsPlane::record_event(metrics::Severity::kWarning, "watchdog",
+                               "metric=" + warning.metric, warning.value,
+                               warning.detail);
   }
   return warnings_.size();
 }
@@ -188,6 +194,12 @@ std::string RunRecorder::json() const {
   if (ProbeSession::enabled()) {
     ProbeSession::write_json_section(w);
   }
+  // The windowed time-series + event log ride along under the same
+  // contract: sections exist only while the metrics plane is enabled
+  // (DESIGN.md §12), so the default document stays byte-identical.
+  if (MetricsPlane::enabled()) {
+    MetricsPlane::write_json_section(w);
+  }
   if (!warnings_.empty() || ProbeSession::enabled()) {
     w.key("watchdog").begin_array();
     for (const auto& warning : warnings_) {
@@ -242,6 +254,9 @@ int RunRecorder::finish() const {
   // CBMA_PROBE=<path> likewise drops the signal-probe dump + manifest
   // (no-op unless probing is enabled).
   if (!ProbeSession::write_dump_if_requested()) return 1;
+  // CBMA_METRICS=<path>: leave a final Prometheus snapshot covering the
+  // whole run (the plane also rewrites it live at window boundaries).
+  if (!MetricsPlane::write_prometheus_if_requested()) return 1;
   return 0;
 }
 

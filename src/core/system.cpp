@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/metrics_plane.h"
 #include "util/expect.h"
 #include "util/probe.h"
 #include "util/telemetry.h"
@@ -64,6 +65,11 @@ CbmaSystem::CbmaSystem(SystemConfig config, rfsim::Deployment population)
   if (!config_.probe.empty()) {
     probe::set_dump_path(config_.probe);
     probe::set_enabled(true);
+  }
+  // Same contract for SystemConfig::metrics and the metrics plane
+  // (CBMA_METRICS): non-empty enables it and names the Prometheus target.
+  if (!config_.metrics.empty()) {
+    MetricsPlane::enable(config_.metrics);
   }
 
   budget_.tx_power_w = units::dbm_to_watts(config_.tx_power_dbm);
@@ -353,9 +359,16 @@ RoundStats CbmaSystem::run_packets(std::size_t n_packets, Rng& rng) const {
   for (std::size_t p = 0; p < n_packets; ++p) {
     const auto report = transmit(options, rng, scratch);
     for (std::size_t slot = 0; slot < group_.size(); ++slot) {
-      stats.record(slot, report.results[slot].crc_ok);
-      if (report.results[slot].detected) {
-        stats.record_margin(report.results[slot].correlation_margin);
+      const auto& r = report.results[slot];
+      stats.record(slot, r.crc_ok);
+      stats.record_outcome(static_cast<std::size_t>(r.outcome));
+      if (r.detected) {
+        stats.record_margin(r.correlation_margin);
+        // The receiver fills link_quality only while the probe or metrics
+        // plane asked for it; empty means nothing to roll up.
+        if (slot < report.link_quality.size()) {
+          stats.quality.add(report.link_quality[slot]);
+        }
       }
     }
   }

@@ -60,9 +60,11 @@ bool Telemetry::write_trace(const std::string& path) {
 }
 
 bool Telemetry::write_trace_if_requested() {
-  if (!enabled()) return true;
   const auto path = telemetry::trace_path();
   if (path.empty()) return true;
+  // CBMA_TRACE was set, so a file is owed even when telemetry is disabled
+  // or the run recorded no spans: the export is a valid (possibly empty)
+  // trace document, not a silently missing one.
   return write_trace(path);
 }
 

@@ -123,6 +123,11 @@ class Network {
   void assign_codes();
   std::size_t best_gateway(std::size_t tag, double& best_dbm) const;
   std::vector<ForeignLeakage> leaks_at(std::size_t gw) const;
+  /// Metrics-plane attribution for one finished round (strict no-op when
+  /// the plane is off): per-cell samples under scope "cell=<id>", global
+  /// rollup series, code-slice-overflow / decode-failure events, then one
+  /// plane tick. Runs sequentially after the parallel cell pass joined.
+  void publish_round(const NetworkRoundResult& result);
 
   NetworkConfig config_;
   rfsim::Room floor_;

@@ -6,6 +6,7 @@
 // frame lived or died, not just that it did.
 #pragma once
 
+#include <cstddef>
 #include <span>
 
 namespace cbma::rx {
@@ -47,5 +48,29 @@ inline constexpr double kMaxMarginRatio = 1e6;
 LinkQualityReport compute_link_quality(std::span<const double> soft,
                                        double correlation, double runner_up,
                                        double window_rms);
+
+/// Running aggregate of LinkQualityReports — how the metrics plane rolls
+/// per-tag quality up into per-cell series (core::RoundStats carries one;
+/// net::Network scopes it per cell). Plain sums so merge() is exact and
+/// deterministic; means report 0 over zero frames.
+struct LinkQualityRollup {
+  std::size_t frames = 0;  ///< valid reports accumulated
+  double snr_db_sum = 0.0;
+  double evm_sum = 0.0;
+  double soft_margin_sum = 0.0;
+  double margin_ratio_sum = 0.0;
+  double power_norm_sum = 0.0;
+  double correlation_sum = 0.0;
+
+  void add(const LinkQualityReport& report);
+  void merge(const LinkQualityRollup& other);
+
+  double snr_db_mean() const;
+  double evm_mean() const;
+  double soft_margin_mean() const;
+  double margin_ratio_mean() const;
+  double power_norm_mean() const;
+  double correlation_mean() const;
+};
 
 }  // namespace cbma::rx

@@ -76,8 +76,9 @@ struct RxReport {
   std::vector<TagDecodeResult> results;    ///< one entry per group code
   AckMessage ack;
   /// Per-code link-quality reports (same indexing as `results`), populated
-  /// only while signal probing is enabled — empty otherwise, so the probe-off
-  /// hot path performs zero extra allocations (DESIGN.md §8).
+  /// only while signal probing or the metrics plane is enabled — empty
+  /// otherwise, so the observability-off hot path performs zero extra
+  /// allocations (DESIGN.md §8, §12).
   std::vector<LinkQualityReport> link_quality;
 
   /// Result for one group code; throws std::invalid_argument naming the

@@ -5,6 +5,7 @@
 
 #include "phy/frame.h"
 #include "util/expect.h"
+#include "util/metrics.h"
 #include "util/probe.h"
 #include "util/telemetry.h"
 
@@ -174,9 +175,14 @@ void StreamingReceiver::run_attempt() {
 
   // Signal-probe captures (strict no-ops when probing is off): the energy
   // envelope of this attempt's window, plus the window RMS every
-  // link-quality power_norm is anchored on.
+  // link-quality power_norm is anchored on. The metrics plane also wants
+  // link quality, but without the envelope tap — its RMS is computed
+  // lazily below, only for windows that actually produce detections, so
+  // the metrics-on hot path stays within its overhead budget.
   const bool probing = probe::enabled();
+  const bool want_quality = probing || metrics::enabled();
   double window_rms = 0.0;
+  bool rms_ready = false;
   if (probing) {
     win_mag_.resize(win_re_.size());
     double sum2 = 0.0;
@@ -188,6 +194,7 @@ void StreamingReceiver::run_attempt() {
     window_rms = win_mag_.empty()
                      ? 0.0
                      : std::sqrt(sum2 / static_cast<double>(win_mag_.size()));
+    rms_ready = true;
   }
 
   const auto detections = [&] {
@@ -200,7 +207,7 @@ void StreamingReceiver::run_attempt() {
   RxReport candidate;
   candidate.frame_start = static_cast<std::size_t>(trigger_);
   candidate.results.resize(receiver_->group_size());
-  if (probing) candidate.link_quality.resize(receiver_->group_size());
+  if (want_quality) candidate.link_quality.resize(receiver_->group_size());
   for (std::size_t i = 0; i < candidate.results.size(); ++i) {
     candidate.results[i].tag_index = i;
     // Sync fired for this candidate; codes the detector skips below stay
@@ -225,6 +232,20 @@ void StreamingReceiver::run_attempt() {
     if (probing) {
       probe::record_tap(probe::Tap::kSoftBits,
                         static_cast<std::uint32_t>(d.tag_index), decoded.soft);
+    }
+    if (want_quality) {
+      if (!rms_ready) {
+        // Metrics-only path: one allocation-free |window|² pass, deferred
+        // to the first detection of the attempt.
+        double sum2 = 0.0;
+        for (std::size_t i = 0; i < re.size(); ++i) {
+          sum2 += re[i] * re[i] + im[i] * im[i];
+        }
+        window_rms = re.empty()
+                         ? 0.0
+                         : std::sqrt(sum2 / static_cast<double>(re.size()));
+        rms_ready = true;
+      }
       candidate.link_quality[d.tag_index] = compute_link_quality(
           decoded.soft, d.correlation, d.runner_up, window_rms);
     }

@@ -1,0 +1,140 @@
+// Bounded time-series store + structured event log: the windowed substrate
+// of the metrics plane (core::MetricsPlane owns sampling cadence and the
+// exports). Numeric samples land in fixed-capacity per-series rings keyed
+// by (name, scope) — scope "" is the global rollup, "cell=<id>" attributes
+// a sample to one cell of the net:: layer — and typed events (severity,
+// type, scope, value, detail) land in one bounded log with a drop counter.
+// Memory is bounded by construction: at most kMaxSeries rings of
+// window_capacity() points each plus kMaxEvents log entries; overflow
+// increments a drop counter instead of growing.
+//
+// The contract mirrors telemetry/probe exactly: **disabled metrics are a
+// strict identity**. When enabled() is false (the default), push(),
+// push_event() and advance_window() return before touching anything, no
+// storage is allocated, no clock is read, and no RNG is ever drawn (the
+// store never draws randomness at all) — every bench table and
+// BENCH_*.json stays byte-identical. Enable with CBMA_METRICS=<path>
+// (the Prometheus exposition target) or set_enabled(true).
+//
+// Like util/probe, recording goes through one mutex-guarded registry:
+// samples arrive at window cadence (per round / per sweep point), not per
+// chip, so a single ordered store is the right tool. See DESIGN.md §12 for
+// the full metrics-plane contract.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cbma::metrics {
+
+/// Capacity bounds (compile-time; overflow counts drops, never grows).
+inline constexpr std::size_t kMaxSeries = 512;
+inline constexpr std::size_t kDefaultWindowCapacity = 256;
+inline constexpr std::size_t kMaxEvents = 1024;
+
+/// Event severity. severity_name() is the wire label the JSON "events"
+/// section and metrics_inspect.py speak.
+enum class Severity : std::uint8_t { kInfo, kWarning, kError, kCount };
+const char* severity_name(Severity s);
+
+/// One windowed sample: the window index it was recorded in, its value.
+struct SeriesPoint {
+  std::uint64_t window = 0;
+  double value = 0.0;
+};
+
+/// One series' exported state: identity, unit, and its ring contents in
+/// oldest → newest order (≤ window_capacity() points).
+struct SeriesSnapshot {
+  std::string name;
+  std::string scope;  ///< "" = global rollup; "cell=3" = per-cell
+  std::string unit;   ///< "" when dimensionless
+  std::vector<SeriesPoint> points;
+};
+
+/// One structured event-log entry.
+struct Event {
+  std::uint64_t seq = 0;     ///< global record order
+  std::uint64_t window = 0;  ///< window index at record time
+  Severity severity = Severity::kInfo;
+  std::string type;   ///< "roam", "code_slice_overflow", "watchdog", ...
+  std::string scope;  ///< same scope vocabulary as series
+  double value = 0.0;
+  std::string detail;
+};
+
+struct Snapshot {
+  std::uint64_t windows = 0;  ///< windows closed so far (advance_window calls)
+  std::vector<SeriesSnapshot> series;  ///< sorted by (name, scope)
+  std::vector<Event> events;           ///< seq order
+  std::uint64_t dropped_points = 0;    ///< ring overwrites (oldest lost)
+  std::uint64_t dropped_series = 0;    ///< pushes refused at kMaxSeries
+  std::uint64_t dropped_events = 0;    ///< events refused at kMaxEvents
+};
+
+// --- master switch ---------------------------------------------------------
+
+/// Initialized once from CBMA_METRICS (unset/empty = off, anything else =
+/// on, value = the Prometheus exposition path); flip programmatically with
+/// set_enabled().
+bool enabled();
+void set_enabled(bool on);
+
+/// Where the Prometheus snapshot goes: the CBMA_METRICS value unless
+/// overridden via set_export_path ("" = no file export).
+std::string export_path();
+void set_export_path(std::string path);
+
+// --- recording (all strict no-ops when disabled) ---------------------------
+
+/// Append one sample to series (name, scope), stamping the current window.
+/// `unit` is recorded on first touch of a series and ignored afterwards.
+void push(std::string_view name, std::string_view scope, double value,
+          std::string_view unit = {});
+
+/// Append one event to the bounded log.
+void push_event(Severity severity, std::string_view type,
+                std::string_view scope, double value, std::string_view detail);
+
+/// Close the current window: samples pushed afterwards land in the next
+/// one. Returns the new current window index.
+std::uint64_t advance_window();
+std::uint64_t current_window();
+
+/// Ring depth for series created after the call (default
+/// kDefaultWindowCapacity). Existing rings keep their size.
+void set_window_capacity(std::size_t points);
+std::size_t window_capacity();
+
+// --- aggregation -----------------------------------------------------------
+
+/// Copy of everything recorded so far. Safe to call concurrently with
+/// recording (single registry lock), though exports normally run after the
+/// workers joined.
+Snapshot snapshot();
+
+/// Drop every series, event, drop counter and the window index. The
+/// enabled flag and export path are unchanged.
+void reset();
+
+/// Live series count — 0 proves the off path never stored anything (the
+/// metrics-off identity test asserts this).
+std::size_t series_count();
+
+// --- Prometheus text exposition --------------------------------------------
+
+/// Render a snapshot as Prometheus text exposition format: one gauge per
+/// series carrying its latest value, scope rendered as a label
+/// ("cell=3" → {cell="3"}), names sanitized to the metric charset with a
+/// "cbma_" prefix, plus meta gauges (windows, series/event totals, drops).
+std::string prometheus_text(const Snapshot& snap);
+
+/// Atomically rewrite `path` with prometheus_text(snapshot()): write to
+/// "<path>.tmp", then rename over the target, so a live scraper never sees
+/// a torn file. Returns false with a stderr diagnostic on I/O failure.
+bool write_prometheus(const std::string& path);
+
+}  // namespace cbma::metrics

@@ -7,7 +7,6 @@
 #include <mutex>
 
 namespace cbma::telemetry {
-namespace {
 
 // ---------------------------------------------------------------------------
 // Duration histogram: log₂ octaves with 4 linear sub-buckets each. Index 0–7
@@ -15,17 +14,15 @@ namespace {
 // any quantile is within one sub-bucket (≤ 12.5 %) of exact. 256 buckets
 // cover the full uint64 range.
 // ---------------------------------------------------------------------------
-constexpr std::size_t kHistBuckets = 256;
 
-std::size_t bucket_of(std::uint64_t ns) {
+std::size_t histogram_bucket_of(std::uint64_t ns) {
   if (ns < 8) return static_cast<std::size_t>(ns);
   const int msb = std::bit_width(ns) - 1;  // ≥ 3
   const auto sub = static_cast<std::size_t>((ns >> (msb - 2)) & 3u);
   return 8 + static_cast<std::size_t>(msb - 3) * 4 + sub;
 }
 
-/// Midpoint of a bucket — the value quantiles report for it.
-double bucket_mid(std::size_t idx) {
+double histogram_bucket_mid(std::size_t idx) {
   if (idx < 8) return static_cast<double>(idx);
   const std::size_t msb = (idx - 8) / 4 + 3;
   const std::size_t sub = (idx - 8) % 4;
@@ -35,12 +32,27 @@ double bucket_mid(std::size_t idx) {
   return lower + width / 2.0;
 }
 
+double histogram_quantile(const std::uint64_t* buckets, std::uint64_t count,
+                          double q, double fallback) {
+  if (count == 0) return fallback;
+  const auto target =
+      static_cast<std::uint64_t>(q * static_cast<double>(count - 1));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+    seen += buckets[b];
+    if (seen > target) return histogram_bucket_mid(b);
+  }
+  return fallback;
+}
+
+namespace {
+
 struct SpanAccum {
   std::uint64_t count = 0;
   std::uint64_t total_ns = 0;
   std::uint64_t min_ns = ~0ull;
   std::uint64_t max_ns = 0;
-  std::uint32_t hist[kHistBuckets] = {};
+  std::uint32_t hist[kHistogramBuckets] = {};
 };
 
 /// Per-event capture cap per thread: a runaway trace degrades to "first
@@ -213,7 +225,7 @@ void record_span(Span s, std::uint64_t start_ns, std::uint64_t dur_ns) {
   acc.total_ns += dur_ns;
   acc.min_ns = std::min(acc.min_ns, dur_ns);
   acc.max_ns = std::max(acc.max_ns, dur_ns);
-  ++acc.hist[bucket_of(dur_ns)];
+  ++acc.hist[histogram_bucket_of(dur_ns)];
   if (trace_enabled() && sk.events.size() < kMaxTraceEventsPerThread) {
     sk.events.push_back({s, start_ns, dur_ns, sk.tid});
   }
@@ -256,7 +268,9 @@ Snapshot snapshot() {
       m.total_ns += a.total_ns;
       m.min_ns = std::min(m.min_ns, a.min_ns);
       m.max_ns = std::max(m.max_ns, a.max_ns);
-      for (std::size_t b = 0; b < kHistBuckets; ++b) m.hist[b] += a.hist[b];
+      for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+        m.hist[b] += a.hist[b];
+      }
     }
     for (std::size_t k = 0; k < sk.ring_filled; ++k) {
       out.frames.push_back(sk.ring[k]);
@@ -277,19 +291,12 @@ Snapshot snapshot() {
     s.max_ns = m.max_ns;
     s.mean_ns = static_cast<double>(m.total_ns) / static_cast<double>(m.count);
     // Histogram quantiles: walk cumulative counts to the target rank.
-    const auto quantile = [&](double q) {
-      const auto target = static_cast<std::uint64_t>(
-          q * static_cast<double>(m.count - 1));
-      std::uint64_t seen = 0;
-      for (std::size_t b = 0; b < kHistBuckets; ++b) {
-        seen += m.hist[b];
-        if (seen > target) return bucket_mid(b);
-      }
-      return static_cast<double>(m.max_ns);
-    };
-    s.p50_ns = quantile(0.50);
-    s.p90_ns = quantile(0.90);
-    s.p99_ns = quantile(0.99);
+    std::uint64_t wide[kHistogramBuckets];
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b) wide[b] = m.hist[b];
+    const auto fallback = static_cast<double>(m.max_ns);
+    s.p50_ns = histogram_quantile(wide, m.count, 0.50, fallback);
+    s.p90_ns = histogram_quantile(wide, m.count, 0.90, fallback);
+    s.p99_ns = histogram_quantile(wide, m.count, 0.99, fallback);
     out.spans.push_back(std::move(s));
   }
 
@@ -311,6 +318,30 @@ Snapshot snapshot() {
             [](const TraceEvent& a, const TraceEvent& b) {
               return a.ts_ns < b.ts_ns;
             });
+  return out;
+}
+
+std::array<SpanHistogram, kSpanCount> span_histograms() {
+  std::array<SpanHistogram, kSpanCount> out{};
+  Registry::instance().for_each([&](ThreadSink& sk) {
+    for (std::size_t i = 0; i < kSpanCount; ++i) {
+      const auto& a = sk.spans[i];
+      if (a.count == 0) continue;
+      out[i].count += a.count;
+      out[i].total_ns += a.total_ns;
+      for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+        out[i].buckets[b] += a.hist[b];
+      }
+    }
+  });
+  return out;
+}
+
+std::array<std::uint64_t, kCounterCount> counter_totals() {
+  std::array<std::uint64_t, kCounterCount> out{};
+  Registry::instance().for_each([&](ThreadSink& sk) {
+    for (std::size_t i = 0; i < kCounterCount; ++i) out[i] += sk.counters[i];
+  });
   return out;
 }
 

@@ -25,6 +25,7 @@
 // the full observability contract.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
@@ -172,6 +173,49 @@ class ScopedSpan {
   Span span_;
   std::uint64_t start_ns_;
 };
+
+// --- duration histogram ----------------------------------------------------
+// The log₂-octave / 4-linear-sub-bucket histogram every span duration lands
+// in. Public because two consumers beyond snapshot() need the raw buckets:
+// the metrics plane (util/metrics + core/metrics_plane) computes *per-window*
+// percentiles from bucket deltas between samples, and the percentile edge
+// tests pin the bucketing math itself.
+
+/// Bucket count covering the full uint64 ns range (indices 0–7 are exact
+/// small values; above that each octave splits into quarters).
+inline constexpr std::size_t kHistogramBuckets = 256;
+
+/// The bucket a duration lands in. Quantile error ≤ 12.5 % (sub-bucket
+/// width), exact below 8 ns.
+std::size_t histogram_bucket_of(std::uint64_t ns);
+
+/// Midpoint of a bucket — the value quantiles report for it.
+double histogram_bucket_mid(std::size_t idx);
+
+/// Quantile q ∈ [0,1] over a raw bucket array holding `count` samples:
+/// walks cumulative counts to rank q·(count−1). Returns `fallback` when the
+/// histogram is empty or the rank walks off the end (count inconsistent
+/// with the buckets).
+double histogram_quantile(const std::uint64_t* buckets, std::uint64_t count,
+                          double q, double fallback);
+
+/// Raw merged histogram of one span across every thread sink — the
+/// windowing substrate: sample twice, subtract bucket-wise, and
+/// histogram_quantile the delta for per-window percentiles.
+struct SpanHistogram {
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::array<std::uint64_t, kHistogramBuckets> buckets{};
+};
+
+/// Merged per-span raw histograms (every span, zero-count ones included so
+/// callers can index by Span). Same safety contract as snapshot(): call
+/// only while no worker is recording.
+std::array<SpanHistogram, kSpanCount> span_histograms();
+
+/// Merged raw counter values (zeros included, indexable by Counter). Same
+/// safety contract as snapshot().
+std::array<std::uint64_t, kCounterCount> counter_totals();
 
 // --- aggregation -----------------------------------------------------------
 

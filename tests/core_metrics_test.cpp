@@ -4,8 +4,17 @@
 
 #include <stdexcept>
 
+#include "rx/receiver.h"
+
 namespace cbma::core {
 namespace {
+
+// core/metrics.h mirrors the rx outcome arity instead of including the
+// receiver header; this is the compile-time tripwire that keeps the two in
+// lockstep if rx::DecodeOutcome ever grows a state.
+static_assert(kDecodeOutcomeCount ==
+                  static_cast<std::size_t>(rx::DecodeOutcome::kIdMismatch) + 1,
+              "kDecodeOutcomeCount out of sync with rx::DecodeOutcome");
 
 TEST(RoundStats, StartsEmpty) {
   const RoundStats s(3);
@@ -67,6 +76,55 @@ TEST(RoundStats, MergeAddsCounters) {
 TEST(RoundStats, MergeValidatesArity) {
   RoundStats a(2), b(3);
   EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(RoundStats, RecordOutcomeTalliesAndIgnoresOutOfRange) {
+  RoundStats s(2);
+  s.record_outcome(static_cast<std::size_t>(rx::DecodeOutcome::kOk));
+  s.record_outcome(static_cast<std::size_t>(rx::DecodeOutcome::kOk));
+  s.record_outcome(static_cast<std::size_t>(rx::DecodeOutcome::kBadCrc));
+  // Out-of-range indices are dropped, not asserted: the tally is advisory
+  // observability state, never control flow.
+  s.record_outcome(kDecodeOutcomeCount);
+  s.record_outcome(kDecodeOutcomeCount + 7);
+  EXPECT_EQ(s.outcomes[static_cast<std::size_t>(rx::DecodeOutcome::kOk)], 2u);
+  EXPECT_EQ(s.outcomes[static_cast<std::size_t>(rx::DecodeOutcome::kBadCrc)],
+            1u);
+  std::size_t total = 0;
+  for (const auto n : s.outcomes) total += n;
+  EXPECT_EQ(total, 3u);
+}
+
+TEST(RoundStats, MergeSumsOutcomesAndLinkQuality) {
+  RoundStats a(2), b(2);
+  a.record_outcome(0);
+  b.record_outcome(0);
+  b.record_outcome(1);
+  rx::LinkQualityReport q;
+  q.valid = true;
+  q.snr_db = 12.0;
+  q.evm = 0.2;
+  q.soft_margin = 0.5;
+  q.margin_ratio = 2.0;
+  q.power_norm = 0.25;
+  q.correlation = 0.8;
+  a.quality.add(q);
+  q.snr_db = 6.0;
+  b.quality.add(q);
+  // An invalid report contributes nothing to either side.
+  rx::LinkQualityReport invalid;
+  invalid.snr_db = 1e9;
+  b.quality.add(invalid);
+
+  a.merge(b);
+  EXPECT_EQ(a.outcomes[0], 2u);
+  EXPECT_EQ(a.outcomes[1], 1u);
+  EXPECT_EQ(a.quality.frames, 2u);
+  EXPECT_DOUBLE_EQ(a.quality.snr_db_sum, 18.0);
+  EXPECT_DOUBLE_EQ(a.quality.snr_db_mean(), 9.0);
+  EXPECT_DOUBLE_EQ(a.quality.evm_mean(), 0.2);
+  // Means are defined (0) over zero frames — the no-decodes round.
+  EXPECT_DOUBLE_EQ(RoundStats(1).quality.snr_db_mean(), 0.0);
 }
 
 }  // namespace

@@ -17,6 +17,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <set>
 #include <sstream>
@@ -274,6 +276,29 @@ TEST(Telemetry, ChromeTraceExportParsesAndCoversSpansAndFrames) {
   buffer << in.rdbuf();
   EXPECT_NO_THROW((void)util::json_parse(buffer.str()));
   telemetry::reset();
+}
+
+TEST(Telemetry, TraceFileIsWrittenEvenWhenTelemetryIsDisabled) {
+  // Regression: CBMA_TRACE promises a trace file. A run with telemetry
+  // disabled (or simply no spans recorded) used to report success without
+  // writing anything; the export must instead be a valid, empty document.
+  const auto path = ::testing::TempDir() + "cbma_trace_disabled.json";
+  std::remove(path.c_str());
+  ::setenv("CBMA_TRACE", path.c_str(), 1);
+  Telemetry::enable(false);
+  ASSERT_TRUE(Telemetry::write_trace_if_requested());
+  ::unsetenv("CBMA_TRACE");
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "no trace file at " << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const auto doc = util::json_parse(buffer.str());
+  ASSERT_TRUE(doc.is_object());
+  const auto& events = doc.at("traceEvents");
+  ASSERT_TRUE(events.is_array());
+  EXPECT_TRUE(events.array.empty());
+  std::remove(path.c_str());
 }
 
 TEST(Telemetry, BenchJsonTelemetrySectionMatchesSchema) {

@@ -2,9 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
+#include "core/metrics_plane.h"
+#include "util/metrics.h"
 #include "util/rng.h"
+#include "util/telemetry.h"
 
 namespace cbma::net {
 namespace {
@@ -145,6 +149,113 @@ TEST(Network, MobilityWalkIsSeededAndClampedToTheFloor) {
     EXPECT_LE(std::abs(a.tag(t).x), 6.0);
     EXPECT_LE(std::abs(a.tag(t).y), 4.0);
   }
+}
+
+// --- metrics-plane attribution (DESIGN.md §12) -----------------------------
+// These flip the process-global metrics flag; gtest_discover_tests runs
+// each TEST in its own process, so the flip cannot leak.
+
+TEST(Network, MetricsPlaneChangesNoResultsAndAttributesEveryCell) {
+  auto off_net = Network::grid(small_config(), 12.0, 8.0, 2, 2);
+  auto on_net = Network::grid(small_config(), 12.0, 8.0, 2, 2);
+  Rng ro(5), rn(5);
+  off_net.place_random_tags(8, ro);
+  on_net.place_random_tags(8, rn);
+
+  core::MetricsPlane::disable();
+  const auto off = off_net.run_round(31);
+
+  core::MetricsPlane::enable();
+  metrics::set_export_path("");
+  core::MetricsPlane::set_cadence(1);
+  core::MetricsPlane::reset();
+  const auto on = on_net.run_round(31);
+  const auto snap = metrics::snapshot();
+  core::MetricsPlane::disable();
+  telemetry::set_enabled(false);
+
+  // Observing the round must not move it: bit-identical aggregates.
+  EXPECT_EQ(off.aggregate_goodput_bps, on.aggregate_goodput_bps);
+  EXPECT_EQ(off.jain_fairness, on.jain_fairness);
+  EXPECT_EQ(off.tags_served, on.tags_served);
+  EXPECT_EQ(off.roamed, on.roamed);
+
+  // One round at cadence 1 closed exactly one window.
+  EXPECT_EQ(snap.windows, 1u);
+
+  // Every cell charted its goodput under its own scope, at the value the
+  // round result reports; the global rollup series carries the aggregate.
+  auto last_value = [&](const std::string& name,
+                        const std::string& scope) -> double {
+    for (const auto& s : snap.series) {
+      if (s.name == name && s.scope == scope && !s.points.empty()) {
+        return s.points.back().value;
+      }
+    }
+    ADD_FAILURE() << "missing series " << name << " scope '" << scope << "'";
+    return -1.0;
+  };
+  ASSERT_EQ(on.cells.size(), 4u);
+  for (const auto& cell : on.cells) {
+    const std::string scope = "cell=" + std::to_string(cell.gateway_id);
+    EXPECT_EQ(last_value("net.cell.goodput_bps", scope), cell.goodput_bps);
+    EXPECT_EQ(last_value("net.cell.tags_served", scope),
+              static_cast<double>(cell.tags_served));
+    EXPECT_EQ(last_value("net.cell.sent", scope),
+              static_cast<double>(cell.stats.total_sent()));
+  }
+  EXPECT_EQ(last_value("net.goodput_bps", ""), on.aggregate_goodput_bps);
+  EXPECT_EQ(last_value("net.jain_fairness", ""), on.jain_fairness);
+  EXPECT_EQ(last_value("net.tags_total", ""), 8.0);
+}
+
+TEST(Network, MetricsPlaneEmitsCodeSliceOverflowEvents) {
+  auto network = Network::grid(small_config(), 12.0, 4.0, 2, 1);
+  // Three tags crowd gateway 0's bay; its slice holds max_tags = 2 codes.
+  network.add_tag({-3.0, 0.5});
+  network.add_tag({-2.5, -0.5});
+  network.add_tag({-3.5, 0.0});
+  core::MetricsPlane::enable();
+  metrics::set_export_path("");
+  core::MetricsPlane::reset();
+  const auto result = network.run_round(5);
+  const auto snap = metrics::snapshot();
+  core::MetricsPlane::disable();
+  telemetry::set_enabled(false);
+
+  ASSERT_EQ(result.cells[0].tags_served, 2u);
+  bool saw_overflow = false;
+  for (const auto& e : snap.events) {
+    if (e.type != "code_slice_overflow") continue;
+    saw_overflow = true;
+    EXPECT_EQ(e.severity, metrics::Severity::kWarning);
+    EXPECT_EQ(e.scope, "cell=0");
+    EXPECT_DOUBLE_EQ(e.value, 1.0);  // 3 members for 2 served slots
+  }
+  EXPECT_TRUE(saw_overflow);
+}
+
+TEST(Network, MetricsPlaneEmitsRoamEvents) {
+  auto network = Network::grid(small_config(), 12.0, 4.0, 2, 1);
+  network.add_tag({-3.0, 0.5});
+  network.associate();
+  ASSERT_EQ(network.association()[0], 0u);
+  network.move_tag(0, {1.0, 0.5});  // squarely in gateway 1's bay
+  core::MetricsPlane::enable();
+  metrics::set_export_path("");
+  core::MetricsPlane::reset();
+  ASSERT_EQ(network.roam(), 1u);
+  const auto snap = metrics::snapshot();
+  core::MetricsPlane::disable();
+  telemetry::set_enabled(false);
+
+  ASSERT_EQ(snap.events.size(), 1u);
+  const auto& e = snap.events[0];
+  EXPECT_EQ(e.type, "roam");
+  EXPECT_EQ(e.severity, metrics::Severity::kInfo);
+  EXPECT_EQ(e.scope, "cell=1");  // attributed to the destination cell
+  EXPECT_DOUBLE_EQ(e.value, 0.0);  // the tag index
+  EXPECT_NE(e.detail.find("cell 0 -> cell 1"), std::string::npos) << e.detail;
 }
 
 TEST(Network, ReuseColorsRespectTheFamilyAcrossTheGrid) {

@@ -157,5 +157,87 @@ TEST(UtilTelemetry, TraceEventsCapturedOnlyWhenTraceFlagOn) {
   reset();
 }
 
+// --- histogram bucketing edges (the metrics plane's percentile substrate) --
+
+TEST(UtilTelemetry, HistogramBucketsAreExactBelowEight) {
+  // Indices 0–7 hold the exact small values: no quantization at all.
+  for (std::uint64_t v = 0; v < 8; ++v) {
+    EXPECT_EQ(histogram_bucket_of(v), static_cast<std::size_t>(v));
+    EXPECT_DOUBLE_EQ(histogram_bucket_mid(v), static_cast<double>(v));
+  }
+  // The first quantized bucket starts exactly at 8.
+  EXPECT_EQ(histogram_bucket_of(8), 8u);
+  EXPECT_EQ(histogram_bucket_of(9), 8u);  // [8, 10) share a quarter-octave
+  EXPECT_EQ(histogram_bucket_of(10), 9u);
+}
+
+TEST(UtilTelemetry, HistogramBucketsAreMonotoneAndSubBucketTight) {
+  std::size_t prev = 0;
+  for (const std::uint64_t v :
+       {1ull, 7ull, 8ull, 15ull, 16ull, 100ull, 1000ull, 12345ull,
+        1ull << 20, (1ull << 20) + 1, 987654321ull, 1ull << 40,
+        1ull << 62}) {
+    const std::size_t b = histogram_bucket_of(v);
+    EXPECT_GE(b, prev) << "bucket index regressed at " << v;
+    prev = b;
+    EXPECT_LT(b, kHistogramBuckets);
+    // The bucket midpoint is within the documented sub-bucket width of any
+    // member value: ≤ 12.5 % relative error (exact below 8).
+    EXPECT_NEAR(histogram_bucket_mid(b), static_cast<double>(v),
+                0.125 * static_cast<double>(v))
+        << "bucket " << b << " for " << v;
+  }
+}
+
+TEST(UtilTelemetry, HistogramSaturatesWithoutOverflowAtUint64Max) {
+  const std::size_t top = histogram_bucket_of(~0ull);
+  ASSERT_LT(top, kHistogramBuckets);
+  // Every smaller value lands at or below the top bucket, and the top
+  // midpoint still approximates the extreme within the sub-bucket width.
+  EXPECT_LE(histogram_bucket_of(~0ull >> 1), top);
+  EXPECT_NEAR(histogram_bucket_mid(top), static_cast<double>(~0ull),
+              0.125 * static_cast<double>(~0ull));
+}
+
+TEST(UtilTelemetry, HistogramQuantileOfASingleSampleIsThatSample) {
+  // One sample: every percentile is that sample's bucket midpoint — p50,
+  // p90 and p99 must agree exactly (the window edge the metrics plane hits
+  // whenever a span fired once in a window).
+  std::uint64_t buckets[kHistogramBuckets] = {};
+  buckets[histogram_bucket_of(500)] = 1;
+  const double mid = histogram_bucket_mid(histogram_bucket_of(500));
+  for (const double q : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(histogram_quantile(buckets, 1, q, -1.0), mid) << q;
+  }
+  EXPECT_NEAR(mid, 500.0, 0.125 * 500.0);
+}
+
+TEST(UtilTelemetry, HistogramQuantileAtBucketBoundaries) {
+  // Two populations in distinct buckets: the quantile walk must switch
+  // buckets exactly at the cumulative-rank boundary. 10 samples at 100 ns
+  // and 90 at 10000 ns → p50/p90/p99 sit in the big bucket, p0 in the
+  // small one.
+  std::uint64_t buckets[kHistogramBuckets] = {};
+  buckets[histogram_bucket_of(100)] = 10;
+  buckets[histogram_bucket_of(10000)] = 90;
+  const double lo = histogram_bucket_mid(histogram_bucket_of(100));
+  const double hi = histogram_bucket_mid(histogram_bucket_of(10000));
+  EXPECT_DOUBLE_EQ(histogram_quantile(buckets, 100, 0.0, -1.0), lo);
+  // Rank floor(0.09·99) = 8 is still inside the low-bucket count of 10.
+  EXPECT_DOUBLE_EQ(histogram_quantile(buckets, 100, 0.09, -1.0), lo);
+  EXPECT_DOUBLE_EQ(histogram_quantile(buckets, 100, 0.5, -1.0), hi);
+  EXPECT_DOUBLE_EQ(histogram_quantile(buckets, 100, 0.99, -1.0), hi);
+}
+
+TEST(UtilTelemetry, HistogramQuantileFallsBackOnEmptyOrInconsistentInput) {
+  std::uint64_t buckets[kHistogramBuckets] = {};
+  // Empty histogram: the caller's fallback comes back verbatim.
+  EXPECT_DOUBLE_EQ(histogram_quantile(buckets, 0, 0.5, 123.25), 123.25);
+  // A count larger than the buckets actually hold (torn sample): the rank
+  // walks off the end and the fallback protects the caller again.
+  buckets[histogram_bucket_of(100)] = 2;
+  EXPECT_DOUBLE_EQ(histogram_quantile(buckets, 10, 0.99, -7.5), -7.5);
+}
+
 }  // namespace
 }  // namespace cbma::telemetry

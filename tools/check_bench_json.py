@@ -2,7 +2,7 @@
 """Validate the BENCH_*.json artifacts the bench suite emits.
 
 Usage: check_bench_json.py [--require-telemetry] [--require-link-quality]
-                           <dir> <bench-name>...
+                           [--require-timeseries] <dir> <bench-name>...
 
 For every listed bench the script requires <dir>/BENCH_<name>.json to
 exist, parse, and carry the recorder schema (schema_version 1): bench
@@ -15,6 +15,9 @@ appears; `--require-telemetry` additionally fails documents without one
 section (present when the run had CBMA_PROBE=<path>) and a `watchdog`
 warning array are validated against DESIGN.md §8 whenever they appear;
 `--require-link-quality` fails documents without the probe sections.
+The metrics-plane `timeseries` + `events` sections (present when the run
+had CBMA_METRICS=<path>, DESIGN.md §12) are validated whenever they
+appear; `--require-timeseries` fails documents without them.
 `kernels` is special-cased: bench_kernels emits google-benchmark's own
 JSON, which is validated as such. Exits non-zero on the first failure so
 CI fails loudly on a missing or malformed document.
@@ -141,9 +144,64 @@ def check_watchdog_section(name: str, warnings: list) -> None:
               f"{warning['detail']}")
 
 
+SEVERITIES = ("info", "warning", "error")
+
+
+def check_timeseries_section(name: str, ts: dict) -> None:
+    """Metrics-plane schema (DESIGN.md §12): bounded windowed series keyed
+    by (name, scope), window indices monotone per series."""
+    for key in ("windows", "window_capacity", "dropped", "series"):
+        if key not in ts:
+            fail(f"{name}: timeseries section missing key '{key}'")
+    for key in ("points", "series", "events"):
+        if key not in ts["dropped"]:
+            fail(f"{name}: timeseries.dropped missing key '{key}'")
+    if not isinstance(ts["series"], list) or not ts["series"]:
+        fail(f"{name}: timeseries.series missing or empty")
+    seen = set()
+    for series in ts["series"]:
+        for key in ("name", "scope", "points"):
+            if key not in series:
+                fail(f"{name}: timeseries series missing key '{key}': "
+                     f"{series}")
+        ident = (series["name"], series["scope"])
+        if ident in seen:
+            fail(f"{name}: duplicate timeseries series {ident}")
+        seen.add(ident)
+        if len(series["points"]) > ts["window_capacity"]:
+            fail(f"{name}: series {ident} exceeds the ring capacity")
+        prev = -1
+        for point in series["points"]:
+            if len(point) != 2 or not isinstance(point[1], (int, float)):
+                fail(f"{name}: series {ident} malformed point {point}")
+            if point[0] < prev:
+                fail(f"{name}: series {ident} window indices not monotone")
+            prev = point[0]
+
+
+def check_events_section(name: str, events: list) -> None:
+    """Structured event-log schema (DESIGN.md §12): typed entries with a
+    severity from the fixed vocabulary, strictly increasing seq."""
+    if not isinstance(events, list):
+        fail(f"{name}: events section is not an array")
+    prev_seq = -1
+    for event in events:
+        for key in ("seq", "window", "severity", "type", "value"):
+            if key not in event:
+                fail(f"{name}: event missing key '{key}': {event}")
+        if event["seq"] <= prev_seq:
+            fail(f"{name}: event seq not strictly increasing")
+        prev_seq = event["seq"]
+        if event["severity"] not in SEVERITIES:
+            fail(f"{name}: event severity {event['severity']!r} unknown")
+        if not isinstance(event["type"], str) or not event["type"]:
+            fail(f"{name}: event without a type label")
+
+
 def check_recorder_doc(name: str, doc: dict,
                        require_telemetry: bool = False,
-                       require_link_quality: bool = False) -> None:
+                       require_link_quality: bool = False,
+                       require_timeseries: bool = False) -> None:
     for key in ("schema_version", "bench", "title", "paper_ref", "config",
                 "base_seed", "trials_per_point", "axes", "points", "tables",
                 "checks", "notes"):
@@ -202,6 +260,14 @@ def check_recorder_doc(name: str, doc: dict,
         check_watchdog_section(name, doc["watchdog"])
     elif require_link_quality:
         fail(f"{name}: no watchdog section but --require-link-quality given")
+    if ("timeseries" in doc) != ("events" in doc):
+        fail(f"{name}: timeseries and events sections must appear together")
+    if "timeseries" in doc:
+        check_timeseries_section(name, doc["timeseries"])
+        check_events_section(name, doc["events"])
+    elif require_timeseries:
+        fail(f"{name}: no timeseries section but --require-timeseries given "
+             "— was the bench run without CBMA_METRICS=<path>?")
 
 
 def check_google_benchmark_doc(name: str, doc: dict) -> None:
@@ -215,11 +281,14 @@ def main() -> None:
     args = sys.argv[1:]
     require_telemetry = "--require-telemetry" in args
     require_link_quality = "--require-link-quality" in args
+    require_timeseries = "--require-timeseries" in args
     args = [a for a in args
-            if a not in ("--require-telemetry", "--require-link-quality")]
+            if a not in ("--require-telemetry", "--require-link-quality",
+                         "--require-timeseries")]
     if len(args) < 2:
         fail("usage: check_bench_json.py [--require-telemetry] "
-             "[--require-link-quality] <dir> <bench-name>...")
+             "[--require-link-quality] [--require-timeseries] "
+             "<dir> <bench-name>...")
     directory, names = args[0], args[1:]
     for name in names:
         path = f"{directory}/BENCH_{name}.json"
@@ -234,7 +303,7 @@ def main() -> None:
             check_google_benchmark_doc(name, doc)
         else:
             check_recorder_doc(name, doc, require_telemetry,
-                               require_link_quality)
+                               require_link_quality, require_timeseries)
         print(f"check_bench_json: OK: {path}")
     print(f"check_bench_json: validated {len(names)} documents")
 

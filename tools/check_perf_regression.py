@@ -6,6 +6,7 @@ Usage:
   check_perf_regression.py <BENCH_kernels.json> <baseline.json> --update
   check_perf_regression.py <BENCH_kernels.json> --crossover
   check_perf_regression.py <BENCH_kernels.json> --ring-flat
+  check_perf_regression.py <BENCH_kernels.json> --metrics-overhead
 
 Compares the ns_per_packet counter (and, for the streaming-receiver rows,
 ns_per_sample) of every benchmark present in both the fresh
@@ -29,6 +30,13 @@ gate requires the value to be byte-identical across all stream lengths —
 a ring that grows with the 10x stream means per-sample state is being
 retained (DESIGN.md §10).
 
+`--metrics-overhead` checks the metrics plane's cost ceiling instead of
+the baseline: every BM_<X>Metrics row is paired with its metrics-off twin
+BM_<X> on the ns_per_round counter, and the gate requires the enabled run
+to stay within METRICS_OVERHEAD_TOLERANCE (+2 %) of the twin — the
+strict-identity-when-off contract's enabled-side budget (DESIGN.md §12).
+Pairs are matched within one run, so machine speed cancels out.
+
 `--crossover` checks the detection-engine crossover policy instead of the
 baseline: it groups the BM_DetectPeaks{Naive,Fft,Auto}/K/L/W rows of a
 fresh run by grid point and, wherever the naive and FFT engines are
@@ -48,6 +56,10 @@ DEFAULT_TOLERANCE = 0.30
 CROSSOVER_SEPARATION = 1.5
 # ... and there the auto engine must be within this factor of the winner.
 CROSSOVER_SLACK = 1.3
+
+# --metrics-overhead: a metrics-enabled round may cost at most this much
+# more than its metrics-off twin (ISSUE acceptance: +2% ns_per_round).
+METRICS_OVERHEAD_TOLERANCE = 0.02
 
 
 def fail(msg: str) -> None:
@@ -156,8 +168,53 @@ def check_ring_flat(current_path: str) -> None:
           f"{next(iter(distinct)):.0f} bytes resident in every run")
 
 
+def check_metrics_overhead(current_path: str) -> None:
+    """Pair BM_<X>Metrics rows with their BM_<X> twins on ns_per_round."""
+    rounds = counter_by_name(load(current_path), "ns_per_round")
+    pairs = []
+    for name, ns_on in sorted(rounds.items()):
+        base, sep, rest = name.partition("/")
+        if not base.endswith("Metrics"):
+            continue
+        twin = base[:-len("Metrics")] + sep + rest
+        if twin not in rounds:
+            print(f"check_perf_regression: note: '{name}' has no "
+                  f"metrics-off twin '{twin}' in this run — skipped")
+            continue
+        pairs.append((twin, name, rounds[twin], ns_on))
+    if not pairs:
+        fail(f"{current_path} has no paired BM_<X>/BM_<X>Metrics "
+             "ns_per_round rows — run bench_kernels with "
+             "--benchmark_filter=BM_NetMulticellRound")
+    failures = []
+    for twin, name, ns_off, ns_on in pairs:
+        ratio = ns_on / ns_off
+        verdict = "ok" if ratio <= 1.0 + METRICS_OVERHEAD_TOLERANCE \
+            else "OVER BUDGET"
+        print(f"check_perf_regression: metrics-overhead: {twin} "
+              f"{ns_off:.0f} ns -> {name} {ns_on:.0f} ns "
+              f"({ratio:.3f}x): {verdict}")
+        if ratio > 1.0 + METRICS_OVERHEAD_TOLERANCE:
+            failures.append((name, ratio))
+    for name, ratio in failures:
+        print(f"check_perf_regression: FAIL: {name} costs {ratio:.3f}x its "
+              f"metrics-off twin (> {1.0 + METRICS_OVERHEAD_TOLERANCE:.2f}x "
+              "allowed)", file=sys.stderr)
+    if failures:
+        sys.exit(1)
+    print(f"check_perf_regression: metrics overhead within "
+          f"{METRICS_OVERHEAD_TOLERANCE:.0%} on {len(pairs)} pair(s)")
+
+
 def main() -> None:
     args = sys.argv[1:]
+    if "--metrics-overhead" in args:
+        args = [a for a in args if a != "--metrics-overhead"]
+        if len(args) != 1:
+            fail("usage: check_perf_regression.py <BENCH_kernels.json> "
+                 "--metrics-overhead")
+        check_metrics_overhead(args[0])
+        return
     if "--ring-flat" in args:
         args = [a for a in args if a != "--ring-flat"]
         if len(args) != 1:

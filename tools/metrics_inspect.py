@@ -1,0 +1,224 @@
+#!/usr/bin/env python3
+"""Validate, summarize and export the metrics-plane time series.
+
+Usage:
+  metrics_inspect.py --check <BENCH_*.json>
+  metrics_inspect.py --summary <BENCH_*.json>
+  metrics_inspect.py --csv [--series NAME] [--scope SCOPE] <BENCH_*.json>
+  metrics_inspect.py --prom-check <exposition.prom>
+
+Input is the BENCH_*.json a metrics-enabled run (CBMA_METRICS=<path> or
+SystemConfig::metrics) produced — its "timeseries" and "events" sections
+(DESIGN.md §12) — or, with --prom-check, the Prometheus text exposition
+the run rewrote at <path>.
+
+--check structurally validates both sections: window indices monotone
+non-decreasing per series and bounded by the closed-window count, points
+within the ring capacity, event sequence strictly increasing, severities
+from the known vocabulary. --summary prints per-series point counts and
+last values plus the event tally. --csv streams `series,scope,unit,
+window,value` rows to stdout (filter with --series / --scope).
+--prom-check parses the exposition line-by-line: every non-comment line
+must be `name{labels} value` with a float value, names must match the
+Prometheus charset, and the cbma_metrics_* meta gauges must be present.
+Exits non-zero on the first failure so CI fails loudly. Stdlib only.
+"""
+import argparse
+import json
+import re
+import sys
+
+SEVERITIES = ("info", "warning", "error")
+PROM_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+PROM_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?\s+(?P<value>\S+)$")
+PROM_LABEL = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$')
+REQUIRED_META = (
+    "cbma_metrics_windows_total",
+    "cbma_metrics_series",
+    "cbma_metrics_events_total",
+    "cbma_metrics_dropped_total",
+)
+
+
+def fail(msg: str) -> None:
+    print(f"metrics_inspect: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_doc(path: str):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except FileNotFoundError:
+        fail(f"{path} missing")
+    except json.JSONDecodeError as e:
+        fail(f"{path}: not valid JSON: {e}")
+
+
+def get_sections(doc, path):
+    ts = doc.get("timeseries")
+    if ts is None:
+        fail(f"{path}: no 'timeseries' section — was the run metrics-enabled "
+             "(CBMA_METRICS)?")
+    events = doc.get("events")
+    if events is None:
+        fail(f"{path}: 'timeseries' present but 'events' missing")
+    return ts, events
+
+
+def check(path: str) -> None:
+    doc = load_doc(path)
+    ts, events = get_sections(doc, path)
+    for key in ("windows", "window_capacity", "dropped", "series"):
+        if key not in ts:
+            fail(f"timeseries: missing key '{key}'")
+    windows = ts["windows"]
+    capacity = ts["window_capacity"]
+    for key in ("points", "series", "events"):
+        if key not in ts["dropped"]:
+            fail(f"timeseries.dropped: missing key '{key}'")
+    seen = set()
+    for s in ts["series"]:
+        for key in ("name", "scope", "points"):
+            if key not in s:
+                fail(f"series entry missing key '{key}': {s}")
+        ident = (s["name"], s["scope"])
+        if ident in seen:
+            fail(f"duplicate series {ident}")
+        seen.add(ident)
+        if len(s["points"]) > capacity:
+            fail(f"series {ident}: {len(s['points'])} points exceed ring "
+                 f"capacity {capacity}")
+        prev = -1
+        for p in s["points"]:
+            if len(p) != 2:
+                fail(f"series {ident}: malformed point {p}")
+            w, v = p
+            if not isinstance(w, int) or w < 0:
+                fail(f"series {ident}: bad window index {w}")
+            # The final sample of a run may sit in the still-open window
+            # (== windows); closed windows are [0, windows).
+            if w > windows:
+                fail(f"series {ident}: window {w} beyond closed count "
+                     f"{windows}")
+            if w < prev:
+                fail(f"series {ident}: window indices not monotone "
+                     f"({prev} then {w})")
+            prev = w
+            if not isinstance(v, (int, float)):
+                fail(f"series {ident}: non-numeric value {v!r}")
+    prev_seq = -1
+    for e in events:
+        for key in ("seq", "window", "severity", "type", "value"):
+            if key not in e:
+                fail(f"event missing key '{key}': {e}")
+        if e["seq"] <= prev_seq:
+            fail(f"event seq not strictly increasing at {e['seq']}")
+        prev_seq = e["seq"]
+        if e["severity"] not in SEVERITIES:
+            fail(f"unknown event severity {e['severity']!r}")
+        if e["window"] > windows:
+            fail(f"event {e['seq']}: window {e['window']} beyond closed "
+                 f"count {windows}")
+    print(f"metrics_inspect: OK: {len(ts['series'])} series over "
+          f"{windows} windows, {len(events)} events")
+
+
+def summary(path: str) -> None:
+    doc = load_doc(path)
+    ts, events = get_sections(doc, path)
+    print(f"windows: {ts['windows']}  ring capacity: {ts['window_capacity']}"
+          f"  dropped: {ts['dropped']}")
+    print(f"{'series':<40} {'scope':<14} {'unit':<6} {'pts':>4} {'last':>14}")
+    for s in ts["series"]:
+        last = s["points"][-1][1] if s["points"] else float("nan")
+        print(f"{s['name']:<40} {s['scope']:<14} {s.get('unit', ''):<6} "
+              f"{len(s['points']):>4} {last:>14.6g}")
+    tally = {}
+    for e in events:
+        key = (e["severity"], e["type"])
+        tally[key] = tally.get(key, 0) + 1
+    print(f"\nevents: {len(events)}")
+    for (severity, kind), n in sorted(tally.items()):
+        print(f"  {severity:<8} {kind:<24} {n}")
+
+
+def csv(path: str, series_filter, scope_filter) -> None:
+    doc = load_doc(path)
+    ts, _ = get_sections(doc, path)
+    print("series,scope,unit,window,value")
+    for s in ts["series"]:
+        if series_filter is not None and s["name"] != series_filter:
+            continue
+        if scope_filter is not None and s["scope"] != scope_filter:
+            continue
+        for w, v in s["points"]:
+            print(f"{s['name']},{s['scope']},{s.get('unit', '')},{w},{v!r}")
+
+
+def prom_check(path: str) -> None:
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except FileNotFoundError:
+        fail(f"{path} missing")
+    names = set()
+    samples = 0
+    for lineno, line in enumerate(lines, 1):
+        if not line or line.startswith("#"):
+            continue
+        m = PROM_LINE.match(line)
+        if not m:
+            fail(f"{path}:{lineno}: unparseable sample line: {line!r}")
+        if not PROM_NAME.match(m.group("name")):
+            fail(f"{path}:{lineno}: bad metric name {m.group('name')!r}")
+        labels = m.group("labels")
+        if labels:
+            for pair in labels.split(","):
+                if not PROM_LABEL.match(pair):
+                    fail(f"{path}:{lineno}: bad label pair {pair!r}")
+        try:
+            float(m.group("value"))
+        except ValueError:
+            fail(f"{path}:{lineno}: non-float value {m.group('value')!r}")
+        names.add(m.group("name"))
+        samples += 1
+    for meta in REQUIRED_META:
+        if meta not in names:
+            fail(f"{path}: required meta gauge '{meta}' missing")
+    print(f"metrics_inspect: OK: {samples} samples, "
+          f"{len(names)} metric names")
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(
+        description="Validate/summarize/export metrics-plane time series")
+    mode = ap.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--check", action="store_true",
+                      help="validate the timeseries/events sections")
+    mode.add_argument("--summary", action="store_true",
+                      help="per-series and event overview")
+    mode.add_argument("--csv", action="store_true",
+                      help="dump points as CSV to stdout")
+    mode.add_argument("--prom-check", action="store_true",
+                      help="input is a Prometheus text exposition file")
+    ap.add_argument("--series", help="--csv: keep only this series name")
+    ap.add_argument("--scope", help="--csv: keep only this scope "
+                                    "(e.g. cell=3; use '' for global)")
+    ap.add_argument("path", help="BENCH_*.json (or .prom with --prom-check)")
+    args = ap.parse_args()
+
+    if args.check:
+        check(args.path)
+    elif args.summary:
+        summary(args.path)
+    elif args.csv:
+        csv(args.path, args.series, args.scope)
+    else:
+        prom_check(args.path)
+
+
+if __name__ == "__main__":
+    main()

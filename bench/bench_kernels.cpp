@@ -15,6 +15,7 @@
 
 #include "core/metrics_plane.h"
 #include "core/system.h"
+#include "util/profiler.h"
 #include "net/network.h"
 #include "phy/spreader.h"
 #include "pn/correlation.h"
@@ -447,6 +448,43 @@ void BM_NetMulticellRoundMetrics(benchmark::State& state) {
   telemetry::set_enabled(telemetry_was_on);
 }
 BENCHMARK(BM_NetMulticellRoundMetrics)->Arg(2);
+
+/// BM_NetMulticellRound with the hierarchical profiler live: identical
+/// workload plus span-tree attribution and parallel_for busy/idle
+/// measurement into the in-memory node pools (no collapsed-stack file —
+/// the export path is untouched so the figure measures recording, not
+/// filesystem I/O). check_perf_regression.py --profile-overhead gates
+/// this against the profiler-off twin at +2% ns_per_round.
+void BM_NetMulticellRoundProfile(benchmark::State& state) {
+  const bool profiler_was_on = profiler::enabled();
+  profiler::set_enabled(true);
+  profiler::reset();
+
+  const auto side = static_cast<std::size_t>(state.range(0));
+  net::NetworkConfig cfg;
+  cfg.cell.code_family = pn::CodeFamily::kGold;
+  cfg.cell.max_tags = 4;
+  cfg.cell.tx_power_dbm = 30.0;
+  cfg.reuse.family_size = 64;
+  cfg.packets_per_round = 1;
+  auto network = net::Network::grid(cfg, 6.0 * static_cast<double>(side),
+                                    4.0 * static_cast<double>(side), side, side);
+  Rng rng(6);
+  network.place_random_tags(side * side * 4, rng);
+  network.run_round(7, /*max_workers=*/1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(network.run_round(7, /*max_workers=*/1));
+  }
+  const auto cells = static_cast<std::int64_t>(side * side);
+  state.counters["ns_per_round"] = benchmark::Counter(
+      static_cast<double>(cells) * 1e-9,
+      benchmark::Counter::kIsIterationInvariantRate | benchmark::Counter::kInvert);
+  state.SetItemsProcessed(state.iterations() * cells);
+
+  profiler::reset();
+  profiler::set_enabled(profiler_was_on);
+}
+BENCHMARK(BM_NetMulticellRoundProfile)->Arg(2);
 
 }  // namespace
 

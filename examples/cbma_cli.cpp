@@ -3,7 +3,7 @@
 //   cbma_cli [--tags N] [--radius M] [--distance M] [--packets P]
 //            [--family gold|2nc] [--bitrate MBPS] [--power DBM]
 //            [--payload BYTES] [--pc] [--wifi] [--bluetooth] [--ofdm]
-//            [--multipath] [--probe PATH] [--cells N] [--seed S]
+//            [--multipath] [--probe PATH] [--cells N] [--profile] [--seed S]
 //
 // Tags are placed on a ring of the given radius centred `--distance`
 // metres from the receiver side of the paper frame. Reports per-tag SNR,
@@ -20,6 +20,7 @@
 #include <string>
 
 #include "core/probe_session.h"
+#include "core/profile_plane.h"
 #include "core/system.h"
 #include "mac/throughput.h"
 #include "net/network.h"
@@ -48,6 +49,7 @@ struct CliOptions {
   std::string probe;  ///< signal-probe dump path ("" = probing off)
   std::size_t stream_chunk = 0;  ///< rx ingestion chunk (0 = whole rounds)
   std::size_t cells = 0;  ///< cells per side (0 = single-cell ring mode)
+  bool profile = false;   ///< print the top-10 exclusive-time table
   std::uint64_t seed = 1;
 };
 
@@ -73,6 +75,8 @@ void usage(const char* argv0) {
       "                   rounds)\n"
       "  --cells N        multi-cell mode: N x N gateway grid, --tags tags per\n"
       "                   cell, spatial code reuse over a shared 64-code family\n"
+      "  --profile        profile the run and print the top-10 caller paths by\n"
+      "                   exclusive time (see also CBMA_PROFILE=PATH)\n"
       "  --seed S         RNG seed (default 1)\n",
       argv0);
 }
@@ -145,6 +149,8 @@ bool parse(int argc, char** argv, CliOptions& opt) {
       const char* v = need_value("--seed");
       if (!v) return false;
       opt.seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--profile") {
+      opt.profile = true;
     } else if (arg == "--pc") {
       opt.power_control = true;
     } else if (arg == "--wifi") {
@@ -162,6 +168,25 @@ bool parse(int argc, char** argv, CliOptions& opt) {
     }
   }
   return true;
+}
+
+// With --profile: where did the time go — top-10 caller paths by exclusive
+// time out of the profiler's attribution tree, plus the collapsed-stack
+// export if CBMA_PROFILE=<path> also asked for the flamegraph file.
+void print_profile_report() {
+  if (!core::ProfilePlane::enabled()) return;
+  const auto rows = core::ProfilePlane::top_exclusive(10);
+  Table table({"caller path", "count", "incl ms", "excl ms"});
+  for (const auto& row : rows) {
+    table.add_row({row.path, std::to_string(row.count),
+                   Table::num(static_cast<double>(row.incl_ns) / 1e6, 3),
+                   Table::num(static_cast<double>(row.excl_ns) / 1e6, 3)});
+  }
+  std::printf("\nprofile (top 10 by exclusive time):\n%s\n",
+              table.render().c_str());
+  if (!core::ProfilePlane::write_collapsed_if_requested()) {
+    std::fprintf(stderr, "profile: collapsed-stack export failed\n");
+  }
 }
 
 // Multi-cell mode (`--cells N`): the net:: layer over an N x N bay grid.
@@ -227,6 +252,7 @@ int run_multicell(const CliOptions& opt) {
   std::printf("aggregate goodput  : %.2f Mbps\n",
               result.aggregate_goodput_bps / 1e6);
   std::printf("Jain fairness      : %.3f\n", result.jain_fairness);
+  print_profile_report();
   return 0;
 }
 
@@ -239,6 +265,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--tags and --packets must be positive\n");
     return 1;
   }
+  if (opt.profile) core::ProfilePlane::enable();
   if (opt.cells > 0) {
     try {
       return run_multicell(opt);
@@ -320,5 +347,6 @@ int main(int argc, char** argv) {
     std::printf("probe dump         : %s (+ .json manifest)\n",
                 opt.probe.empty() ? "$CBMA_PROBE" : opt.probe.c_str());
   }
+  print_profile_report();
   return 0;
 }

@@ -1,0 +1,155 @@
+#include "core/profile_plane.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/json.h"
+#include "util/profiler.h"
+#include "util/telemetry.h"
+
+namespace cbma::core {
+
+namespace {
+
+/// Depth-first flatten of the merged tree into ";"-joined caller-path rows
+/// (the collapsed-stack frame order: outermost first). Span names use "/"
+/// internally, so ";" is an unambiguous frame separator.
+void flatten(const profiler::MergedNode& node, const std::string& prefix,
+             std::vector<ProfilePlane::Row>& out) {
+  ProfilePlane::Row row;
+  row.path = prefix.empty()
+                 ? std::string(telemetry::span_name(node.span))
+                 : prefix + ";" + telemetry::span_name(node.span);
+  row.count = node.count;
+  row.incl_ns = node.incl_ns;
+  row.excl_ns = node.excl_ns();
+  for (const auto& child : node.children) flatten(child, row.path, out);
+  out.push_back(std::move(row));
+}
+
+std::vector<ProfilePlane::Row> flatten_tree() {
+  const profiler::TreeSnapshot snap = profiler::merged_tree();
+  std::vector<ProfilePlane::Row> rows;
+  for (const auto& root : snap.roots) flatten(root, "", rows);
+  return rows;
+}
+
+void write_node(util::JsonWriter& w, const profiler::MergedNode& node) {
+  w.begin_object();
+  w.key("span").value(telemetry::span_name(node.span));
+  w.key("count").value(node.count);
+  w.key("incl_ns").value(node.incl_ns);
+  w.key("excl_ns").value(node.excl_ns());
+  w.key("child_ns").value(node.child_ns);
+  w.key("children").begin_array();
+  for (const auto& child : node.children) write_node(w, child);
+  w.end_array();
+  w.end_object();
+}
+
+}  // namespace
+
+bool ProfilePlane::enabled() { return profiler::enabled(); }
+
+void ProfilePlane::enable(std::string collapsed_path) {
+  profiler::set_enabled(true);
+  if (!collapsed_path.empty()) {
+    profiler::set_export_path(std::move(collapsed_path));
+  }
+}
+
+void ProfilePlane::disable() { profiler::set_enabled(false); }
+
+void ProfilePlane::reset() { profiler::reset(); }
+
+std::vector<ProfilePlane::Row> ProfilePlane::top_exclusive(std::size_t n) {
+  std::vector<Row> rows = flatten_tree();
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    if (a.excl_ns != b.excl_ns) return a.excl_ns > b.excl_ns;
+    return a.path < b.path;
+  });
+  if (rows.size() > n) rows.resize(n);
+  return rows;
+}
+
+void ProfilePlane::write_json_section(util::JsonWriter& w) {
+  const profiler::TreeSnapshot snap = profiler::merged_tree();
+  w.key("profile").begin_object();
+  w.key("threads").value(static_cast<std::uint64_t>(snap.threads));
+  w.key("dropped").value(snap.dropped);
+  w.key("tree").begin_array();
+  for (const auto& root : snap.roots) write_node(w, root);
+  w.end_array();
+  w.key("parallel").begin_array();
+  for (const auto& site : profiler::parallel_stats()) {
+    w.begin_object();
+    w.key("site").value(site.site);
+    w.key("calls").value(site.calls);
+    w.key("items").value(site.items);
+    w.key("wall_ns").value(site.wall_ns);
+    w.key("busy_ns").value(site.busy_ns);
+    w.key("imbalance").value(site.worst_imbalance);
+    w.key("workers").begin_array();
+    for (std::size_t slot = 0; slot < site.worker_busy_ns.size(); ++slot) {
+      w.begin_object();
+      w.key("busy_ns").value(site.worker_busy_ns[slot]);
+      w.key("items").value(slot < site.worker_items.size()
+                               ? site.worker_items[slot]
+                               : 0);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+std::string ProfilePlane::collapsed() {
+  std::vector<Row> rows = flatten_tree();
+  // Flamegraph semantics: a frame's own width is its exclusive time, so
+  // zero-exclusive rows (pure pass-through parents, context anchors) are
+  // implied by their children and add nothing.
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.path < b.path; });
+  std::string out;
+  char buf[32];
+  for (const auto& row : rows) {
+    if (row.excl_ns == 0) continue;
+    std::snprintf(buf, sizeof buf, " %llu\n",
+                  static_cast<unsigned long long>(row.excl_ns));
+    out += row.path;
+    out += buf;
+  }
+  return out;
+}
+
+bool ProfilePlane::write_collapsed_if_requested() {
+  if (!enabled()) return true;
+  const std::string path = profiler::export_path();
+  if (path.empty()) return true;
+  const std::string text = collapsed();
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "profile: cannot open %s for writing\n", tmp.c_str());
+    return false;
+  }
+  const bool wrote =
+      std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote || !closed) {
+    std::fprintf(stderr, "profile: failed writing %s\n", tmp.c_str());
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::fprintf(stderr, "profile: cannot rename %s over %s\n", tmp.c_str(),
+                 path.c_str());
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace cbma::core

@@ -1,0 +1,76 @@
+// ProfilePlane: the export half of the hierarchical profiler (DESIGN.md
+// §13). util/profiler owns the per-thread span stacks and the merged
+// caller-path tree; this facade owns what leaves the process:
+//
+//  - write_json_section() emits the "profile" section of BENCH_*.json —
+//    the attribution tree (count / inclusive / exclusive / same-thread
+//    child time per caller path) plus the parallel_for worker-utilization
+//    reports ("sweep/run", "net/round") with per-slot busy time, item
+//    counts and the imbalance ratio.
+//  - write_collapsed_if_requested() writes the Brendan Gregg
+//    collapsed-stack flamegraph file ("a;b;c <exclusive_ns>" lines) to
+//    the CBMA_PROFILE path.
+//  - top_exclusive() flattens the tree into the top-N exclusive-time rows
+//    cbma_cli --profile prints.
+//
+// Same identity contract as telemetry/probe/metrics: when disabled
+// (CBMA_PROFILE unset and no enable() call) every entry point returns
+// before touching state, and BENCH_*.json stays byte-identical. Unlike
+// the metrics plane, enabling the profiler does NOT arm telemetry — the
+// span sites feed the tree directly, so the two layers stay independent.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cbma::util {
+class JsonWriter;
+}  // namespace cbma::util
+
+namespace cbma::core {
+
+class ProfilePlane {
+ public:
+  /// True when the profiler is live (CBMA_PROFILE set or enable() called).
+  static bool enabled();
+
+  /// Turn the profiler on; a non-empty path becomes the collapsed-stack
+  /// export target (equivalent to CBMA_PROFILE=<path>).
+  static void enable(std::string collapsed_path = "");
+  static void disable();
+
+  /// Drop every thread's tree and the parallel-site aggregates. The
+  /// enabled flag and export path are unchanged. Sequential-only.
+  static void reset();
+
+  /// One flattened caller path ("net/round;net/cell_round;rx/process")
+  /// with its merged counts — the unit of the CLI table and the
+  /// collapsed-stack export.
+  struct Row {
+    std::string path;
+    std::uint64_t count = 0;
+    std::uint64_t incl_ns = 0;
+    std::uint64_t excl_ns = 0;
+  };
+
+  /// The top `n` rows by exclusive time (descending; ties break on the
+  /// path string so the order is deterministic). Sequential-only.
+  static std::vector<Row> top_exclusive(std::size_t n);
+
+  /// Emit the "profile" section into an open JSON object
+  /// (RunRecorder::json calls this only when enabled).
+  static void write_json_section(util::JsonWriter& w);
+
+  /// The collapsed-stack flamegraph document: one "frame;frame value"
+  /// line per caller path with non-zero exclusive time, sorted by path.
+  /// Values are exclusive nanoseconds.
+  static std::string collapsed();
+
+  /// Write collapsed() to profiler::export_path(), if one is configured.
+  /// No-op (true) when disabled or no path is set.
+  static bool write_collapsed_if_requested();
+};
+
+}  // namespace cbma::core

@@ -8,6 +8,7 @@
 
 #include "core/metrics_plane.h"
 #include "core/probe_session.h"
+#include "core/profile_plane.h"
 #include "core/telemetry.h"
 #include "util/expect.h"
 #include "util/json.h"
@@ -200,6 +201,12 @@ std::string RunRecorder::json() const {
   if (MetricsPlane::enabled()) {
     MetricsPlane::write_json_section(w);
   }
+  // The profiler's attribution tree + worker-utilization report: present
+  // only while CBMA_PROFILE is live (DESIGN.md §13). Timings are
+  // wall-clock; tree shape and counts are deterministic.
+  if (ProfilePlane::enabled()) {
+    ProfilePlane::write_json_section(w);
+  }
   if (!warnings_.empty() || ProbeSession::enabled()) {
     w.key("watchdog").begin_array();
     for (const auto& warning : warnings_) {
@@ -257,6 +264,9 @@ int RunRecorder::finish() const {
   // CBMA_METRICS=<path>: leave a final Prometheus snapshot covering the
   // whole run (the plane also rewrites it live at window boundaries).
   if (!MetricsPlane::write_prometheus_if_requested()) return 1;
+  // CBMA_PROFILE=<path>: the collapsed-stack flamegraph of the run
+  // (no-op unless the profiler is enabled).
+  if (!ProfilePlane::write_collapsed_if_requested()) return 1;
   return 0;
 }
 

@@ -8,6 +8,7 @@
 
 #include "util/expect.h"
 #include "util/probe.h"
+#include "util/profiler.h"
 #include "util/telemetry.h"
 
 namespace cbma::core {
@@ -82,6 +83,7 @@ void SweepRunner::run(const std::function<void(const SweepPoint&)>& body,
     telemetry::count(telemetry::Counter::kSweepWorkers,
                      std::min<std::size_t>(max_workers, n));
   }
+  util::ParallelStats stats;
   util::parallel_for(
       n,
       [&](std::size_t flat) {
@@ -92,7 +94,10 @@ void SweepRunner::run(const std::function<void(const SweepPoint&)>& body,
         const probe::ScopedPoint probe_point(flat + 1);
         body(SweepPoint(spec_, flat));
       },
-      workers);
+      workers, &stats);
+  // Worker-utilization report for the profiler (collected only while it
+  // is live; the pool has joined, so this is the sequential context).
+  if (stats.collected) profiler::record_parallel("sweep/run", stats);
 }
 
 std::vector<WatchdogWarning> scan_sweep_anomalies(

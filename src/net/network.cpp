@@ -8,6 +8,7 @@
 #include "rx/receiver.h"
 #include "util/expect.h"
 #include "util/parallel.h"
+#include "util/profiler.h"
 #include "util/telemetry.h"
 #include "util/units.h"
 
@@ -214,6 +215,9 @@ std::vector<ForeignLeakage> Network::leaks_at(std::size_t gw) const {
 
 NetworkRoundResult Network::run_round(std::uint64_t seed,
                                       std::size_t max_workers) {
+  // Root of the round's attribution tree: everything below — association,
+  // the per-cell parallel pass, aggregation — nests under net/round.
+  const telemetry::ScopedSpan span_round(telemetry::Span::kNetRound);
   telemetry::count(telemetry::Counter::kNetRoundsRun);
   const std::size_t n_cells = gateways_.size();
 
@@ -233,10 +237,13 @@ NetworkRoundResult Network::run_round(std::uint64_t seed,
 
   // 2. Association (first round) or hysteresis roaming (steady state).
   NetworkRoundResult result;
-  if (!associated_) {
-    associate();
-  } else {
-    result.roamed = roam();
+  {
+    const telemetry::ScopedSpan span_assoc(telemetry::Span::kNetAssociate);
+    if (!associated_) {
+      associate();
+    } else {
+      result.roamed = roam();
+    }
   }
 
   // 3. Membership refresh: tags ascending, so every member list is sorted
@@ -252,16 +259,21 @@ NetworkRoundResult Network::run_round(std::uint64_t seed,
   // 4. Per-cell MAC rounds — each cell owns its result slot and a seed
   //    derived from its id, so results are worker-count independent.
   result.cells.resize(n_cells);
+  util::ParallelStats stats;
   util::parallel_for(
       n_cells,
       [&](std::size_t c) {
+        const telemetry::ScopedSpan span_cell(telemetry::Span::kNetCellRound);
         cells_[c].ensure_system(config_.cell, gateways_[c], tags_, obstacles_,
                                 leaks_at(c));
         Rng rng(util::point_seed(seed, c));
         result.cells[c] = cells_[c].run_round(
             config_.scheme, config_.packets_per_round, config_.fsa, rng);
       },
-      max_workers);
+      max_workers, &stats);
+  // Worker utilization of the cell pass (profiler only; the pool joined,
+  // so this runs in the sequential context record_parallel requires).
+  if (stats.collected) profiler::record_parallel("net/round", stats);
 
   // 5. Aggregate: network goodput and Jain fairness over every tag
   //    (unserved tags score zero — fairness sees the capacity shortfall).

@@ -155,6 +155,9 @@ const char* span_name(Span s) {
     case Span::kSweepPoint: return "sweep/point";
     case Span::kSweepRun: return "sweep/run";
     case Span::kBenchIteration: return "bench/iteration";
+    case Span::kNetRound: return "net/round";
+    case Span::kNetAssociate: return "net/associate";
+    case Span::kNetCellRound: return "net/cell_round";
     case Span::kCount: break;
   }
   return "unknown";

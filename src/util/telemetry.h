@@ -50,6 +50,9 @@ enum class Span : std::uint8_t {
   kSweepPoint,           ///< one SweepRunner grid-point body
   kSweepRun,             ///< one SweepRunner::run, end to end
   kBenchIteration,       ///< bench_kernels manual-timed iteration
+  kNetRound,             ///< one net::Network::run_round, end to end
+  kNetAssociate,         ///< association / hysteresis-roaming pass
+  kNetCellRound,         ///< one cell's MAC round inside a network round
   kCount
 };
 inline constexpr std::size_t kSpanCount = static_cast<std::size_t>(Span::kCount);
@@ -155,23 +158,50 @@ inline void count(Counter c, std::uint64_t n = 1) {
   if (enabled()) add_count(c, n);
 }
 
-/// RAII span timer: reads the clock only when telemetry is enabled at
-/// construction, records on destruction. Zero work on the off path.
+}  // namespace cbma::telemetry
+
+/// Hierarchical-profiler hook (util/profiler, DESIGN.md §13): ScopedSpan
+/// feeds the caller-path attribution tree whenever the profiler is live.
+/// Forward-declared so every span site keeps its single telemetry.h
+/// include; implemented in util/profiler.cpp. Signatures must match
+/// util/profiler.h exactly.
+namespace cbma::profiler {
+bool enabled();
+void on_span_enter(telemetry::Span s);
+void on_span_exit(telemetry::Span s, std::uint64_t dur_ns);
+}  // namespace cbma::profiler
+
+namespace cbma::telemetry {
+
+/// RAII span timer: reads the clock only when telemetry or the profiler is
+/// enabled at construction, records on destruction. The off path costs two
+/// relaxed atomic loads and nothing else — no clock read, no allocation.
+/// The enabled flags are sampled once (bit 1 = telemetry, bit 2 =
+/// profiler), so a mid-span flip cannot unbalance the profiler's stack.
 class ScopedSpan {
  public:
-  explicit ScopedSpan(Span s)
-      : span_(s), start_ns_(enabled() ? util::monotonic_ns() : 0) {}
-  ~ScopedSpan() {
-    if (start_ns_ != 0) {
-      record_span(span_, start_ns_, util::monotonic_ns() - start_ns_);
+  explicit ScopedSpan(Span s) : span_(s) {
+    const bool telem = enabled();
+    const bool prof = profiler::enabled();
+    if (telem || prof) {
+      flags_ = static_cast<std::uint8_t>((telem ? 1u : 0u) | (prof ? 2u : 0u));
+      if (prof) profiler::on_span_enter(s);
+      start_ns_ = util::monotonic_ns();
     }
+  }
+  ~ScopedSpan() {
+    if (flags_ == 0) return;
+    const std::uint64_t dur_ns = util::monotonic_ns() - start_ns_;
+    if ((flags_ & 1u) != 0) record_span(span_, start_ns_, dur_ns);
+    if ((flags_ & 2u) != 0) profiler::on_span_exit(span_, dur_ns);
   }
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
 
  private:
   Span span_;
-  std::uint64_t start_ns_;
+  std::uint64_t start_ns_ = 0;
+  std::uint8_t flags_ = 0;
 };
 
 // --- duration histogram ----------------------------------------------------

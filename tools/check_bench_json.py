@@ -2,7 +2,8 @@
 """Validate the BENCH_*.json artifacts the bench suite emits.
 
 Usage: check_bench_json.py [--require-telemetry] [--require-link-quality]
-                           [--require-timeseries] <dir> <bench-name>...
+                           [--require-timeseries] [--require-profile]
+                           <dir> <bench-name>...
 
 For every listed bench the script requires <dir>/BENCH_<name>.json to
 exist, parse, and carry the recorder schema (schema_version 1): bench
@@ -17,7 +18,12 @@ warning array are validated against DESIGN.md §8 whenever they appear;
 `--require-link-quality` fails documents without the probe sections.
 The metrics-plane `timeseries` + `events` sections (present when the run
 had CBMA_METRICS=<path>, DESIGN.md §12) are validated whenever they
-appear; `--require-timeseries` fails documents without them.
+appear; `--require-timeseries` fails documents without them. The
+profiler's `profile` section (present when the run had
+CBMA_PROFILE=<path>, DESIGN.md §13) is validated whenever it appears —
+tree nodes must balance incl == excl + child_ns and parallel-site worker
+slots must sum to their aggregates; `--require-profile` fails documents
+without one (profile_inspect.py checks the deeper invariants).
 `kernels` is special-cased: bench_kernels emits google-benchmark's own
 JSON, which is validated as such. Exits non-zero on the first failure so
 CI fails loudly on a missing or malformed document.
@@ -198,10 +204,57 @@ def check_events_section(name: str, events: list) -> None:
             fail(f"{name}: event without a type label")
 
 
+def check_profile_node(name: str, node: dict) -> None:
+    for key in ("span", "count", "incl_ns", "excl_ns", "child_ns",
+                "children"):
+        if key not in node:
+            fail(f"{name}: profile tree node missing key '{key}': {node}")
+    if "/" not in node["span"]:
+        fail(f"{name}: profile span '{node['span']}' violates the "
+             "layer/stage scheme")
+    if node["incl_ns"] != node["excl_ns"] + node["child_ns"]:
+        fail(f"{name}: profile node '{node['span']}' does not balance: "
+             f"incl {node['incl_ns']} != excl {node['excl_ns']} + child "
+             f"{node['child_ns']}")
+    for child in node["children"]:
+        check_profile_node(name, child)
+
+
+def check_profile_section(name: str, prof: dict) -> None:
+    """Profiler schema (DESIGN.md §13): the merged caller-path tree plus
+    parallel_for worker-utilization sites."""
+    for key in ("threads", "dropped", "tree", "parallel"):
+        if key not in prof:
+            fail(f"{name}: profile section missing key '{key}'")
+    if not isinstance(prof["threads"], int) or prof["threads"] < 1:
+        fail(f"{name}: profile.threads {prof['threads']!r} is not a "
+             "positive integer")
+    if not isinstance(prof["tree"], list) or not prof["tree"]:
+        fail(f"{name}: profile.tree missing or empty")
+    for root in prof["tree"]:
+        check_profile_node(name, root)
+    for site in prof["parallel"]:
+        for key in ("site", "calls", "items", "wall_ns", "busy_ns",
+                    "imbalance", "workers"):
+            if key not in site:
+                fail(f"{name}: profile parallel site missing key '{key}': "
+                     f"{site}")
+        if site["imbalance"] < 1.0:
+            fail(f"{name}: profile site '{site['site']}' imbalance "
+                 f"{site['imbalance']} < 1")
+        if sum(w["busy_ns"] for w in site["workers"]) != site["busy_ns"]:
+            fail(f"{name}: profile site '{site['site']}' worker busy slots "
+                 "do not sum to busy_ns")
+        if sum(w["items"] for w in site["workers"]) != site["items"]:
+            fail(f"{name}: profile site '{site['site']}' worker item slots "
+                 "do not sum to items")
+
+
 def check_recorder_doc(name: str, doc: dict,
                        require_telemetry: bool = False,
                        require_link_quality: bool = False,
-                       require_timeseries: bool = False) -> None:
+                       require_timeseries: bool = False,
+                       require_profile: bool = False) -> None:
     for key in ("schema_version", "bench", "title", "paper_ref", "config",
                 "base_seed", "trials_per_point", "axes", "points", "tables",
                 "checks", "notes"):
@@ -268,6 +321,11 @@ def check_recorder_doc(name: str, doc: dict,
     elif require_timeseries:
         fail(f"{name}: no timeseries section but --require-timeseries given "
              "— was the bench run without CBMA_METRICS=<path>?")
+    if "profile" in doc:
+        check_profile_section(name, doc["profile"])
+    elif require_profile:
+        fail(f"{name}: no profile section but --require-profile given — "
+             "was the bench run without CBMA_PROFILE=<path>?")
 
 
 def check_google_benchmark_doc(name: str, doc: dict) -> None:
@@ -282,13 +340,14 @@ def main() -> None:
     require_telemetry = "--require-telemetry" in args
     require_link_quality = "--require-link-quality" in args
     require_timeseries = "--require-timeseries" in args
+    require_profile = "--require-profile" in args
     args = [a for a in args
             if a not in ("--require-telemetry", "--require-link-quality",
-                         "--require-timeseries")]
+                         "--require-timeseries", "--require-profile")]
     if len(args) < 2:
         fail("usage: check_bench_json.py [--require-telemetry] "
              "[--require-link-quality] [--require-timeseries] "
-             "<dir> <bench-name>...")
+             "[--require-profile] <dir> <bench-name>...")
     directory, names = args[0], args[1:]
     for name in names:
         path = f"{directory}/BENCH_{name}.json"
@@ -303,7 +362,8 @@ def main() -> None:
             check_google_benchmark_doc(name, doc)
         else:
             check_recorder_doc(name, doc, require_telemetry,
-                               require_link_quality, require_timeseries)
+                               require_link_quality, require_timeseries,
+                               require_profile)
         print(f"check_bench_json: OK: {path}")
     print(f"check_bench_json: validated {len(names)} documents")
 

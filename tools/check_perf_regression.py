@@ -7,6 +7,7 @@ Usage:
   check_perf_regression.py <BENCH_kernels.json> --crossover
   check_perf_regression.py <BENCH_kernels.json> --ring-flat
   check_perf_regression.py <BENCH_kernels.json> --metrics-overhead
+  check_perf_regression.py <BENCH_kernels.json> --profile-overhead
 
 Compares the ns_per_packet counter (and, for the streaming-receiver rows,
 ns_per_sample) of every benchmark present in both the fresh
@@ -37,6 +38,11 @@ to stay within METRICS_OVERHEAD_TOLERANCE (+2 %) of the twin — the
 strict-identity-when-off contract's enabled-side budget (DESIGN.md §12).
 Pairs are matched within one run, so machine speed cancels out.
 
+`--profile-overhead` is the same self-relative gate for the hierarchical
+profiler (DESIGN.md §13): every BM_<X>Profile row is paired with its
+profiler-off twin BM_<X> on ns_per_round, and the enabled run must stay
+within PROFILE_OVERHEAD_TOLERANCE (+2 %) of the twin.
+
 `--crossover` checks the detection-engine crossover policy instead of the
 baseline: it groups the BM_DetectPeaks{Naive,Fft,Auto}/K/L/W rows of a
 fresh run by grid point and, wherever the naive and FFT engines are
@@ -60,6 +66,10 @@ CROSSOVER_SLACK = 1.3
 # --metrics-overhead: a metrics-enabled round may cost at most this much
 # more than its metrics-off twin (ISSUE acceptance: +2% ns_per_round).
 METRICS_OVERHEAD_TOLERANCE = 0.02
+
+# --profile-overhead: the same budget for a profiler-enabled round vs its
+# profiler-off twin.
+PROFILE_OVERHEAD_TOLERANCE = 0.02
 
 
 def fail(msg: str) -> None:
@@ -168,42 +178,53 @@ def check_ring_flat(current_path: str) -> None:
           f"{next(iter(distinct)):.0f} bytes resident in every run")
 
 
-def check_metrics_overhead(current_path: str) -> None:
-    """Pair BM_<X>Metrics rows with their BM_<X> twins on ns_per_round."""
+def check_twin_overhead(current_path: str, suffix: str, tolerance: float,
+                        label: str) -> None:
+    """Pair BM_<X><suffix> rows with their plain BM_<X> twins on
+    ns_per_round and enforce the enabled-side cost budget."""
     rounds = counter_by_name(load(current_path), "ns_per_round")
     pairs = []
     for name, ns_on in sorted(rounds.items()):
         base, sep, rest = name.partition("/")
-        if not base.endswith("Metrics"):
+        if not base.endswith(suffix):
             continue
-        twin = base[:-len("Metrics")] + sep + rest
+        twin = base[:-len(suffix)] + sep + rest
         if twin not in rounds:
             print(f"check_perf_regression: note: '{name}' has no "
-                  f"metrics-off twin '{twin}' in this run — skipped")
+                  f"{label}-off twin '{twin}' in this run — skipped")
             continue
         pairs.append((twin, name, rounds[twin], ns_on))
     if not pairs:
-        fail(f"{current_path} has no paired BM_<X>/BM_<X>Metrics "
+        fail(f"{current_path} has no paired BM_<X>/BM_<X>{suffix} "
              "ns_per_round rows — run bench_kernels with "
              "--benchmark_filter=BM_NetMulticellRound")
     failures = []
     for twin, name, ns_off, ns_on in pairs:
         ratio = ns_on / ns_off
-        verdict = "ok" if ratio <= 1.0 + METRICS_OVERHEAD_TOLERANCE \
-            else "OVER BUDGET"
-        print(f"check_perf_regression: metrics-overhead: {twin} "
+        verdict = "ok" if ratio <= 1.0 + tolerance else "OVER BUDGET"
+        print(f"check_perf_regression: {label}-overhead: {twin} "
               f"{ns_off:.0f} ns -> {name} {ns_on:.0f} ns "
               f"({ratio:.3f}x): {verdict}")
-        if ratio > 1.0 + METRICS_OVERHEAD_TOLERANCE:
+        if ratio > 1.0 + tolerance:
             failures.append((name, ratio))
     for name, ratio in failures:
         print(f"check_perf_regression: FAIL: {name} costs {ratio:.3f}x its "
-              f"metrics-off twin (> {1.0 + METRICS_OVERHEAD_TOLERANCE:.2f}x "
-              "allowed)", file=sys.stderr)
+              f"{label}-off twin (> {1.0 + tolerance:.2f}x allowed)",
+              file=sys.stderr)
     if failures:
         sys.exit(1)
-    print(f"check_perf_regression: metrics overhead within "
-          f"{METRICS_OVERHEAD_TOLERANCE:.0%} on {len(pairs)} pair(s)")
+    print(f"check_perf_regression: {label} overhead within "
+          f"{tolerance:.0%} on {len(pairs)} pair(s)")
+
+
+def check_metrics_overhead(current_path: str) -> None:
+    check_twin_overhead(current_path, "Metrics", METRICS_OVERHEAD_TOLERANCE,
+                        "metrics")
+
+
+def check_profile_overhead(current_path: str) -> None:
+    check_twin_overhead(current_path, "Profile", PROFILE_OVERHEAD_TOLERANCE,
+                        "profile")
 
 
 def main() -> None:
@@ -214,6 +235,13 @@ def main() -> None:
             fail("usage: check_perf_regression.py <BENCH_kernels.json> "
                  "--metrics-overhead")
         check_metrics_overhead(args[0])
+        return
+    if "--profile-overhead" in args:
+        args = [a for a in args if a != "--profile-overhead"]
+        if len(args) != 1:
+            fail("usage: check_perf_regression.py <BENCH_kernels.json> "
+                 "--profile-overhead")
+        check_profile_overhead(args[0])
         return
     if "--ring-flat" in args:
         args = [a for a in args if a != "--ring-flat"]

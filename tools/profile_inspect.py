@@ -1,0 +1,254 @@
+#!/usr/bin/env python3
+"""Validate and summarize the profiler's attribution tree.
+
+Usage:
+  profile_inspect.py --check [--collapsed FLAME.txt] <BENCH_*.json>
+  profile_inspect.py --summary <BENCH_*.json>
+  profile_inspect.py --top N <BENCH_*.json>
+
+Input is the BENCH_*.json a profiler-enabled run (CBMA_PROFILE=<path> or
+cbma_cli --profile) produced — its "profile" section (DESIGN.md §13): the
+merged caller-path tree plus the parallel_for worker-utilization reports.
+
+--check validates the accounting invariants the profiler promises:
+  * the tree is non-empty and multi-level (depth >= 2), so the run really
+    produced caller-path attribution, not a flat span list;
+  * every node satisfies incl_ns == excl_ns + child_ns exactly (child_ns
+    only ever counts same-thread children, so no float slack is needed);
+  * in a sequentially-consistent subtree (child_ns == sum of child incl at
+    every level) the exclusive times over the subtree sum exactly to the
+    root's inclusive time — "where did the time go" accounts for all of
+    it. Subtrees fed by parallel_for workers legitimately have child sums
+    exceeding child_ns (that is parallelism), and are reported, not failed;
+  * every parallel site's per-slot busy/item vectors sum to its aggregate
+    busy_ns/items totals and its imbalance ratio is >= 1;
+  * with --collapsed, the flamegraph file's lines are well-formed
+    ("frame;frame <int>"), sorted, unique, and their values sum to the
+    tree's total exclusive time.
+--summary prints the thread/drop counts, root spans and parallel-site
+utilization. --top N prints the N caller paths with the largest exclusive
+time. Exits non-zero on the first failure so CI fails loudly. Stdlib only.
+"""
+import argparse
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"profile_inspect: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_profile(path: str):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except FileNotFoundError:
+        fail(f"{path} missing")
+    except json.JSONDecodeError as e:
+        fail(f"{path}: not valid JSON: {e}")
+    prof = doc.get("profile")
+    if prof is None:
+        fail(f"{path}: no 'profile' section — was the run profiler-enabled "
+             "(CBMA_PROFILE)?")
+    return prof
+
+
+def walk(node, prefix, out):
+    """DFS flatten into (path, node) pairs; path frames joined by ';'."""
+    for key in ("span", "count", "incl_ns", "excl_ns", "child_ns",
+                "children"):
+        if key not in node:
+            fail(f"tree node missing key '{key}': {node}")
+    path = f"{prefix};{node['span']}" if prefix else node["span"]
+    out.append((path, node))
+    for child in node["children"]:
+        walk(child, path, out)
+
+
+def flatten(prof):
+    rows = []
+    for root in prof.get("tree", []):
+        walk(root, "", rows)
+    return rows
+
+
+def subtree_excl(node):
+    total = node["excl_ns"]
+    for child in node["children"]:
+        total += subtree_excl(child)
+    return total
+
+
+def is_sequential(node):
+    """True when child_ns accounts for the children exactly, recursively —
+    i.e. no cross-thread (parallel_for worker) time was merged in."""
+    if node["child_ns"] != sum(c["incl_ns"] for c in node["children"]):
+        return False
+    return all(is_sequential(c) for c in node["children"])
+
+
+def check(path: str, collapsed_path) -> None:
+    prof = load_profile(path)
+    for key in ("threads", "dropped", "tree", "parallel"):
+        if key not in prof:
+            fail(f"profile: missing key '{key}'")
+    if prof["threads"] < 1:
+        fail("profile: a recorded tree needs at least one thread")
+    rows = flatten(prof)
+    if not rows:
+        fail("profile: tree is empty")
+    depth = max(p.count(";") + 1 for p, _ in rows)
+    if depth < 2:
+        fail(f"profile: tree is flat (depth {depth}) — caller-path "
+             "attribution did not engage")
+
+    parallel_subtrees = 0
+    for p, node in rows:
+        if node["count"] < 0 or node["incl_ns"] < 0 or node["child_ns"] < 0:
+            fail(f"{p}: negative counter")
+        # The exact per-node identity: exclusive = inclusive - child time.
+        if node["incl_ns"] != node["excl_ns"] + node["child_ns"]:
+            fail(f"{p}: incl {node['incl_ns']} != excl {node['excl_ns']} "
+                 f"+ child {node['child_ns']}")
+        child_incl = sum(c["incl_ns"] for c in node["children"])
+        # child_ns only counts same-thread children, so it can never exceed
+        # their total inclusive time; the reverse (child sums exceeding
+        # child_ns) is parallel_for workers, which is legitimate.
+        if node["child_ns"] > child_incl:
+            fail(f"{p}: child_ns {node['child_ns']} exceeds summed child "
+                 f"incl {child_incl}")
+        if node["child_ns"] < child_incl:
+            parallel_subtrees += 1
+
+    # Where the tree is sequentially consistent, exclusive times must
+    # account for all of the root's inclusive time — exactly.
+    balanced_roots = 0
+    for root in prof["tree"]:
+        if not is_sequential(root):
+            continue
+        balanced_roots += 1
+        total = subtree_excl(root)
+        if total != root["incl_ns"]:
+            fail(f"root {root['span']}: subtree exclusive sum {total} != "
+                 f"root inclusive {root['incl_ns']}")
+
+    for site in prof["parallel"]:
+        for key in ("site", "calls", "items", "wall_ns", "busy_ns",
+                    "imbalance", "workers"):
+            if key not in site:
+                fail(f"parallel site missing key '{key}': {site}")
+        name = site["site"]
+        if site["imbalance"] < 1.0:
+            fail(f"parallel {name}: imbalance {site['imbalance']} < 1")
+        slot_busy = sum(w["busy_ns"] for w in site["workers"])
+        slot_items = sum(w["items"] for w in site["workers"])
+        if slot_busy != site["busy_ns"]:
+            fail(f"parallel {name}: worker busy sum {slot_busy} != "
+                 f"busy_ns {site['busy_ns']}")
+        if slot_items != site["items"]:
+            fail(f"parallel {name}: worker item sum {slot_items} != "
+                 f"items {site['items']}")
+
+    if collapsed_path is not None:
+        check_collapsed(collapsed_path, rows)
+
+    print(f"profile_inspect: OK: {len(rows)} caller paths, depth {depth}, "
+          f"{prof['threads']} thread(s), {balanced_roots} balanced root(s), "
+          f"{parallel_subtrees} parallel node(s), "
+          f"{len(prof['parallel'])} parallel site(s), "
+          f"dropped {prof['dropped']}")
+
+
+def check_collapsed(path: str, rows) -> None:
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except FileNotFoundError:
+        fail(f"{path} missing")
+    total = 0
+    prev = ""
+    seen = set()
+    for lineno, line in enumerate(lines, 1):
+        frames, sep, value = line.rpartition(" ")
+        if not sep or not frames:
+            fail(f"{path}:{lineno}: not a 'frames value' line: {line!r}")
+        if not value.isdigit():
+            fail(f"{path}:{lineno}: non-integer value {value!r}")
+        if frames in seen:
+            fail(f"{path}:{lineno}: duplicate stack {frames!r}")
+        seen.add(frames)
+        if frames <= prev:
+            fail(f"{path}:{lineno}: stacks not sorted ({prev!r} then "
+                 f"{frames!r})")
+        prev = frames
+        total += int(value)
+    tree_excl = sum(node["excl_ns"] for _, node in rows)
+    # The collapsed export drops zero-exclusive rows, so its values must
+    # account for exactly the tree's exclusive total — nothing more, less.
+    if total != tree_excl:
+        fail(f"{path}: collapsed values sum to {total}, tree exclusive "
+             f"total is {tree_excl}")
+    print(f"profile_inspect: OK: {path}: {len(lines)} stacks summing to "
+          f"{total} ns")
+
+
+def summary(path: str) -> None:
+    prof = load_profile(path)
+    rows = flatten(prof)
+    total_excl = sum(node["excl_ns"] for _, node in rows)
+    print(f"threads: {prof['threads']}  dropped: {prof['dropped']}  "
+          f"paths: {len(rows)}  total exclusive: {total_excl / 1e6:.3f} ms")
+    print("\nroots:")
+    for root in prof["tree"]:
+        print(f"  {root['span']:<24} x{root['count']:<8} "
+              f"incl {root['incl_ns'] / 1e6:>12.3f} ms")
+    print("\nparallel sites:")
+    for site in prof["parallel"]:
+        slots = len(site["workers"])
+        util = (site["busy_ns"] / (site["wall_ns"] * slots)
+                if site["wall_ns"] > 0 and slots > 0 else float("nan"))
+        print(f"  {site['site']:<16} calls {site['calls']:<6} "
+              f"items {site['items']:<8} workers {slots:<4} "
+              f"utilization {util:>6.1%}  "
+              f"imbalance {site['imbalance']:.2f}")
+
+
+def top(path: str, n: int) -> None:
+    prof = load_profile(path)
+    rows = flatten(prof)
+    rows.sort(key=lambda r: (-r[1]["excl_ns"], r[0]))
+    total_excl = sum(node["excl_ns"] for _, node in rows) or 1
+    print(f"{'excl ms':>12} {'%':>6} {'count':>8}  caller path")
+    for p, node in rows[:n]:
+        share = node["excl_ns"] / total_excl
+        print(f"{node['excl_ns'] / 1e6:>12.3f} {share:>6.1%} "
+              f"{node['count']:>8}  {p}")
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(
+        description="Validate/summarize the profiler attribution tree")
+    mode = ap.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--check", action="store_true",
+                      help="validate the profile section's invariants")
+    mode.add_argument("--summary", action="store_true",
+                      help="thread/root/parallel-site overview")
+    mode.add_argument("--top", type=int, metavar="N",
+                      help="print the top N paths by exclusive time")
+    ap.add_argument("--collapsed", metavar="FLAME",
+                    help="--check: also validate this collapsed-stack "
+                         "flamegraph file against the tree")
+    ap.add_argument("path", help="BENCH_*.json from a CBMA_PROFILE run")
+    args = ap.parse_args()
+
+    if args.check:
+        check(args.path, args.collapsed)
+    elif args.summary:
+        summary(args.path)
+    else:
+        top(args.path, args.top)
+
+
+if __name__ == "__main__":
+    main()
